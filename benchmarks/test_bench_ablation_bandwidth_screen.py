@@ -1,0 +1,44 @@
+"""Ablation — screening bandwidth-bound points before the curve.
+
+Section 5.3: "the Pareto-optimal curve is more likely to miss a
+near-optimal configuration when a factor other than instruction count
+and latency overlap is a significant performance bottleneck.  One
+should screen away such points prior to defining the curve."
+
+For matmul the unscreened curve is full of bandwidth-bound 8x8 points
+that can never win; screening them shrinks the subset that must be
+timed without losing the optimum.
+"""
+
+from repro.tuning import pareto_search
+
+
+def test_bandwidth_screen_shrinks_matmul_selection(benchmark, matmul_experiment):
+    app = matmul_experiment.app
+    configs = app.space().configurations()
+
+    unscreened = pareto_search(configs, app.evaluate, app.simulate)
+    screened = benchmark.pedantic(
+        lambda: pareto_search(configs, app.evaluate, app.simulate,
+                              screen_bandwidth_bound=True),
+        rounds=1, iterations=1,
+    )
+
+    print(f"\nunscreened selection: {unscreened.timed_count}, "
+          f"screened: {screened.timed_count}")
+    for entry in screened.timed:
+        print("  kept:", dict(entry.config), f"{entry.seconds * 1e3:.3f} ms")
+
+    # Screening removes the 8x8 filler points ...
+    assert screened.timed_count <= unscreened.timed_count
+    assert all(e.config["tile"] == 16 for e in screened.timed)
+    # ... and still finds the optimum.
+    assert screened.best.config == matmul_experiment.exhaustive.best.config
+
+
+def test_screen_does_not_hurt_compute_bound_apps(cp_experiment):
+    app = cp_experiment.app
+    configs = app.space().configurations()
+    screened = pareto_search(configs, app.evaluate, app.simulate,
+                             screen_bandwidth_bound=True)
+    assert screened.best.config == cp_experiment.exhaustive.best.config

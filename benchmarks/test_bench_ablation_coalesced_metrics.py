@@ -1,0 +1,48 @@
+"""Ablation — coalescing-aware metrics (Section 7 future work).
+
+"we wish to account for factors such as memory access coalescing ...
+so that they may be more effective predictors of performance."
+
+On matmul the plain curve is mostly bandwidth-crippled 8x8 points
+(Section 5.3); pricing coalescing into Efficiency removes them,
+shrinking the set that must be timed while keeping the optimum.
+"""
+
+from repro.metrics import adjusted_point
+from repro.tuning import pareto_indices
+
+
+def test_coalescing_aware_pruning(benchmark, matmul_experiment):
+    timed = matmul_experiment.exhaustive.timed
+
+    def fronts():
+        raw_points = [
+            (e.metrics.efficiency, e.metrics.utilization) for e in timed
+        ]
+        adjusted_points = [adjusted_point(e.metrics) for e in timed]
+        return pareto_indices(raw_points), pareto_indices(adjusted_points)
+
+    raw_front, adjusted_front = benchmark.pedantic(
+        fronts, rounds=1, iterations=1
+    )
+
+    def describe(front, label):
+        tiles = [timed[i].config["tile"] for i in front]
+        print(f"{label}: {len(front)} selected, "
+              f"{tiles.count(8)} of them 8x8")
+        return tiles
+
+    print()
+    raw_tiles = describe(raw_front, "plain metrics     ")
+    adjusted_tiles = describe(adjusted_front, "coalescing-aware  ")
+
+    optimal = min(range(len(timed)), key=lambda i: timed[i].seconds)
+
+    # The 5.3 phenomenon with plain metrics...
+    assert raw_tiles.count(8) > 0
+    assert optimal in set(raw_front)
+    # ...fixed by the coalescing-aware variant without losing the
+    # optimum.
+    assert adjusted_tiles.count(8) < raw_tiles.count(8)
+    assert optimal in set(adjusted_front)
+    assert len(adjusted_front) <= len(raw_front)

@@ -1,0 +1,80 @@
+"""Ablation — does the method survive a different device?
+
+Section 1 motivates the work with architectural churn: "successive
+generations of architectures require a complete reapplication of the
+optimization process."  The method should transfer: on variants of the
+8800 (halved bandwidth, a doubled register file) the Pareto subset of
+the *re-evaluated* metrics must still contain each variant's optimum —
+even though the optimum itself may move.
+"""
+
+import dataclasses
+
+from repro.arch import GEFORCE_8800_GTX, LaunchError
+from repro.metrics.model import evaluate_kernel
+from repro.sim import SimConfig, simulate_kernel
+from repro.tuning import pareto_indices
+
+VARIANTS = {
+    "stock-8800": GEFORCE_8800_GTX,
+    "half-bandwidth": dataclasses.replace(
+        GEFORCE_8800_GTX, global_memory_bandwidth_gbps=43.2
+    ),
+    "double-registers": dataclasses.replace(
+        GEFORCE_8800_GTX, registers_per_sm=16384
+    ),
+}
+
+
+def _run_on(device, app):
+    sim_config = SimConfig(device=device)
+    entries = []
+    for config in app.space():
+        kernel = app.kernel(config)
+        try:
+            report = evaluate_kernel(kernel, device=device)
+            seconds = simulate_kernel(kernel, sim_config).seconds
+        except LaunchError:
+            continue
+        entries.append((config, report, seconds))
+    points = [(r.efficiency, r.utilization) for _, r, _ in entries]
+    front = set(pareto_indices(points))
+    optimal = min(range(len(entries)), key=lambda i: entries[i][2])
+    return entries, front, optimal
+
+
+def test_method_transfers_across_devices(benchmark, matmul_experiment):
+    app = matmul_experiment.app
+
+    def sweep():
+        return {name: _run_on(device, app)
+                for name, device in VARIANTS.items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nvariant           valid  pareto  on_curve  pruned_gap  best_config")
+    gaps = {}
+    for name, (entries, front, optimal) in results.items():
+        on_curve = optimal in front
+        best_time = entries[optimal][2]
+        pruned_best = min(entries[i][2] for i in front)
+        gaps[name] = pruned_best / best_time - 1.0
+        print(f"{name:16s} {len(entries):6d} {len(front):7d}  "
+              f"{str(on_curve):8s}  {gaps[name] * 100:9.2f}%  "
+              f"{dict(entries[optimal][0])}")
+
+    # Stock and bandwidth-starved variants: optimum on the curve.
+    for name in ("stock-8800", "half-bandwidth"):
+        _, front, optimal = results[name]
+        assert optimal in front, name
+
+    # The double-register variant legalizes the prefetched 1x4 kernel
+    # the stock device rejects; prefetching is invisible to the
+    # metrics (the paper's Section 5.3 caveat), so the pruned search
+    # lands on the non-prefetched twin — within a few percent of the
+    # new optimum, but off the curve.  Architectural churn changes
+    # which blind spots matter.
+    stock_valid = len(results["stock-8800"][0])
+    doubled_valid = len(results["double-registers"][0])
+    assert doubled_valid > stock_valid
+    assert gaps["double-registers"] < 0.10

@@ -1,0 +1,60 @@
+"""Ablation — robustness to the runtime's register-allocation jitter.
+
+Section 3.2: "Since the mechanism by which the CUDA runtime performs
+scheduling and register allocation is not visible to the application
+developer, we do not have a clear explanation for this non-uniform
+behavior"; Section 2.3 calls it "an uncontrollable element during
+program optimization."
+
+Our allocator exposes that nondeterminism as a seedable perturbation.
+This bench re-derives the metric plot under many perturbed allocations
+and measures how often Pareto pruning still captures a near-optimal
+configuration — the pruning method must be robust to the jitter the
+paper could not control.
+"""
+
+from repro.arch import LaunchError
+from repro.metrics.model import evaluate_kernel
+from repro.tuning import pareto_indices
+
+SEEDS = range(1, 13)
+
+
+def _pruned_gap(app, seed, times):
+    entries = []
+    for config in app.space():
+        kernel = app.kernel(config)
+        try:
+            report = evaluate_kernel(kernel, reschedule_seed=seed)
+        except LaunchError:
+            continue
+        entries.append((config, report))
+    points = [(r.efficiency, r.utilization) for _, r in entries]
+    front = pareto_indices(points)
+    pruned_best = min(times[entries[i][0]] for i in front)
+    true_best = min(times.values())
+    return pruned_best / true_best - 1.0
+
+
+def test_pruning_robust_to_register_jitter(benchmark, cp_experiment):
+    app = cp_experiment.app
+    times = {
+        entry.config: entry.seconds
+        for entry in cp_experiment.exhaustive.timed
+    }
+
+    def sweep():
+        return {seed: _pruned_gap(app, seed, times) for seed in SEEDS}
+
+    gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nseed  pruned_gap")
+    for seed, gap in gaps.items():
+        print(f"{seed:>4}  {gap * 100:9.2f}%")
+
+    # Under every perturbed allocation the pruned search still lands
+    # within a few percent of the true optimum.
+    assert max(gaps.values()) < 0.10
+    # And in most runs it finds the optimum exactly.
+    exact = sum(1 for gap in gaps.values() if gap < 1e-12)
+    assert exact >= len(list(SEEDS)) // 2

@@ -1,0 +1,58 @@
+"""Figure 3 — matrix multiplication across the abbreviated space.
+
+Shape assertions from Section 3.2:
+  * every valid 8x8 configuration is slower than every 16x16 one
+    (memory bandwidth bottleneck);
+  * the optimum is the 1x4 16x16 configuration running one thread
+    block per SM;
+  * the far-right configuration (1x4, complete unroll, prefetch) is an
+    invalid executable.
+"""
+
+from repro.harness import figure3_series
+
+
+def test_figure3_matmul_space(benchmark, matmul_experiment):
+    app = matmul_experiment.app
+    rows = benchmark.pedantic(
+        lambda: figure3_series(app), rounds=1, iterations=1
+    )
+
+    print("\ntile rect unroll    normal(ms) prefetch(ms)")
+    paired = {}
+    for row in rows:
+        paired.setdefault((row["tile"], row["rect"], row["unroll"]), {})[
+            row["prefetch"]] = row["time_ms"]
+    for (tile, rect, unroll), times in sorted(paired.items(), key=str):
+        normal = times.get(False)
+        prefetch = times.get(True)
+        fmt = lambda t: "   invalid" if t is None else f"{t:10.3f}"
+        print(f"{tile:>3}x{tile:<2} 1x{rect} {unroll:<9}{fmt(normal)} {fmt(prefetch)}")
+
+    valid = [r for r in rows if r["time_ms"] is not None]
+    eights = [r["time_ms"] for r in valid if r["tile"] == 8]
+    sixteens = [r["time_ms"] for r in valid if r["tile"] == 16]
+    assert max(sixteens) < min(eights), "16x16 must dominate 8x8 (bandwidth)"
+
+    best = min(valid, key=lambda r: r["time_ms"])
+    assert best["tile"] == 16 and best["rect"] == 4
+    assert best["unroll"] == "complete"
+
+    far_right = [r for r in rows if r["time_ms"] is None]
+    assert far_right, "the far-right prefetch configuration must be invalid"
+    assert all(
+        r["prefetch"] and r["rect"] == 4 and r["unroll"] == "complete"
+        for r in far_right
+    )
+
+
+def test_figure3_unrolling_helps(matmul_experiment):
+    """Deeper unrolling monotonically improves the 16x16 1x1 family."""
+    app = matmul_experiment.app
+    rows = {
+        (r["unroll"], r["prefetch"]): r["time_ms"]
+        for r in figure3_series(app)
+        if r["tile"] == 16 and r["rect"] == 1
+    }
+    assert rows[("complete", False)] < rows[("4", False)]
+    assert rows[("4", False)] < rows[("1", False)]

@@ -1,0 +1,46 @@
+"""Figure 4 — the SAD optimization space.
+
+"The number of possible configurations is much larger than matrix
+multiplication and the response of performance to optimizations even
+more complex."  The assertions capture that shape: hundreds of valid
+configurations, a wide min-max spread at fixed thread counts (the
+vertical scatter of the figure's lines), and no simple monotone
+relation between threads per block and performance.
+"""
+
+from repro.harness import figure4_series
+
+
+def test_figure4_sad_space(benchmark, sad_experiment):
+    rows = benchmark.pedantic(
+        lambda: figure4_series(sad_experiment), rounds=1, iterations=1
+    )
+    by_threads = {}
+    for row in rows:
+        by_threads.setdefault(row["threads_per_block"], []).append(row["time_ms"])
+
+    print("\nthreads/block  configs  min(ms)  median(ms)  max(ms)")
+    for threads in sorted(by_threads):
+        times = sorted(by_threads[threads])
+        print(f"{threads:>13}  {len(times):>7}  {times[0]:7.3f}  "
+              f"{times[len(times) // 2]:10.3f}  {times[-1]:7.3f}")
+
+    assert len(rows) > 700
+    assert len(by_threads) >= 6
+
+    # Vertical scatter: at some thread count the slowest configuration
+    # is at least 2x the fastest (the figure's overlapping lines).
+    spreads = [max(v) / min(v) for v in by_threads.values() if len(v) > 10]
+    assert max(spreads) > 2.0
+
+    # Non-monotone response: the per-thread-count minima do not simply
+    # improve with more threads.
+    minima = [min(by_threads[t]) for t in sorted(by_threads)]
+    assert minima != sorted(minima)
+    assert minima != sorted(minima, reverse=True)
+
+
+def test_figure4_optimum_matches_experiment(sad_experiment):
+    rows = figure4_series(sad_experiment)
+    best = min(rows, key=lambda r: r["time_ms"])
+    assert best["time_ms"] * 1e-3 == sad_experiment.gpu_best_seconds

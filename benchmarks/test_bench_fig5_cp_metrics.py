@@ -1,0 +1,52 @@
+"""Figure 5 — CP metrics versus performance over the tiling sweep.
+
+Shape from Section 5.1: "efficiency improves monotonically while
+utilization worsens monotonically with increasing tiling factor, and
+the optimum configuration balances both metrics"; 1/Efficiency tracks
+execution time closely through tiling factor 8, and at 16 the
+utilization collapse cancels further efficiency gains.
+"""
+
+import pytest
+
+from repro.harness import figure5_series
+
+
+def test_figure5_cp_metrics_vs_performance(benchmark, cp_experiment):
+    series = benchmark.pedantic(
+        lambda: figure5_series(cp_experiment.app), rounds=1, iterations=1
+    )
+
+    print("\ntiling  time(ms)  1/eff(norm)  1/util(norm)")
+    for row in series:
+        print(f"{row['tiling']:>6}  {row['time_s'] * 1e3:8.3f}  "
+              f"{row['inv_efficiency_norm']:11.3f}  "
+              f"{row['inv_utilization_norm']:12.3f}")
+
+    inv_eff = [row["inv_efficiency_norm"] for row in series]
+    inv_util = [row["inv_utilization_norm"] for row in series]
+    times = [row["time_s"] for row in series]
+
+    # Monotone metric trends.
+    assert inv_eff == sorted(inv_eff, reverse=True)
+    assert inv_util == sorted(inv_util)
+
+    # 1/Efficiency tracks time through tiling factors 1..8.
+    for i in range(3):
+        assert times[i] > times[i + 1]
+        assert inv_eff[i] > inv_eff[i + 1]
+
+    # At 16, the utilization collapse cancels the efficiency gain:
+    # the 8 -> 16 time step is far smaller than any earlier step.
+    earlier_steps = [times[i] - times[i + 1] for i in range(3)]
+    last_step = times[3] - times[4]
+    assert abs(last_step) < min(earlier_steps) / 2
+
+
+def test_figure5_correlation(cp_experiment):
+    """Quantified 'closely follows': rank correlation between
+    1/efficiency and time across tilings 1..8 is perfect."""
+    series = figure5_series(cp_experiment.app)[:4]
+    by_eff = sorted(series, key=lambda r: r["inv_efficiency_norm"])
+    by_time = sorted(series, key=lambda r: r["time_s"])
+    assert [r["tiling"] for r in by_eff] == [r["tiling"] for r in by_time]

@@ -1,0 +1,52 @@
+"""Figure 6 — searching by Pareto-optimal performance metrics.
+
+One panel per application: normalized efficiency/utilization scatter,
+the Pareto subset, and the exhaustive-search optimum.  The assertions
+are the paper's:
+
+  * the optimum lies on the curve for every application (5.2);
+  * the matmul curve is populated mostly by 8x8 points even though
+    every 8x8 point loses on wall clock (5.3);
+  * the MRI plot collapses into clusters of seven (5.2).
+"""
+
+from repro.harness import ascii_scatter, figure6_data
+
+
+def test_figure6_all_applications(benchmark, suite):
+    panels = benchmark.pedantic(
+        lambda: {
+            name: figure6_data(suite[name])
+            for name in ("matmul", "cp", "sad", "mri-fhd")
+        },
+        rounds=1, iterations=1,
+    )
+    for name, data in panels.items():
+        print(f"\n--- Figure 6: {name} ---")
+        print(ascii_scatter(data.points, data.pareto, data.optimal))
+        print(f"pareto={len(data.pareto)}/{len(data.points)} "
+              f"optimum_on_curve={data.optimum_on_curve}")
+        assert data.optimum_on_curve, name
+
+
+def test_figure6a_matmul_curve_is_mostly_8x8(matmul_experiment):
+    """Section 5.3: "all of the configurations on it except the
+    optimum are 8x8 tile size configurations"."""
+    data = figure6_data(matmul_experiment)
+    tiles = [data.configs[i]["tile"] for i in data.pareto]
+    assert tiles.count(8) >= len(tiles) / 2
+    assert data.configs[data.optimal]["tile"] == 16
+
+
+def test_figure6b_mri_clusters_of_seven(mri_experiment):
+    data = figure6_data(mri_experiment)
+    from collections import Counter
+
+    cluster_sizes = Counter(Counter(data.points).values())
+    assert cluster_sizes == {7: 25}
+
+
+def test_figure6_pareto_sets_are_small(suite):
+    for name in ("matmul", "cp", "sad", "mri-fhd"):
+        data = figure6_data(suite[name])
+        assert len(data.pareto) <= 0.3 * len(data.points)

@@ -1,0 +1,77 @@
+"""Throughput of the library's own hot paths.
+
+Not a paper experiment: these benchmarks track the cost of the
+reproduction's machinery itself — kernel generation + transforms,
+static metric evaluation (-ptx/-cubin analogue), one timing
+simulation, and the two interpreters — so performance regressions in
+the toolchain show up in CI history.
+"""
+
+import numpy as np
+
+from repro.metrics import evaluate_kernel
+from repro.sim import simulate_kernel
+from repro.tuning import Configuration
+from tests.conftest import build_tiled_matmul
+
+
+def test_kernel_generation_and_transforms(benchmark):
+    from repro.apps import MatMul
+
+    app = MatMul()
+    config = Configuration({
+        "tile": 16, "rect": 4, "unroll": "complete",
+        "prefetch": False, "spill": False,
+    })
+    kernel = benchmark(app.build_kernel, config)
+    assert kernel.threads_per_block == 256
+
+
+def test_static_metric_evaluation(benchmark):
+    kernel = build_tiled_matmul(n=256)
+    report = benchmark(evaluate_kernel, kernel)
+    assert report.regions == 3 * 16 + 1
+
+
+def test_timing_simulation(benchmark):
+    kernel = build_tiled_matmul(n=256)
+    result = benchmark(simulate_kernel, kernel)
+    assert result.cycles > 0
+
+
+def test_scalar_interpreter(benchmark):
+    from repro.interp import launch
+
+    n = 32
+    kernel = build_tiled_matmul(n=n)
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(n * n).astype(np.float32)
+    b = rng.standard_normal(n * n).astype(np.float32)
+
+    def run():
+        buffers = {"A": a.copy(), "B": b.copy(),
+                   "C": np.zeros(n * n, dtype=np.float32)}
+        launch(kernel, buffers)
+        return buffers["C"]
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.any()
+
+
+def test_vectorized_interpreter(benchmark):
+    from repro.interp import launch_vectorized
+
+    n = 64
+    kernel = build_tiled_matmul(n=n)
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(n * n).astype(np.float32)
+    b = rng.standard_normal(n * n).astype(np.float32)
+
+    def run():
+        buffers = {"A": a.copy(), "B": b.copy(),
+                   "C": np.zeros(n * n, dtype=np.float32)}
+        launch_vectorized(kernel, buffers)
+        return buffers["C"]
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.any()

@@ -1,0 +1,30 @@
+"""Table 3 — speedup over single-thread CPU.
+
+Paper values: MatMul 6.98x, CP 647x, SAD 5.51x, MRI-FHD 228x.
+The CPU baseline is a calibrated model (DESIGN.md, Substitutions);
+the asserted shape is the ordering and the order of magnitude.
+"""
+
+from repro.harness import format_table, table3_rows
+
+
+def test_table3_speedups(benchmark, suite):
+    experiments = [suite[name] for name in ("matmul", "cp", "sad", "mri-fhd")]
+
+    rows = benchmark.pedantic(
+        lambda: table3_rows(experiments), rounds=1, iterations=1
+    )
+    print("\n" + format_table(
+        rows,
+        ["application", "speedup", "paper_speedup", "gpu_best_ms",
+         "cpu_model_ms"],
+    ))
+
+    speedup = {row["application"]: row["speedup"] for row in rows}
+    # Ordering: CP >> MRI >> MatMul ~ SAD.
+    assert speedup["cp"] > speedup["mri-fhd"]
+    assert speedup["mri-fhd"] > speedup["matmul"]
+    assert speedup["mri-fhd"] > speedup["sad"]
+    # Magnitudes within 2x of the paper's.
+    for row in rows:
+        assert 0.5 < row["speedup"] / row["paper_speedup"] < 2.0

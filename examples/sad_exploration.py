@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Figure 4 territory: exploring the SAD optimization space.
+
+SAD has by far the largest space of the suite (hundreds of valid
+configurations over five parameters).  This example contrasts three
+ways of spending a measurement budget on it:
+
+  * exhaustive search (the ground truth, and the cost ceiling);
+  * Pareto pruning (the paper's method);
+  * random sampling with the same budget as Pareto (the paper's
+    named future-work comparison).
+
+Run:  python examples/sad_exploration.py      (takes ~30s)
+"""
+
+import statistics
+
+from repro.apps import SumOfAbsoluteDifferences
+from repro.tuning import full_exploration, pareto_search, random_search
+
+
+def main() -> None:
+    app = SumOfAbsoluteDifferences()
+    configs = app.space().configurations()
+    print(f"SAD: {app.width}x{app.height} frames, "
+          f"{app.search_width}x{app.search_width} search area, "
+          f"{len(configs)} configurations")
+    print("running exhaustive search (this is the expensive part)...")
+
+    exhaustive = full_exploration(configs, app.evaluate, app.simulate)
+    print(f"  optimum {dict(exhaustive.best.config)}")
+    print(f"  at {exhaustive.best.seconds * 1e3:.3f} ms; total simulated "
+          f"evaluation time {exhaustive.measured_seconds:.3f} s\n")
+
+    pruned = pareto_search(configs, app.evaluate, app.simulate)
+    found = pruned.best.config == exhaustive.best.config
+    print(f"Pareto pruning: timed {pruned.timed_count} configurations "
+          f"({pruned.space_reduction * 100:.1f}% reduction)")
+    print(f"  found the optimum: {found}")
+    print(f"  simulated evaluation time {pruned.measured_seconds:.4f} s\n")
+
+    budget = pruned.timed_count
+    gaps = []
+    hits = 0
+    for seed in range(20):
+        result = random_search(configs, app.evaluate, app.simulate,
+                               sample_size=budget, seed=seed)
+        gap = result.best.seconds / exhaustive.best.seconds - 1.0
+        gaps.append(gap)
+        hits += gap < 1e-12
+    print(f"random sampling, same budget ({budget}), 20 seeds:")
+    print(f"  found the optimum in {hits}/20 runs")
+    print(f"  mean gap to optimum {statistics.mean(gaps) * 100:.1f}%, "
+          f"worst {max(gaps) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

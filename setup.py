@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` where the `wheel`
+package is unavailable (offline environments)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "Program Optimization Space Pruning for a
+Multithreaded GPU" (Ryoo et al., CGO 2008).
+
+The package is organized the way the paper's workflow is:
+
+* ``repro.arch``   — the GeForce 8800 machine model (Tables 1-2);
+* ``repro.ir``     — a CUDA-like structured kernel IR and builder;
+* ``repro.ptx``    — PTX emission + static analysis (Instr, Regions);
+* ``repro.cubin``  — resource estimation (registers, shared memory);
+* ``repro.transforms`` — the Section 3.1 optimizations;
+* ``repro.interp`` — a functional interpreter (correctness oracle);
+* ``repro.sim``    — a discrete-event timing simulator (wall clock);
+* ``repro.metrics``— Efficiency and Utilization (Equations 1-2);
+* ``repro.tuning`` — Pareto pruning and search strategies (Section 5);
+* ``repro.apps``   — MatMul, CP, SAD and MRI-FHD (Table 3);
+* ``repro.harness``— regeneration of every table and figure.
+
+Quick start::
+
+    from repro.apps import MatMul
+    from repro.tuning import pareto_search
+
+    app = MatMul()
+    result = pareto_search(
+        app.space().configurations(), app.evaluate, app.simulate
+    )
+    print(result.best.config, result.best.seconds)
+"""
+
+from repro.arch import GEFORCE_8800_GTX, DeviceSpec, LaunchError
+from repro.ir import Dim3, Kernel, KernelBuilder
+from repro.metrics import MetricReport, evaluate_kernel
+from repro.sim import SimConfig, SimulationResult, simulate_kernel
+from repro.tuning import (
+    ConfigSpace,
+    Configuration,
+    SearchResult,
+    full_exploration,
+    pareto_search,
+    random_search,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GEFORCE_8800_GTX",
+    "ConfigSpace",
+    "Configuration",
+    "DeviceSpec",
+    "Dim3",
+    "Kernel",
+    "KernelBuilder",
+    "LaunchError",
+    "MetricReport",
+    "SearchResult",
+    "SimConfig",
+    "SimulationResult",
+    "evaluate_kernel",
+    "full_exploration",
+    "pareto_search",
+    "random_search",
+    "simulate_kernel",
+    "__version__",
+]

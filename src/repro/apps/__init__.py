@@ -1,0 +1,23 @@
+"""The paper's application suite (Table 3)."""
+
+from repro.apps.base import Application, ConfigurationError
+from repro.apps.cp import CoulombicPotential
+from repro.apps.matmul import MatMul
+from repro.apps.mri_fhd import MriFhd
+from repro.apps.sad import SumOfAbsoluteDifferences
+
+
+def all_applications():
+    """Fresh instances of the full suite, in Table 3 order."""
+    return [MatMul(), CoulombicPotential(), SumOfAbsoluteDifferences(), MriFhd()]
+
+
+__all__ = [
+    "Application",
+    "ConfigurationError",
+    "CoulombicPotential",
+    "MatMul",
+    "MriFhd",
+    "SumOfAbsoluteDifferences",
+    "all_applications",
+]

@@ -1,0 +1,154 @@
+"""The application protocol shared by the paper's four benchmarks.
+
+Each application (Table 3) supplies:
+
+* its optimization space (Table 4's "Parameters Varied"),
+* a kernel generator mapping a configuration to IR,
+* static-metric and simulated-time entry points for the search
+  strategies (overridable — MRI-FHD aggregates across kernel
+  invocations),
+* a numpy reference and input generator for correctness testing, and
+* a modeled single-thread-CPU time for the Table 3 speedup comparison.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.kernel import Kernel
+from repro.metrics.model import MetricReport, evaluate_kernel
+from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
+from repro.sim.gpu import SimulationResult, simulate_kernel
+from repro.tuning.space import ConfigSpace, Configuration
+
+Arrays = Dict[str, np.ndarray]
+Scalars = Dict[str, float]
+
+
+class ConfigurationError(ValueError):
+    """A configuration outside the application's space was requested."""
+
+
+class Application(abc.ABC):
+    """One benchmark and its optimization space."""
+
+    #: short identifier used in tables and reports
+    name: str = ""
+    #: Table 3 speedup the paper measured over single-thread CPU
+    paper_speedup: float = 0.0
+    #: Table 4 columns for comparison in reports
+    paper_space_size: int = 0
+    paper_selected: int = 0
+    paper_reduction_percent: int = 0
+
+    def __init__(self) -> None:
+        self._metric_cache: Dict[Configuration, MetricReport] = {}
+        self._kernel_cache: Dict[Configuration, Kernel] = {}
+        self._time_cache: Dict[Configuration, float] = {}
+
+    # ------------------------------------------------------------------
+    # Space and kernel generation.
+
+    @abc.abstractmethod
+    def space(self) -> ConfigSpace:
+        """The optimization space of Table 4."""
+
+    @abc.abstractmethod
+    def build_kernel(self, config: Configuration) -> Kernel:
+        """Generate the kernel for one configuration."""
+
+    def kernel(self, config: Configuration) -> Kernel:
+        """Cached kernel generation."""
+        if config not in self._kernel_cache:
+            self._kernel_cache[config] = self.build_kernel(config)
+        return self._kernel_cache[config]
+
+    def sim_config(self, config: Configuration) -> SimConfig:
+        """Simulator cost model for one configuration."""
+        del config
+        return DEFAULT_SIM_CONFIG
+
+    # ------------------------------------------------------------------
+    # Search-strategy entry points.
+
+    def evaluate(self, config: Configuration) -> MetricReport:
+        """Static metrics (Equations 1-2); raises LaunchError if invalid."""
+        if config not in self._metric_cache:
+            self._metric_cache[config] = evaluate_kernel(self.kernel(config))
+        return self._metric_cache[config]
+
+    def simulate(self, config: Configuration) -> float:
+        """Simulated execution time in seconds for the full workload."""
+        if config not in self._time_cache:
+            self._time_cache[config] = self.simulate_detailed(config).seconds
+        return self._time_cache[config]
+
+    def simulate_detailed(self, config: Configuration) -> SimulationResult:
+        return simulate_kernel(self.kernel(config), self.sim_config(config))
+
+    # ------------------------------------------------------------------
+    # Correctness oracle support (run at reduced problem sizes).
+
+    @abc.abstractmethod
+    def test_instance(self) -> "Application":
+        """A small-problem copy suitable for the functional interpreter."""
+
+    @abc.abstractmethod
+    def make_inputs(self, rng: np.random.Generator) -> Tuple[Arrays, Scalars]:
+        """Random input buffers for this problem size."""
+
+    @abc.abstractmethod
+    def reference(self, arrays: Arrays, scalars: Scalars) -> Arrays:
+        """Expected contents of the output arrays (numpy oracle)."""
+
+    #: names of the output pointer parameters checked by tests
+    output_names: Tuple[str, ...] = ()
+
+    def run_config(
+        self,
+        config: Configuration,
+        arrays: Arrays,
+        scalars: Optional[Scalars] = None,
+        engine: str = "scalar",
+    ) -> Arrays:
+        """Execute one configuration in the functional interpreter.
+
+        ``engine`` selects the scalar reference interpreter or the
+        faster vectorized one.  Returns the output arrays (inputs are
+        not modified).
+        """
+        from repro.interp import launch, launch_vectorized
+
+        runner = {"scalar": launch, "vectorized": launch_vectorized}[engine]
+        work = {name: array.copy() for name, array in arrays.items()}
+        runner(self.kernel(config), work, scalars or {})
+        return {name: work[name] for name in self.output_names}
+
+    # ------------------------------------------------------------------
+    # Table 3 support.
+
+    @abc.abstractmethod
+    def work_operations(self) -> float:
+        """Total arithmetic operations of the computation."""
+
+    #: modeled effective single-thread CPU throughput (operations per
+    #: second) for the paper's baseline — see DESIGN.md, Substitutions.
+    cpu_effective_ops_per_second: float = 1e9
+
+    def cpu_time_model_seconds(self) -> float:
+        """Modeled optimized single-thread CPU time (Table 3 baseline)."""
+        return self.work_operations() / self.cpu_effective_ops_per_second
+
+    # ------------------------------------------------------------------
+
+    def default_configuration(self) -> Configuration:
+        """A reasonable hand-written starting configuration."""
+        return next(iter(self.space()))
+
+    def clear_caches(self) -> None:
+        self._metric_cache.clear()
+        self._kernel_cache.clear()
+        self._time_cache.clear()

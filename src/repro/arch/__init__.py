@@ -1,0 +1,30 @@
+"""Machine model of the GeForce 8800 GTX (paper Section 2, Tables 1-2)."""
+
+from repro.arch.constants import GEFORCE_8800_GTX, DeviceSpec
+from repro.arch.memory import (
+    SHARED_MEMORY_BANKS,
+    MemoryProperties,
+    MemorySpace,
+    memory_properties,
+)
+from repro.arch.occupancy import (
+    LaunchError,
+    Occupancy,
+    blocks_per_sm,
+    check_block_validity,
+    warps_per_block,
+)
+
+__all__ = [
+    "GEFORCE_8800_GTX",
+    "DeviceSpec",
+    "LaunchError",
+    "MemoryProperties",
+    "MemorySpace",
+    "Occupancy",
+    "SHARED_MEMORY_BANKS",
+    "blocks_per_sm",
+    "check_block_validity",
+    "memory_properties",
+    "warps_per_block",
+]

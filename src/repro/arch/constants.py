@@ -1,0 +1,75 @@
+"""Machine description of the NVIDIA GeForce 8800 GTX.
+
+Values come from Tables 1 and 2 of Ryoo et al. (CGO 2008) and from the
+architecture discussion in Section 2.1 of the paper.  The machine model
+is expressed as a frozen dataclass so alternative devices (or ablated
+variants of the 8800) can be described without touching the rest of the
+library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a CUDA-capable device.
+
+    The defaults describe the GeForce 8800 GTX exactly as characterized
+    in the paper: 16 SMs of 8 SPs at 1.35 GHz, 388.8 GFLOP/s peak,
+    86.4 GB/s of global-memory bandwidth, and the per-SM resource limits
+    of Table 2.
+    """
+
+    name: str = "GeForce 8800 GTX"
+
+    # Compute organization (Section 2.1).
+    num_sms: int = 16
+    sps_per_sm: int = 8
+    sfus_per_sm: int = 2
+    clock_ghz: float = 1.35
+    warp_size: int = 32
+
+    # Per-SM resource limits (Table 2).
+    max_threads_per_sm: int = 768
+    max_blocks_per_sm: int = 8
+    registers_per_sm: int = 8192
+    shared_memory_per_sm: int = 16384
+    max_threads_per_block: int = 512
+
+    # Memory system (Table 1 / Section 2.1).
+    global_memory_bytes: int = 768 * 1024 * 1024
+    global_memory_bandwidth_gbps: float = 86.4
+    global_latency_cycles: int = 250          # "200-300 cycles"
+    constant_cache_per_sm: int = 8 * 1024
+    constant_memory_bytes: int = 64 * 1024
+    texture_cache_per_two_sms: int = 16 * 1024
+    texture_latency_cycles: int = 120         # ">100 cycles"
+
+    # Issue model: a warp of 32 threads issues over four cycles on the
+    # eight SPs of an SM (Section 2.1).
+    warp_issue_cycles: int = 4
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak theoretical GFLOP/s.
+
+        16 SM * 18 FLOP/SM/cycle * 1.35 GHz = 388.8 for the 8800 GTX
+        (each SP does a multiply-add = 2 FLOPs, each SFU counts 1).
+        """
+        flops_per_sm = self.sps_per_sm * 2 + self.sfus_per_sm
+        return self.num_sms * flops_per_sm * self.clock_ghz
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Global-memory bytes deliverable per GPU clock cycle."""
+        return self.global_memory_bandwidth_gbps / self.clock_ghz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into seconds at the device clock."""
+        return cycles / (self.clock_ghz * 1e9)
+
+
+GEFORCE_8800_GTX = DeviceSpec()
+"""The device studied throughout the paper."""

@@ -1,0 +1,128 @@
+"""Occupancy calculation: how many thread blocks fit on one SM.
+
+Section 2.2 of the paper explains that the CUDA runtime assigns the
+maximum number of thread blocks to each SM, up to eight, without
+violating any local resource limit.  ``B_SM`` in Equation 2 is exactly
+this number, computed from the ``-cubin`` resource usage.  This module
+reproduces that calculation and the hard launch-validity rules whose
+violation produces the paper's "invalid executable" configurations
+(e.g. the far-right prefetch point of Figure 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.arch.constants import GEFORCE_8800_GTX, DeviceSpec
+
+
+class LaunchError(ValueError):
+    """A kernel configuration that cannot execute on the device.
+
+    Raised when a thread block exceeds a hard per-block limit or when
+    even a single block does not fit on an SM — the analogue of nvcc
+    producing an invalid executable.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel configuration."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    warps_per_block: int
+    limiting_resource: str
+
+    @property
+    def threads_per_sm(self) -> int:
+        return self.blocks_per_sm * self.threads_per_block
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+
+def warps_per_block(threads_per_block: int, device: DeviceSpec = GEFORCE_8800_GTX) -> int:
+    """W_TB of Equation 2: threads per block divided by 32, rounded up."""
+    return math.ceil(threads_per_block / device.warp_size)
+
+
+def check_block_validity(
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_memory_per_block: int,
+    device: DeviceSpec = GEFORCE_8800_GTX,
+) -> Optional[str]:
+    """Return a reason string if a single block cannot run, else None."""
+    if threads_per_block < 1:
+        return "thread block must contain at least one thread"
+    if threads_per_block > device.max_threads_per_block:
+        return (
+            f"{threads_per_block} threads per block exceeds the "
+            f"{device.max_threads_per_block}-thread limit"
+        )
+    if registers_per_thread * threads_per_block > device.registers_per_sm:
+        return (
+            f"{registers_per_thread} registers/thread x {threads_per_block} "
+            f"threads exceeds the {device.registers_per_sm}-register file"
+        )
+    if shared_memory_per_block > device.shared_memory_per_sm:
+        return (
+            f"{shared_memory_per_block} bytes of shared memory exceeds the "
+            f"{device.shared_memory_per_sm}-byte scratchpad"
+        )
+    return None
+
+
+def blocks_per_sm(
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_memory_per_block: int,
+    device: DeviceSpec = GEFORCE_8800_GTX,
+) -> Occupancy:
+    """Compute B_SM, the number of resident thread blocks per SM.
+
+    Reproduces the Section 2.2 worked example: 256 threads/block,
+    10 registers/thread and 4KB of shared memory yield 3 blocks; one
+    extra register per thread drops that to 2 because a third block
+    would need 8448 > 8192 registers.
+
+    Raises LaunchError if not even one block fits.
+    """
+    reason = check_block_validity(
+        threads_per_block, registers_per_thread, shared_memory_per_block, device
+    )
+    if reason is not None:
+        raise LaunchError(reason)
+
+    limits = {
+        "threads": device.max_threads_per_sm // threads_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    if registers_per_thread > 0:
+        limits["registers"] = device.registers_per_sm // (
+            registers_per_thread * threads_per_block
+        )
+    if shared_memory_per_block > 0:
+        limits["shared_memory"] = (
+            device.shared_memory_per_sm // shared_memory_per_block
+        )
+
+    limiting_resource = min(limits, key=lambda name: (limits[name], name))
+    count = limits[limiting_resource]
+    if count < 1:
+        # check_block_validity guarantees one block fits in the register
+        # file and shared memory, so the only way to get here is a block
+        # bigger than max_threads_per_sm, which the threads limit catches.
+        raise LaunchError(
+            f"no thread block fits on an SM (limited by {limiting_resource})"
+        )
+    return Occupancy(
+        blocks_per_sm=count,
+        threads_per_block=threads_per_block,
+        warps_per_block=warps_per_block(threads_per_block, device),
+        limiting_resource=limiting_resource,
+    )

@@ -1,0 +1,29 @@
+"""Experiment harness: regenerates the paper's tables and figures."""
+
+from repro.harness.experiment import AppExperiment, run_experiment
+from repro.harness.figures import (
+    Figure6Data,
+    ascii_scatter,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+    figure6_data,
+)
+from repro.harness.report import render_report, write_report
+from repro.harness.tables import format_table, table3_rows, table4_rows
+
+__all__ = [
+    "AppExperiment",
+    "Figure6Data",
+    "ascii_scatter",
+    "figure3_series",
+    "figure4_series",
+    "figure5_series",
+    "figure6_data",
+    "format_table",
+    "render_report",
+    "run_experiment",
+    "table3_rows",
+    "table4_rows",
+    "write_report",
+]

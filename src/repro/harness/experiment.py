@@ -1,0 +1,106 @@
+"""Experiment driver: runs the paper's search protocol on one application.
+
+For each application the paper (i) explores the full configuration
+space, (ii) prunes it to the Pareto-optimal subset of the metric plot,
+and (iii) compares.  ``run_experiment`` performs both searches and
+collects everything the tables and figures need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional
+
+from repro.apps.base import Application
+from repro.tuning.search import (
+    EvaluatedConfig,
+    SearchResult,
+    full_exploration,
+    pareto_search,
+    random_search,
+)
+
+
+@dataclasses.dataclass
+class AppExperiment:
+    """Everything measured for one application."""
+
+    app: Application
+    exhaustive: SearchResult
+    pareto: SearchResult
+    random: Optional[SearchResult] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.app.name
+
+    @property
+    def optimum_on_curve(self) -> bool:
+        """The paper's headline claim for this application."""
+        return any(
+            entry.config == self.exhaustive.best.config
+            for entry in self.pareto.timed
+        )
+
+    @property
+    def space_reduction_percent(self) -> float:
+        return self.pareto.space_reduction * 100.0
+
+    @property
+    def pruned_best_gap(self) -> float:
+        """Slowdown of the pruned search's pick vs the true optimum."""
+        return self.pareto.best.seconds / self.exhaustive.best.seconds - 1.0
+
+    @property
+    def gpu_best_seconds(self) -> float:
+        return self.exhaustive.best.seconds
+
+    @property
+    def speedup_over_cpu(self) -> float:
+        """Table 3: modeled single-thread CPU time over best GPU time."""
+        return self.app.cpu_time_model_seconds() / self.gpu_best_seconds
+
+    @property
+    def worst_over_best(self) -> float:
+        worst = max(e.seconds for e in self.exhaustive.timed)
+        return worst / self.exhaustive.best.seconds
+
+    @property
+    def hand_optimized_over_best(self) -> float:
+        """Section 1's motivation: how far a sensible hand-written
+        starting configuration sits from the space's optimum."""
+        hand = self.app.default_configuration()
+        for entry in self.exhaustive.timed:
+            if entry.config == hand:
+                return entry.seconds / self.exhaustive.best.seconds
+        return self.app.simulate(hand) / self.exhaustive.best.seconds
+
+    def timed_entries(self) -> List[EvaluatedConfig]:
+        return self.exhaustive.timed
+
+
+def run_experiment(
+    app: Application,
+    include_random: bool = False,
+    random_seed: int = 0,
+) -> AppExperiment:
+    """Run exhaustive + Pareto (and optionally random) searches."""
+    configs = app.space().configurations()
+    started = time.perf_counter()
+    exhaustive = full_exploration(configs, app.evaluate, app.simulate)
+    pareto = pareto_search(configs, app.evaluate, app.simulate)
+    random_result = None
+    if include_random:
+        random_result = random_search(
+            configs, app.evaluate, app.simulate,
+            sample_size=pareto.timed_count, seed=random_seed,
+        )
+    return AppExperiment(
+        app=app,
+        exhaustive=exhaustive,
+        pareto=pareto,
+        random=random_result,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,160 @@
+"""EXPERIMENTS.md writer: paper-versus-measured for every experiment."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, Sequence
+
+from repro.harness.experiment import AppExperiment
+from repro.harness.figures import (
+    ascii_scatter,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+    figure6_data,
+)
+from repro.harness.tables import format_table, table3_rows, table4_rows
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return "invalid" if value is None else f"{value:8.3f}"
+
+
+def render_report(
+    experiments: Sequence[AppExperiment],
+    preamble: str = "",
+) -> str:
+    """Render the full paper-vs-measured report as markdown."""
+    by_name: Dict[str, AppExperiment] = {e.name: e for e in experiments}
+    out = io.StringIO()
+    write = out.write
+
+    write("# EXPERIMENTS — paper versus measured\n\n")
+    if preamble:
+        write(preamble.rstrip() + "\n\n")
+
+    # ------------------------------------------------------------ Table 3
+    write("## Table 3 — speedup over single-thread CPU\n\n")
+    write("CPU times are modeled (see DESIGN.md, Substitutions); the\n")
+    write("comparison is about ordering and magnitude, not absolutes.\n\n")
+    write("```\n")
+    write(format_table(
+        table3_rows(experiments),
+        ["application", "speedup", "paper_speedup", "gpu_best_ms", "cpu_model_ms"],
+    ))
+    write("\n```\n\n")
+
+    # ------------------------------------------------------------ Table 4
+    write("## Table 4 — parameter search properties\n\n")
+    write("```\n")
+    write(format_table(
+        table4_rows(experiments),
+        ["kernel", "configurations", "paper_configurations",
+         "evaluation_time_s", "selected", "paper_selected",
+         "space_reduction_percent", "paper_reduction_percent",
+         "selected_evaluation_time_s", "optimum_on_curve"],
+    ))
+    write("\n```\n\n")
+    write("Evaluation times are the summed *simulated kernel* times, the\n")
+    write("cost an exhaustive search pays on the device.\n\n")
+
+    # ------------------------------------------------ Section 1 numbers
+    write("## Section 1 — motivation numbers\n\n")
+    write("The paper motivates the search with the MRI space: 17% between\n")
+    write("a hand-optimized implementation and the optimum, 235% between\n")
+    write("worst and optimum.  Per application here:\n\n")
+    write("```\n")
+    write("application | hand_vs_optimal | worst_vs_optimal\n")
+    write("------------+-----------------+-----------------\n")
+    for experiment in experiments:
+        write(
+            f"{experiment.name:<11} | "
+            f"{(experiment.hand_optimized_over_best - 1) * 100:14.1f}% | "
+            f"{(experiment.worst_over_best - 1) * 100:15.1f}%\n"
+        )
+    write("```\n\n")
+    write("Our simulated MRI spread is narrower than the paper's — the\n")
+    write("modeled penalties (launch overhead, occupancy) are milder than\n")
+    write("real cache-conflict effects; see the layout-ablation bench for\n")
+    write("the cache-conflict mechanism.\n\n")
+
+    # ------------------------------------------------------------ Figure 3
+    if "matmul" in by_name:
+        write("## Figure 3 — matrix multiplication optimization space\n\n")
+        write("```\n")
+        write("tile  rect  unroll    normal(ms)  prefetch(ms)\n")
+        series = figure3_series(by_name["matmul"].app)
+        paired: Dict[tuple, Dict[bool, Optional[float]]] = {}
+        for row in series:
+            key = (row["tile"], row["rect"], row["unroll"])
+            paired.setdefault(key, {})[row["prefetch"]] = row["time_ms"]
+        for (tile, rect, unroll), times in paired.items():
+            write(
+                f"{tile:>2}x{tile:<2} 1x{rect}  {unroll:<9}"
+                f" {_fmt_ms(times.get(False))}    {_fmt_ms(times.get(True))}\n"
+            )
+        write("```\n\n")
+
+    # ------------------------------------------------------------ Figure 4
+    if "sad" in by_name:
+        write("## Figure 4 — SAD optimization space\n\n")
+        rows = figure4_series(by_name["sad"])
+        by_threads: Dict[int, list] = {}
+        for row in rows:
+            by_threads.setdefault(row["threads_per_block"], []).append(row["time_ms"])
+        write("```\n")
+        write("threads/block  configs  min(ms)   median(ms)  max(ms)\n")
+        for threads in sorted(by_threads):
+            times = sorted(by_threads[threads])
+            median = times[len(times) // 2]
+            write(
+                f"{threads:>13}  {len(times):>7}  {times[0]:8.3f}  "
+                f"{median:9.3f}  {times[-1]:8.3f}\n"
+            )
+        write("```\n\n")
+
+    # ------------------------------------------------------------ Figure 5
+    if "cp" in by_name:
+        write("## Figure 5 — CP metrics versus performance\n\n")
+        write("```\n")
+        write("tiling  time(ms)  1/eff(norm)  1/util(norm)\n")
+        for row in figure5_series(by_name["cp"].app):
+            write(
+                f"{row['tiling']:>6}  {row['time_s'] * 1e3:8.3f}  "
+                f"{row['inv_efficiency_norm']:11.3f}  "
+                f"{row['inv_utilization_norm']:12.3f}\n"
+            )
+        write("```\n\n")
+
+    # ------------------------------------------------------------ Figure 6
+    write("## Figure 6 — searching by Pareto-optimal performance metrics\n\n")
+    for experiment in experiments:
+        data = figure6_data(experiment)
+        write(f"### Figure 6 — {experiment.name}\n\n")
+        write("```\n")
+        write(ascii_scatter(data.points, data.pareto, data.optimal))
+        write("\n```\n\n")
+        write(
+            f"Pareto subset: {len(data.pareto)} of {len(data.points)} valid "
+            f"configurations; optimum on curve: "
+            f"**{data.optimum_on_curve}**.\n\n"
+        )
+
+    # ------------------------------------------------------------ Summary
+    write("## Headline claim\n\n")
+    all_on = all(e.optimum_on_curve for e in experiments)
+    write(
+        "For every studied application the Pareto-optimal subset of the\n"
+        "(efficiency, utilization) plot contains the configuration with\n"
+        f"the best simulated performance: **{all_on}**.\n"
+    )
+    return out.getvalue()
+
+
+def write_report(
+    path: str,
+    experiments: Sequence[AppExperiment],
+    preamble: str = "",
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(render_report(experiments, preamble))

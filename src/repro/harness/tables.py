@@ -1,0 +1,80 @@
+"""Regeneration of the paper's tables.
+
+* Table 3 — application suite with speedups over single-thread CPU;
+* Table 4 — parameter-search properties: space size, evaluation time,
+  Pareto-selected count, space reduction, selected evaluation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.experiment import AppExperiment
+
+PAPER_TABLE4_PARAMETERS = {
+    "matmul": "tile/block size, rectangular tile dimension, unroll factor, "
+              "prefetching, register spilling",
+    "cp": "block size, per-thread tiling, coalescing of output",
+    "sad": "per-thread tiling, unroll factor (3 loops), work per block",
+    "mri-fhd": "block size, unroll factor, work per kernel invocation",
+}
+
+
+def table3_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Table 3: measured (modeled-CPU) speedup per application."""
+    rows = []
+    for experiment in experiments:
+        rows.append({
+            "application": experiment.name,
+            "speedup": experiment.speedup_over_cpu,
+            "paper_speedup": experiment.app.paper_speedup,
+            "gpu_best_ms": experiment.gpu_best_seconds * 1e3,
+            "cpu_model_ms": experiment.app.cpu_time_model_seconds() * 1e3,
+        })
+    return rows
+
+
+def table4_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Table 4: search-space properties per application."""
+    rows = []
+    for experiment in experiments:
+        rows.append({
+            "kernel": experiment.name,
+            "parameters": PAPER_TABLE4_PARAMETERS.get(experiment.name, ""),
+            "configurations": experiment.exhaustive.space_size,
+            "valid_configurations": experiment.exhaustive.valid_count,
+            "paper_configurations": experiment.app.paper_space_size,
+            "evaluation_time_s": experiment.exhaustive.measured_seconds,
+            "selected": experiment.pareto.timed_count,
+            "paper_selected": experiment.app.paper_selected,
+            "space_reduction_percent": experiment.space_reduction_percent,
+            "paper_reduction_percent": experiment.app.paper_reduction_percent,
+            "selected_evaluation_time_s": experiment.pareto.measured_seconds,
+            "optimum_on_curve": experiment.optimum_on_curve,
+        })
+    return rows
+
+
+def format_table(rows: List[Dict], columns: Sequence[str]) -> str:
+    """Plain-text table rendering for reports and bench output."""
+    if not rows:
+        return "(no rows)"
+
+    def cell(row: Dict, column: str) -> str:
+        value = row.get(column, "")
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), max(len(cell(row, column)) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    ruler = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, ruler]
+    for row in rows:
+        lines.append(
+            " | ".join(cell(row, column).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Functional interpreter: the correctness oracle for kernel IR."""
+
+from repro.interp.executor import (
+    MAX_INTERPRETED_THREADS,
+    BarrierDivergence,
+    KernelFault,
+    launch,
+)
+from repro.interp.state import (
+    ThreadContext,
+    ThreadState,
+    UninitializedRead,
+    numpy_dtype,
+)
+from repro.interp.vectorized import launch_vectorized
+
+__all__ = [
+    "MAX_INTERPRETED_THREADS",
+    "BarrierDivergence",
+    "KernelFault",
+    "ThreadContext",
+    "ThreadState",
+    "UninitializedRead",
+    "launch",
+    "launch_vectorized",
+    "numpy_dtype",
+]

@@ -1,0 +1,249 @@
+"""Functional (semantics-only) execution of kernel IR.
+
+This is the correctness oracle of the reproduction: every optimization
+configuration of every application must compute the same results as
+the numpy reference, and the transform passes are tested by running
+original and transformed kernels side by side.
+
+Execution model:
+
+* each thread block runs to completion before the next starts (blocks
+  are independent by construction — Section 2.1: synchronization
+  across thread blocks can only happen by terminating the kernel);
+* within a block, threads run as coroutines that yield at barriers,
+  giving exact ``__syncthreads`` phase semantics;
+* global loads clamp their index into the array — the paper's own
+  prefetched kernels over-fetch one tile past the end, which real
+  hardware tolerated; stores are always bounds-checked strictly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.arch.memory import MemorySpace
+from repro.interp.state import (
+    ThreadContext,
+    ThreadState,
+    allocate_shared,
+    numpy_dtype,
+)
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.semantics import eval_op
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import (
+    Immediate,
+    LocalArray,
+    Param,
+    SharedArray,
+    SpecialRegister,
+    Value,
+    VirtualRegister,
+)
+
+MAX_INTERPRETED_THREADS = 1 << 16
+"""The interpreter is a correctness oracle, not a throughput engine."""
+
+
+class KernelFault(RuntimeError):
+    """An out-of-bounds store or other hard execution error."""
+
+
+class BarrierDivergence(RuntimeError):
+    """Threads of one block disagreed about reaching a barrier."""
+
+
+_SPECIAL_READERS = {
+    SpecialRegister.TID_X: lambda c: c.tid[0],
+    SpecialRegister.TID_Y: lambda c: c.tid[1],
+    SpecialRegister.TID_Z: lambda c: c.tid[2],
+    SpecialRegister.NTID_X: lambda c: c.block_dim.x,
+    SpecialRegister.NTID_Y: lambda c: c.block_dim.y,
+    SpecialRegister.NTID_Z: lambda c: c.block_dim.z,
+    SpecialRegister.CTAID_X: lambda c: c.ctaid[0],
+    SpecialRegister.CTAID_Y: lambda c: c.ctaid[1],
+    SpecialRegister.NCTAID_X: lambda c: c.grid_dim.x,
+    SpecialRegister.NCTAID_Y: lambda c: c.grid_dim.y,
+}
+
+
+class _BlockExecutor:
+    """Runs all threads of one block in barrier-synchronized phases."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        arrays: Dict[str, np.ndarray],
+        scalars: Dict[str, Union[int, float]],
+        ctaid: tuple,
+    ) -> None:
+        self.kernel = kernel
+        self.arrays = arrays
+        self.scalars = scalars
+        self.shared = allocate_shared(kernel.shared_arrays)
+        self.ctaid = ctaid
+
+    # -- value evaluation ------------------------------------------------
+
+    def _eval(self, value: Value, state: ThreadState):
+        if isinstance(value, VirtualRegister):
+            return state.read(value)
+        if isinstance(value, Immediate):
+            return value.value
+        if isinstance(value, SpecialRegister):
+            return _SPECIAL_READERS[value](state.context)
+        if isinstance(value, Param):
+            if value.is_pointer:
+                raise KernelFault(f"pointer {value.name} used as a scalar")
+            try:
+                return self.scalars[value.name]
+            except KeyError:
+                raise KernelFault(
+                    f"missing scalar argument {value.name!r}"
+                ) from None
+        raise KernelFault(f"unreadable operand {value!r}")
+
+    def _storage(self, base, state: ThreadState) -> np.ndarray:
+        if isinstance(base, SharedArray):
+            return self.shared[base]
+        if isinstance(base, LocalArray):
+            return state.local_arrays[base]
+        try:
+            return self.arrays[base.name]
+        except KeyError:
+            raise KernelFault(f"missing array argument {base.name!r}") from None
+
+    # -- instruction execution -------------------------------------------
+
+    def _execute(self, instr: Instruction, state: ThreadState) -> None:
+        opcode = instr.opcode
+        if opcode is Opcode.LD:
+            storage = self._storage(instr.mem.base, state)
+            index = int(self._eval(instr.mem.index, state)) + instr.mem.offset
+            if instr.mem.space in (MemorySpace.SHARED, MemorySpace.LOCAL):
+                if not 0 <= index < storage.size:
+                    raise KernelFault(
+                        f"{instr}: index {index} outside "
+                        f"{instr.mem.base.name}[{storage.size}]"
+                    )
+            else:
+                # Harmless-overfetch model for off-chip reads.
+                index = min(max(index, 0), storage.size - 1)
+            state.write(instr.dest, storage[index].item())
+            return
+        if opcode is Opcode.ST:
+            storage = self._storage(instr.mem.base, state)
+            index = int(self._eval(instr.mem.index, state)) + instr.mem.offset
+            if not 0 <= index < storage.size:
+                raise KernelFault(
+                    f"{instr}: store index {index} outside "
+                    f"{instr.mem.base.name}[{storage.size}]"
+                )
+            value = self._eval(instr.srcs[0], state)
+            storage[index] = value
+            return
+        args = tuple(self._eval(v, state) for v in instr.srcs)
+        state.write(
+            instr.dest, eval_op(opcode, instr.dest.dtype, args, cmp=instr.cmp)
+        )
+
+    # -- structured execution as barrier-yielding coroutines --------------
+
+    def _run_body(self, body: List[Statement], state: ThreadState) -> Iterator[None]:
+        for stmt in body:
+            if isinstance(stmt, Instruction):
+                if stmt.opcode is Opcode.BAR:
+                    yield None
+                else:
+                    self._execute(stmt, state)
+            elif isinstance(stmt, ForLoop):
+                counter = int(self._eval(stmt.start, state))
+                stop = int(self._eval(stmt.stop, state))
+                step = int(self._eval(stmt.step, state))
+                if step <= 0:
+                    raise KernelFault(f"non-positive loop step {step}")
+                state.write(stmt.counter, counter)
+                while counter < stop:
+                    yield from self._run_body(stmt.body, state)
+                    counter += step
+                    state.write(stmt.counter, counter)
+            elif isinstance(stmt, If):
+                if bool(self._eval(stmt.cond, state)):
+                    yield from self._run_body(stmt.then_body, state)
+                else:
+                    yield from self._run_body(stmt.else_body, state)
+
+    def run(self) -> None:
+        block = self.kernel.block_dim
+        threads = []
+        for tz in range(block.z):
+            for ty in range(block.y):
+                for tx in range(block.x):
+                    context = ThreadContext(
+                        tid=(tx, ty, tz),
+                        ctaid=self.ctaid,
+                        block_dim=block,
+                        grid_dim=self.kernel.grid_dim,
+                    )
+                    state = ThreadState(context, self.kernel.local_arrays)
+                    threads.append(self._run_body(self.kernel.body, state))
+
+        live = list(range(len(threads)))
+        while live:
+            at_barrier = []
+            finished = []
+            for thread_index in live:
+                try:
+                    next(threads[thread_index])
+                    at_barrier.append(thread_index)
+                except StopIteration:
+                    finished.append(thread_index)
+            if at_barrier and finished:
+                raise BarrierDivergence(
+                    f"block {self.ctaid}: {len(at_barrier)} threads at a "
+                    f"barrier while {len(finished)} exited"
+                )
+            live = at_barrier
+
+
+def launch(
+    kernel: Kernel,
+    arrays: Dict[str, np.ndarray],
+    scalars: Optional[Dict[str, Union[int, float]]] = None,
+) -> None:
+    """Execute a kernel over numpy buffers (mutating them in place).
+
+    ``arrays`` maps pointer-parameter names to 1-D numpy arrays;
+    ``scalars`` maps scalar-parameter names to numbers.
+    """
+    scalars = scalars or {}
+    kernel.check_launch()
+    if kernel.total_threads > MAX_INTERPRETED_THREADS:
+        raise KernelFault(
+            f"refusing to interpret {kernel.total_threads} threads; "
+            f"use a problem size under {MAX_INTERPRETED_THREADS}"
+        )
+    for param in kernel.params:
+        if param.is_pointer:
+            if param.name not in arrays:
+                raise KernelFault(f"missing array argument {param.name!r}")
+            array = arrays[param.name]
+            if array.ndim != 1:
+                raise KernelFault(f"array {param.name!r} must be 1-D (flattened)")
+            expected = numpy_dtype(param.dtype)
+            if array.dtype != expected:
+                raise KernelFault(
+                    f"array {param.name!r} has dtype {array.dtype}, "
+                    f"kernel expects {np.dtype(expected)}"
+                )
+        elif param.name not in scalars:
+            raise KernelFault(f"missing scalar argument {param.name!r}")
+
+    grid = kernel.grid_dim
+    for cz in range(grid.z):
+        for cy in range(grid.y):
+            for cx in range(grid.x):
+                _BlockExecutor(kernel, arrays, scalars, (cx, cy, cz)).run()

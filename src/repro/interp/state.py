@@ -1,0 +1,71 @@
+"""Execution state for the functional interpreter."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.ir.kernel import Dim3
+from repro.ir.types import DataType
+from repro.ir.values import LocalArray, SharedArray, VirtualRegister
+
+_NUMPY_DTYPE = {
+    DataType.F32: np.float32,
+    DataType.S32: np.int32,
+    DataType.U32: np.uint32,
+    DataType.PRED: np.bool_,
+}
+
+
+def numpy_dtype(dtype: DataType):
+    """The numpy dtype backing one IR scalar type."""
+    return _NUMPY_DTYPE[dtype]
+
+
+class UninitializedRead(RuntimeError):
+    """A thread read a register it never wrote."""
+
+
+@dataclasses.dataclass
+class ThreadContext:
+    """Immutable coordinates of one thread."""
+
+    tid: tuple
+    ctaid: tuple
+    block_dim: Dim3
+    grid_dim: Dim3
+
+
+class ThreadState:
+    """Registers and local memory of a single executing thread."""
+
+    __slots__ = ("context", "registers", "local_arrays")
+
+    def __init__(self, context: ThreadContext, local_arrays) -> None:
+        self.context = context
+        self.registers: Dict[VirtualRegister, Union[int, float, bool]] = {}
+        self.local_arrays: Dict[LocalArray, np.ndarray] = {
+            array: np.zeros(array.length, dtype=numpy_dtype(array.dtype))
+            for array in local_arrays
+        }
+
+    def read(self, register: VirtualRegister):
+        try:
+            return self.registers[register]
+        except KeyError:
+            raise UninitializedRead(
+                f"thread {self.context.tid} read {register} before writing it"
+            ) from None
+
+    def write(self, register: VirtualRegister, value) -> None:
+        self.registers[register] = value
+
+
+def allocate_shared(arrays) -> Dict[SharedArray, np.ndarray]:
+    """Fresh zeroed shared-memory arrays for one thread block."""
+    return {
+        array: np.zeros(array.num_elements, dtype=numpy_dtype(array.dtype))
+        for array in arrays
+    }

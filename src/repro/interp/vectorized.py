@@ -1,0 +1,351 @@
+"""Vectorized kernel execution: all threads of a block at once.
+
+A second, independent execution engine: registers are numpy arrays
+over the block's threads and every statement executes in lockstep
+under an activity mask — the way the SIMD hardware actually behaves.
+It is 1-2 orders of magnitude faster than the scalar interpreter,
+which makes larger correctness checks affordable, and it doubles as a
+semantic cross-check: for race-free kernels (every inter-thread
+shared-memory communication separated by a barrier, as CUDA requires)
+the two engines must agree exactly.
+
+Restrictions (checked, not silently mis-executed):
+
+* a barrier may not appear under divergent control flow
+  (``BarrierDivergence``, as on hardware);
+* conflicting same-statement shared stores resolve last-thread-wins,
+  matching the scalar engine's thread ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.arch.memory import MemorySpace
+from repro.interp.executor import (
+    MAX_INTERPRETED_THREADS,
+    BarrierDivergence,
+    KernelFault,
+)
+from repro.interp.state import numpy_dtype
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.types import CmpOp, DataType
+from repro.ir.values import (
+    Immediate,
+    LocalArray,
+    Param,
+    SharedArray,
+    SpecialRegister,
+    Value,
+    VirtualRegister,
+)
+
+_BINARY_UFUNCS = {
+    Opcode.ADD: np.add,
+    Opcode.SUB: np.subtract,
+    Opcode.MUL: np.multiply,
+    Opcode.MIN: np.minimum,
+    Opcode.MAX: np.maximum,
+    Opcode.AND: np.bitwise_and,
+    Opcode.OR: np.bitwise_or,
+    Opcode.XOR: np.bitwise_xor,
+}
+
+_UNARY_UFUNCS = {
+    Opcode.ABS: np.abs,
+    Opcode.NEG: np.negative,
+    Opcode.SQRT: np.sqrt,
+    Opcode.SIN: np.sin,
+    Opcode.COS: np.cos,
+}
+
+_COMPARES = {
+    CmpOp.LT: np.less,
+    CmpOp.LE: np.less_equal,
+    CmpOp.GT: np.greater,
+    CmpOp.GE: np.greater_equal,
+    CmpOp.EQ: np.equal,
+    CmpOp.NE: np.not_equal,
+}
+
+
+class _VectorBlock:
+    """Executes one thread block with lane-vectorized state."""
+
+    def __init__(self, kernel: Kernel, arrays, scalars, ctaid) -> None:
+        self.kernel = kernel
+        self.arrays = arrays
+        self.scalars = scalars
+        block = kernel.block_dim
+        self.lanes = block.count
+        tx = np.arange(self.lanes, dtype=np.int64) % block.x
+        rest = np.arange(self.lanes, dtype=np.int64) // block.x
+        self.specials = {
+            SpecialRegister.TID_X: tx,
+            SpecialRegister.TID_Y: rest % block.y,
+            SpecialRegister.TID_Z: rest // block.y,
+            SpecialRegister.NTID_X: np.full(self.lanes, block.x, np.int64),
+            SpecialRegister.NTID_Y: np.full(self.lanes, block.y, np.int64),
+            SpecialRegister.NTID_Z: np.full(self.lanes, block.z, np.int64),
+            SpecialRegister.CTAID_X: np.full(self.lanes, ctaid[0], np.int64),
+            SpecialRegister.CTAID_Y: np.full(self.lanes, ctaid[1], np.int64),
+            SpecialRegister.NCTAID_X: np.full(
+                self.lanes, kernel.grid_dim.x, np.int64),
+            SpecialRegister.NCTAID_Y: np.full(
+                self.lanes, kernel.grid_dim.y, np.int64),
+        }
+        self.registers: Dict[VirtualRegister, np.ndarray] = {}
+        self.shared = {
+            array: np.zeros(array.num_elements, numpy_dtype(array.dtype))
+            for array in kernel.shared_arrays
+        }
+        self.local = {
+            array: np.zeros((self.lanes, array.length),
+                            numpy_dtype(array.dtype))
+            for array in kernel.local_arrays
+        }
+
+    # ------------------------------------------------------------------
+
+    def _eval(self, value: Value) -> np.ndarray:
+        if isinstance(value, VirtualRegister):
+            try:
+                return self.registers[value]
+            except KeyError:
+                raise KernelFault(
+                    f"register {value} read before any write"
+                ) from None
+        if isinstance(value, Immediate):
+            dtype = numpy_dtype(value.dtype)
+            return np.full(self.lanes, value.value, dtype)
+        if isinstance(value, SpecialRegister):
+            return self.specials[value]
+        if isinstance(value, Param):
+            if value.is_pointer:
+                raise KernelFault(f"pointer {value.name} used as a scalar")
+            try:
+                scalar = self.scalars[value.name]
+            except KeyError:
+                raise KernelFault(
+                    f"missing scalar argument {value.name!r}"
+                ) from None
+            return np.full(self.lanes, scalar, numpy_dtype(value.dtype))
+        raise KernelFault(f"unreadable operand {value!r}")
+
+    def _write(self, register: VirtualRegister, values: np.ndarray,
+               mask: np.ndarray) -> None:
+        values = values.astype(numpy_dtype(register.dtype), copy=False)
+        if mask.all():
+            self.registers[register] = values.copy()
+            return
+        current = self.registers.get(register)
+        if current is None:
+            current = np.zeros(self.lanes, numpy_dtype(register.dtype))
+        self.registers[register] = np.where(mask, values, current)
+
+    # ------------------------------------------------------------------
+
+    def _storage(self, base):
+        if isinstance(base, SharedArray):
+            return self.shared[base]
+        if isinstance(base, LocalArray):
+            return self.local[base]
+        try:
+            return self.arrays[base.name]
+        except KeyError:
+            raise KernelFault(f"missing array argument {base.name!r}") from None
+
+    def _load(self, instr: Instruction, mask: np.ndarray) -> None:
+        storage = self._storage(instr.mem.base)
+        index = self._eval(instr.mem.index).astype(np.int64) + instr.mem.offset
+        if isinstance(instr.mem.base, LocalArray):
+            values = storage[np.arange(self.lanes),
+                             np.clip(index, 0, storage.shape[1] - 1)]
+            bad = mask & ((index < 0) | (index >= storage.shape[1]))
+            if bad.any():
+                raise KernelFault(f"{instr}: local index out of range")
+        else:
+            flat = storage.ravel() if storage.ndim > 1 else storage
+            if instr.mem.space in (MemorySpace.SHARED,):
+                bad = mask & ((index < 0) | (index >= flat.size))
+                if bad.any():
+                    raise KernelFault(
+                        f"{instr}: index outside {instr.mem.base.name}"
+                        f"[{flat.size}]"
+                    )
+                safe = np.clip(index, 0, flat.size - 1)
+            else:
+                # Harmless-overfetch clamp, as in the scalar engine.
+                safe = np.clip(index, 0, flat.size - 1)
+            values = flat[safe]
+        self._write(instr.dest, values, mask)
+
+    def _store(self, instr: Instruction, mask: np.ndarray) -> None:
+        storage = self._storage(instr.mem.base)
+        index = self._eval(instr.mem.index).astype(np.int64) + instr.mem.offset
+        values = self._eval(instr.srcs[0])
+        if isinstance(instr.mem.base, LocalArray):
+            bad = mask & ((index < 0) | (index >= storage.shape[1]))
+            if bad.any():
+                raise KernelFault(f"{instr}: local store out of range")
+            lanes = np.nonzero(mask)[0]
+            storage[lanes, index[lanes]] = values[lanes]
+            return
+        flat = storage.ravel() if storage.ndim > 1 else storage
+        bad = mask & ((index < 0) | (index >= flat.size))
+        if bad.any():
+            offender = int(index[np.argmax(bad)])
+            raise KernelFault(
+                f"{instr}: store index {offender} outside "
+                f"{instr.mem.base.name}[{flat.size}]"
+            )
+        lanes = np.nonzero(mask)[0]
+        # np.ndarray fancy assignment applies in order: last lane wins,
+        # matching the scalar engine's thread ordering.
+        flat[index[lanes]] = values[lanes].astype(flat.dtype, copy=False)
+
+    # ------------------------------------------------------------------
+
+    def _alu(self, instr: Instruction, mask: np.ndarray) -> None:
+        opcode = instr.opcode
+        out_dtype = numpy_dtype(instr.dest.dtype)
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            if opcode is Opcode.MOV:
+                result = self._eval(instr.srcs[0])
+            elif opcode in _BINARY_UFUNCS:
+                a, b = (self._eval(s) for s in instr.srcs)
+                result = _BINARY_UFUNCS[opcode](
+                    a.astype(out_dtype, copy=False),
+                    b.astype(out_dtype, copy=False),
+                )
+            elif opcode is Opcode.MAD:
+                a, b, c = (self._eval(s).astype(out_dtype, copy=False)
+                           for s in instr.srcs)
+                result = a * b + c
+            elif opcode is Opcode.DIV:
+                a, b = (self._eval(s) for s in instr.srcs)
+                if instr.dest.dtype is DataType.F32:
+                    result = a.astype(np.float32) / b
+                else:
+                    quotient = np.abs(a.astype(np.int64)) // np.abs(
+                        b.astype(np.int64))
+                    sign = np.where((a >= 0) == (b >= 0), 1, -1)
+                    result = sign * quotient
+            elif opcode is Opcode.REM:
+                a, b = (self._eval(s).astype(np.int64) for s in instr.srcs)
+                quotient = np.abs(a) // np.abs(b)
+                sign = np.where((a >= 0) == (b >= 0), 1, -1)
+                result = a - sign * quotient * b
+            elif opcode in (Opcode.SHL, Opcode.SHR):
+                a, b = (self._eval(s) for s in instr.srcs)
+                shift = b.astype(np.int64) & 31
+                if opcode is Opcode.SHL:
+                    result = a.astype(np.int64) << shift
+                else:
+                    result = a.astype(np.int64) >> shift
+            elif opcode in _UNARY_UFUNCS:
+                result = _UNARY_UFUNCS[opcode](
+                    self._eval(instr.srcs[0]).astype(out_dtype, copy=False)
+                )
+            elif opcode is Opcode.RCP:
+                result = np.float32(1.0) / self._eval(instr.srcs[0]).astype(
+                    np.float32)
+            elif opcode is Opcode.RSQRT:
+                result = np.float32(1.0) / np.sqrt(
+                    self._eval(instr.srcs[0]).astype(np.float32))
+            elif opcode is Opcode.EX2:
+                result = np.exp2(self._eval(instr.srcs[0]).astype(np.float32))
+            elif opcode is Opcode.LG2:
+                result = np.log2(self._eval(instr.srcs[0]).astype(np.float32))
+            elif opcode is Opcode.CVT:
+                result = self._eval(instr.srcs[0]).astype(out_dtype)
+            elif opcode is Opcode.SETP:
+                a, b = (self._eval(s) for s in instr.srcs)
+                result = _COMPARES[instr.cmp](a, b)
+            elif opcode is Opcode.SELP:
+                pred, a, b = (self._eval(s) for s in instr.srcs)
+                result = np.where(pred.astype(bool), a, b)
+            else:
+                raise KernelFault(f"no vectorized semantics for {opcode}")
+        self._write(instr.dest, np.asarray(result), mask)
+
+    # ------------------------------------------------------------------
+
+    def run_body(self, body, mask: np.ndarray) -> None:
+        uniform = bool(mask.all())
+        for stmt in body:
+            if isinstance(stmt, Instruction):
+                if stmt.opcode is Opcode.BAR:
+                    if not uniform:
+                        raise BarrierDivergence(
+                            "barrier under divergent control flow"
+                        )
+                    # Lockstep execution makes the barrier a no-op.
+                    continue
+                if stmt.opcode is Opcode.LD:
+                    self._load(stmt, mask)
+                elif stmt.opcode is Opcode.ST:
+                    self._store(stmt, mask)
+                else:
+                    self._alu(stmt, mask)
+            elif isinstance(stmt, ForLoop):
+                counter = self._eval(stmt.start).astype(np.int64)
+                stop = self._eval(stmt.stop).astype(np.int64)
+                step = self._eval(stmt.step).astype(np.int64)
+                if (step <= 0).any():
+                    raise KernelFault("non-positive loop step")
+                self._write(stmt.counter, counter, mask)
+                while True:
+                    active = mask & (counter < stop)
+                    if not active.any():
+                        break
+                    self.run_body(stmt.body, active)
+                    counter = counter + np.where(active, step, 0)
+                    self._write(stmt.counter, counter, active)
+            elif isinstance(stmt, If):
+                condition = self._eval(stmt.cond).astype(bool)
+                taken = mask & condition
+                fallthrough = mask & ~condition
+                if taken.any():
+                    self.run_body(stmt.then_body, taken)
+                if fallthrough.any():
+                    self.run_body(stmt.else_body, fallthrough)
+
+
+def launch_vectorized(
+    kernel: Kernel,
+    arrays: Dict[str, np.ndarray],
+    scalars: Optional[Dict[str, Union[int, float]]] = None,
+) -> None:
+    """Vectorized twin of :func:`repro.interp.launch` (same contract)."""
+    scalars = scalars or {}
+    kernel.check_launch()
+    if kernel.total_threads > MAX_INTERPRETED_THREADS * 16:
+        raise KernelFault(
+            f"refusing to interpret {kernel.total_threads} threads"
+        )
+    for param in kernel.params:
+        if param.is_pointer:
+            if param.name not in arrays:
+                raise KernelFault(f"missing array argument {param.name!r}")
+            expected = numpy_dtype(param.dtype)
+            if arrays[param.name].dtype != expected:
+                raise KernelFault(
+                    f"array {param.name!r} has dtype "
+                    f"{arrays[param.name].dtype}, kernel expects "
+                    f"{np.dtype(expected)}"
+                )
+        elif param.name not in scalars:
+            raise KernelFault(f"missing scalar argument {param.name!r}")
+
+    grid = kernel.grid_dim
+    full_mask = np.ones(kernel.block_dim.count, dtype=bool)
+    for cz in range(grid.z):
+        for cy in range(grid.y):
+            for cx in range(grid.x):
+                block = _VectorBlock(kernel, arrays, scalars, (cx, cy, cz))
+                block.run_body(kernel.body, full_mask)

@@ -1,0 +1,51 @@
+"""CUDA-like structured kernel IR (the substrate the compiler works on)."""
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.instructions import ARITY, Instruction, MemRef, Opcode
+from repro.ir.kernel import Dim3, Kernel, flatten_thread_index, warp_assignment
+from repro.ir.pretty import format_kernel
+from repro.ir.statements import ForLoop, If, Statement, instructions, walk
+from repro.ir.types import CmpOp, DataType
+from repro.ir.validate import ValidationError, validate
+from repro.ir.values import (
+    Immediate,
+    LocalArray,
+    Param,
+    SharedArray,
+    SpecialRegister,
+    Value,
+    VirtualRegister,
+    imm,
+    value_dtype,
+)
+
+__all__ = [
+    "ARITY",
+    "CmpOp",
+    "DataType",
+    "Dim3",
+    "ForLoop",
+    "If",
+    "Immediate",
+    "Instruction",
+    "Kernel",
+    "LocalArray",
+    "KernelBuilder",
+    "MemRef",
+    "Opcode",
+    "Param",
+    "SharedArray",
+    "SpecialRegister",
+    "Statement",
+    "ValidationError",
+    "Value",
+    "VirtualRegister",
+    "flatten_thread_index",
+    "format_kernel",
+    "imm",
+    "instructions",
+    "validate",
+    "value_dtype",
+    "walk",
+    "warp_assignment",
+]

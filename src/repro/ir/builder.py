@@ -1,0 +1,315 @@
+"""Fluent construction of kernel IR.
+
+``KernelBuilder`` is the authoring API used by the application kernel
+generators: it creates fresh virtual registers, coerces Python numbers
+to immediates, infers result types, and manages the statement stack for
+structured loops and conditionals.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.arch.memory import MemorySpace
+from repro.ir.instructions import Instruction, MemRef, Opcode
+from repro.ir.kernel import Dim3, Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.types import CmpOp, DataType
+from repro.ir.values import (
+    Immediate,
+    LocalArray,
+    Param,
+    SharedArray,
+    SpecialRegister,
+    Value,
+    VirtualRegister,
+    value_dtype,
+)
+
+Operand = Union[Value, int, float]
+
+
+class KernelBuilder:
+    """Builds a ``Kernel`` one statement at a time."""
+
+    def __init__(self, name: str, block_dim: Dim3, grid_dim: Dim3) -> None:
+        self._kernel = Kernel(
+            name=name, params=[], block_dim=block_dim, grid_dim=grid_dim
+        )
+        self._body_stack: List[List[Statement]] = [self._kernel.body]
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Declarations.
+
+    def param_ptr(
+        self,
+        name: str,
+        dtype: DataType,
+        space: MemorySpace = MemorySpace.GLOBAL,
+    ) -> Param:
+        """Declare a pointer parameter (global/constant/texture array)."""
+        param = Param(name, dtype, is_pointer=True, space=space)
+        self._kernel.params.append(param)
+        return param
+
+    def param_scalar(self, name: str, dtype: DataType) -> Param:
+        """Declare a by-value scalar parameter."""
+        param = Param(name, dtype, is_pointer=False)
+        self._kernel.params.append(param)
+        return param
+
+    def shared(self, name: str, dtype: DataType, shape: Tuple[int, ...]) -> SharedArray:
+        """Declare a per-block shared-memory array."""
+        array = SharedArray(name, dtype, tuple(shape))
+        self._kernel.shared_arrays.append(array)
+        return array
+
+    def local(self, name: str, dtype: DataType, length: int) -> LocalArray:
+        """Declare a per-thread local-memory array (spill space)."""
+        array = LocalArray(name, dtype, length)
+        self._kernel.local_arrays.append(array)
+        return array
+
+    def fresh(self, dtype: DataType, hint: str = "t") -> VirtualRegister:
+        """Allocate a fresh virtual register."""
+        self._counter += 1
+        return VirtualRegister(f"{hint}{self._counter}", dtype)
+
+    # ------------------------------------------------------------------
+    # Operand coercion.
+
+    def _coerce(self, operand: Operand, like: Optional[DataType] = None) -> Value:
+        if isinstance(operand, bool):
+            raise TypeError("booleans are not IR operands; use a predicate")
+        if isinstance(operand, int):
+            return Immediate(operand, like if like and like.is_integer else DataType.S32)
+        if isinstance(operand, float):
+            return Immediate(operand, DataType.F32)
+        return operand
+
+    def _result_dtype(self, operands: Tuple[Value, ...]) -> DataType:
+        for op in operands:
+            dtype = value_dtype(op)
+            if dtype is not DataType.PRED:
+                return dtype
+        raise TypeError("cannot infer a result type from predicates only")
+
+    # ------------------------------------------------------------------
+    # Instruction emission.
+
+    def _emit(self, stmt: Statement) -> None:
+        self._body_stack[-1].append(stmt)
+
+    def _alu(
+        self,
+        opcode: Opcode,
+        operands: Tuple[Operand, ...],
+        dtype: Optional[DataType] = None,
+        dest: Optional[VirtualRegister] = None,
+    ) -> VirtualRegister:
+        values = tuple(self._coerce(op) for op in operands)
+        out_dtype = dtype or self._result_dtype(values)
+        out = dest or self.fresh(out_dtype)
+        self._emit(Instruction(opcode, dest=out, srcs=values))
+        return out
+
+    def mov(self, src: Operand, dtype: Optional[DataType] = None,
+            dest: Optional[VirtualRegister] = None) -> VirtualRegister:
+        return self._alu(Opcode.MOV, (src,), dtype, dest)
+
+    def add(self, a: Operand, b: Operand, dest: Optional[VirtualRegister] = None) -> VirtualRegister:
+        return self._alu(Opcode.ADD, (a, b), dest=dest)
+
+    def sub(self, a: Operand, b: Operand, dest: Optional[VirtualRegister] = None) -> VirtualRegister:
+        return self._alu(Opcode.SUB, (a, b), dest=dest)
+
+    def mul(self, a: Operand, b: Operand, dest: Optional[VirtualRegister] = None) -> VirtualRegister:
+        return self._alu(Opcode.MUL, (a, b), dest=dest)
+
+    def mad(self, a: Operand, b: Operand, c: Operand,
+            dest: Optional[VirtualRegister] = None) -> VirtualRegister:
+        """Fused multiply-add: the 8800 SP's native operation."""
+        return self._alu(Opcode.MAD, (a, b, c), dest=dest)
+
+    def div(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.DIV, (a, b))
+
+    def rem(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.REM, (a, b))
+
+    def min(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.MIN, (a, b))
+
+    def max(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.MAX, (a, b))
+
+    def abs(self, a: Operand) -> VirtualRegister:
+        return self._alu(Opcode.ABS, (a,))
+
+    def neg(self, a: Operand) -> VirtualRegister:
+        return self._alu(Opcode.NEG, (a,))
+
+    def shl(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.SHL, (a, b))
+
+    def shr(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.SHR, (a, b))
+
+    def and_(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.AND, (a, b))
+
+    def or_(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.OR, (a, b))
+
+    def xor(self, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.XOR, (a, b))
+
+    def cvt(self, a: Operand, dtype: DataType) -> VirtualRegister:
+        return self._alu(Opcode.CVT, (a,), dtype=dtype)
+
+    def setp(self, cmp: CmpOp, a: Operand, b: Operand) -> VirtualRegister:
+        a_val = self._coerce(a)
+        b_val = self._coerce(b)
+        out = self.fresh(DataType.PRED, hint="p")
+        self._emit(Instruction(Opcode.SETP, dest=out, srcs=(a_val, b_val), cmp=cmp))
+        return out
+
+    def selp(self, pred: Operand, a: Operand, b: Operand) -> VirtualRegister:
+        return self._alu(Opcode.SELP, (pred, a, b),
+                         dtype=value_dtype(self._coerce(a)))
+
+    # SFU transcendentals.
+
+    def _sfu(self, opcode: Opcode, a: Operand) -> VirtualRegister:
+        value = self._coerce(a)
+        if value_dtype(value) is not DataType.F32:
+            raise TypeError(f"{opcode.value} operates on f32")
+        out = self.fresh(DataType.F32)
+        self._emit(Instruction(opcode, dest=out, srcs=(value,)))
+        return out
+
+    def rcp(self, a: Operand) -> VirtualRegister:
+        return self._sfu(Opcode.RCP, a)
+
+    def sqrt(self, a: Operand) -> VirtualRegister:
+        return self._sfu(Opcode.SQRT, a)
+
+    def rsqrt(self, a: Operand) -> VirtualRegister:
+        return self._sfu(Opcode.RSQRT, a)
+
+    def sin(self, a: Operand) -> VirtualRegister:
+        return self._sfu(Opcode.SIN, a)
+
+    def cos(self, a: Operand) -> VirtualRegister:
+        return self._sfu(Opcode.COS, a)
+
+    # Memory.
+
+    def ld(
+        self,
+        base: Union[Param, SharedArray, LocalArray],
+        index: Operand,
+        coalesced: bool = True,
+        offset: int = 0,
+        dest: Optional[VirtualRegister] = None,
+    ) -> VirtualRegister:
+        ref = MemRef(base, self._coerce(index), offset=offset)
+        out = dest or self.fresh(ref.dtype, hint="v")
+        self._emit(Instruction(Opcode.LD, dest=out, mem=ref, coalesced=coalesced))
+        return out
+
+    def st(
+        self,
+        base: Union[Param, SharedArray, LocalArray],
+        index: Operand,
+        value: Operand,
+        coalesced: bool = True,
+        offset: int = 0,
+    ) -> None:
+        ref = MemRef(base, self._coerce(index), offset=offset)
+        self._emit(Instruction(
+            Opcode.ST, srcs=(self._coerce(value),), mem=ref, coalesced=coalesced
+        ))
+
+    def bar(self) -> None:
+        """Barrier over the thread block (__syncthreads)."""
+        self._emit(Instruction(Opcode.BAR))
+
+    # ------------------------------------------------------------------
+    # Structured control flow.
+
+    @contextlib.contextmanager
+    def loop(
+        self,
+        start: Operand,
+        stop: Operand,
+        step: Operand = 1,
+        trip_count: Optional[int] = None,
+        hint: str = "i",
+        label: Optional[str] = None,
+    ) -> Iterator[VirtualRegister]:
+        """Open a counted loop; yields the counter register."""
+        counter = self.fresh(DataType.S32, hint=hint)
+        loop = ForLoop(
+            counter=counter,
+            start=self._coerce(start),
+            stop=self._coerce(stop),
+            step=self._coerce(step),
+            trip_count=trip_count,
+            label=label,
+        )
+        self._emit(loop)
+        self._body_stack.append(loop.body)
+        try:
+            yield counter
+        finally:
+            self._body_stack.pop()
+
+    @contextlib.contextmanager
+    def if_(self, cond: Value, taken_fraction: float = 1.0) -> Iterator["ElseHandle"]:
+        """Open a conditional; yields a handle whose .orelse() opens the else."""
+        branch = If(cond=cond, taken_fraction=taken_fraction)
+        self._emit(branch)
+        self._body_stack.append(branch.then_body)
+        try:
+            yield ElseHandle(self, branch)
+        finally:
+            self._body_stack.pop()
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> Kernel:
+        """Return the completed kernel."""
+        if len(self._body_stack) != 1:
+            raise RuntimeError("unbalanced loop/if contexts")
+        return self._kernel
+
+
+class ElseHandle:
+    """Grants access to the else-side of an ``if_`` block."""
+
+    def __init__(self, builder: KernelBuilder, branch: If) -> None:
+        self._builder = builder
+        self._branch = branch
+
+    @contextlib.contextmanager
+    def orelse(self) -> Iterator[None]:
+        self._builder._body_stack.append(self._branch.else_body)
+        try:
+            yield
+        finally:
+            self._builder._body_stack.pop()
+
+
+# Re-exported conveniences for kernel authors.
+TID_X = SpecialRegister.TID_X
+TID_Y = SpecialRegister.TID_Y
+TID_Z = SpecialRegister.TID_Z
+NTID_X = SpecialRegister.NTID_X
+NTID_Y = SpecialRegister.NTID_Y
+CTAID_X = SpecialRegister.CTAID_X
+CTAID_Y = SpecialRegister.CTAID_Y
+NCTAID_X = SpecialRegister.NCTAID_X
+NCTAID_Y = SpecialRegister.NCTAID_Y

@@ -1,0 +1,116 @@
+"""Kernel container: signature, launch geometry, shared arrays, body."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.arch.constants import GEFORCE_8800_GTX, DeviceSpec
+from repro.ir.statements import Statement
+from repro.ir.values import LocalArray, Param, SharedArray
+
+
+@dataclasses.dataclass(frozen=True)
+class Dim3:
+    """A CUDA launch dimension triple."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise ValueError(f"dimensions must be positive, got {self}")
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"
+
+
+@dataclasses.dataclass
+class Kernel:
+    """A data-parallel kernel function.
+
+    The grid/block geometry is part of the kernel object because on the
+    8800 the launch configuration is an optimization parameter in its
+    own right — the paper's configuration spaces vary threads per block
+    alongside code transformations.
+    """
+
+    name: str
+    params: List[Param]
+    block_dim: Dim3
+    grid_dim: Dim3
+    shared_arrays: List[SharedArray] = dataclasses.field(default_factory=list)
+    local_arrays: List[LocalArray] = dataclasses.field(default_factory=list)
+    body: List[Statement] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = (
+            [p.name for p in self.params]
+            + [a.name for a in self.shared_arrays]
+            + [a.name for a in self.local_arrays]
+        )
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate parameter/array names: {sorted(duplicates)}")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block_dim.count
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid_dim.count
+
+    @property
+    def total_threads(self) -> int:
+        """`Threads` of Equation 1: all threads launched by the grid."""
+        return self.threads_per_block * self.num_blocks
+
+    @property
+    def shared_memory_bytes(self) -> int:
+        """Declared shared-memory footprint per thread block."""
+        return sum(a.size_bytes for a in self.shared_arrays)
+
+    def param(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"kernel {self.name} has no parameter {name!r}")
+
+    def shared(self, name: str) -> SharedArray:
+        for a in self.shared_arrays:
+            if a.name == name:
+                return a
+        raise KeyError(f"kernel {self.name} has no shared array {name!r}")
+
+    def check_launch(self, device: DeviceSpec = GEFORCE_8800_GTX) -> None:
+        """Raise if the block geometry violates hard device limits."""
+        if self.threads_per_block > device.max_threads_per_block:
+            raise ValueError(
+                f"{self.threads_per_block} threads/block exceeds the "
+                f"{device.max_threads_per_block} limit"
+            )
+        if self.shared_memory_bytes > device.shared_memory_per_sm:
+            raise ValueError(
+                f"{self.shared_memory_bytes}B shared memory exceeds the "
+                f"{device.shared_memory_per_sm}B scratchpad"
+            )
+
+
+LaunchGeometry = Tuple[Dim3, Dim3]
+
+
+def flatten_thread_index(tid: Tuple[int, int, int], block_dim: Dim3) -> int:
+    """CUDA's linear thread id within a block (x fastest)."""
+    x, y, z = tid
+    return x + block_dim.x * (y + block_dim.y * z)
+
+
+def warp_assignment(block_dim: Dim3, warp_size: int = 32) -> Dict[int, int]:
+    """Map linear thread id -> warp id for one block."""
+    return {t: t // warp_size for t in range(block_dim.count)}

@@ -1,0 +1,49 @@
+"""Human-readable dump of kernel IR (CUDA-flavoured pseudocode)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import Instruction
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+
+_INDENT = "  "
+
+
+def _format_body(body: List[Statement], depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    for stmt in body:
+        if isinstance(stmt, Instruction):
+            lines.append(f"{pad}{stmt}")
+        elif isinstance(stmt, ForLoop):
+            trips = f"  // trips={stmt.trip_count}" if stmt.trip_count is not None else ""
+            lines.append(
+                f"{pad}for ({stmt.counter} = {stmt.start}; "
+                f"{stmt.counter} < {stmt.stop}; {stmt.counter} += {stmt.step})"
+                f" {{{trips}"
+            )
+            _format_body(stmt.body, depth + 1, lines)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if ({stmt.cond}) {{")
+            _format_body(stmt.then_body, depth + 1, lines)
+            if stmt.else_body:
+                lines.append(f"{pad}}} else {{")
+                _format_body(stmt.else_body, depth + 1, lines)
+            lines.append(f"{pad}}}")
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a kernel as indented pseudocode."""
+    params = ", ".join(str(p) for p in kernel.params)
+    lines = [
+        f"__global__ void {kernel.name}({params})",
+        f"{_INDENT}// grid={kernel.grid_dim} block={kernel.block_dim}",
+    ]
+    for array in kernel.shared_arrays:
+        lines.append(f"{_INDENT}{array}")
+    lines.append("{")
+    _format_body(kernel.body, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Scalar evaluation semantics shared by the interpreter and the
+constant folder.
+
+All arithmetic follows the 8800's 32-bit datapath: f32 results are
+rounded to single precision via numpy, integer results wrap modulo
+2^32 with s32/u32 interpretation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from repro.ir.instructions import Opcode
+from repro.ir.types import CmpOp, DataType
+
+Scalar = Union[int, float, bool]
+
+_U32_MASK = 0xFFFFFFFF
+
+
+def _wrap_s32(value: int) -> int:
+    value &= _U32_MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _wrap_u32(value: int) -> int:
+    return value & _U32_MASK
+
+
+def _f32(value: float) -> float:
+    return float(np.float32(value))
+
+
+def coerce_scalar(value: Scalar, dtype: DataType) -> Scalar:
+    """Clamp a Python number into a dtype's representable domain."""
+    if dtype is DataType.F32:
+        return _f32(float(value))
+    if dtype is DataType.S32:
+        return _wrap_s32(int(value))
+    if dtype is DataType.U32:
+        return _wrap_u32(int(value))
+    return bool(value)
+
+
+_CMP: Dict[CmpOp, Callable[[Scalar, Scalar], bool]] = {
+    CmpOp.LT: lambda a, b: a < b,
+    CmpOp.LE: lambda a, b: a <= b,
+    CmpOp.GT: lambda a, b: a > b,
+    CmpOp.GE: lambda a, b: a >= b,
+    CmpOp.EQ: lambda a, b: a == b,
+    CmpOp.NE: lambda a, b: a != b,
+}
+
+
+def eval_compare(cmp: CmpOp, a: Scalar, b: Scalar) -> bool:
+    return _CMP[cmp](a, b)
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero in kernel")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _int_rem(a: int, b: int) -> int:
+    return a - _int_div(a, b) * b
+
+
+def eval_op(
+    opcode: Opcode,
+    dtype: DataType,
+    args: tuple,
+    cmp: CmpOp = None,
+) -> Scalar:
+    """Evaluate one register-to-register operation.
+
+    ``dtype`` is the destination type; ``args`` are already-evaluated
+    operand scalars.  SETP takes ``cmp``.  SELP receives
+    (pred, a, b).
+    """
+    if opcode is Opcode.MOV:
+        return coerce_scalar(args[0], dtype)
+    if opcode is Opcode.ADD:
+        return coerce_scalar(args[0] + args[1], dtype)
+    if opcode is Opcode.SUB:
+        return coerce_scalar(args[0] - args[1], dtype)
+    if opcode is Opcode.MUL:
+        return coerce_scalar(args[0] * args[1], dtype)
+    if opcode is Opcode.MAD:
+        if dtype is DataType.F32:
+            return _f32(_f32(args[0] * args[1]) + args[2])
+        return coerce_scalar(args[0] * args[1] + args[2], dtype)
+    if opcode is Opcode.DIV:
+        if dtype is DataType.F32:
+            return _f32(args[0] / args[1])
+        return coerce_scalar(_int_div(int(args[0]), int(args[1])), dtype)
+    if opcode is Opcode.REM:
+        return coerce_scalar(_int_rem(int(args[0]), int(args[1])), dtype)
+    if opcode is Opcode.MIN:
+        return coerce_scalar(min(args[0], args[1]), dtype)
+    if opcode is Opcode.MAX:
+        return coerce_scalar(max(args[0], args[1]), dtype)
+    if opcode is Opcode.ABS:
+        return coerce_scalar(abs(args[0]), dtype)
+    if opcode is Opcode.NEG:
+        return coerce_scalar(-args[0], dtype)
+    if opcode is Opcode.AND:
+        return coerce_scalar(int(args[0]) & int(args[1]), dtype)
+    if opcode is Opcode.OR:
+        return coerce_scalar(int(args[0]) | int(args[1]), dtype)
+    if opcode is Opcode.XOR:
+        return coerce_scalar(int(args[0]) ^ int(args[1]), dtype)
+    if opcode is Opcode.SHL:
+        return coerce_scalar(int(args[0]) << (int(args[1]) & 31), dtype)
+    if opcode is Opcode.SHR:
+        return coerce_scalar(int(args[0]) >> (int(args[1]) & 31), dtype)
+    if opcode is Opcode.CVT:
+        if dtype is DataType.F32:
+            return _f32(float(args[0]))
+        return coerce_scalar(int(args[0]), dtype)
+    if opcode is Opcode.SETP:
+        return eval_compare(cmp, args[0], args[1])
+    if opcode is Opcode.SELP:
+        return coerce_scalar(args[1] if args[0] else args[2], dtype)
+    if opcode is Opcode.RCP:
+        return _f32(1.0 / args[0])
+    if opcode is Opcode.SQRT:
+        return _f32(math.sqrt(args[0]))
+    if opcode is Opcode.RSQRT:
+        return _f32(1.0 / math.sqrt(args[0]))
+    if opcode is Opcode.SIN:
+        return _f32(math.sin(args[0]))
+    if opcode is Opcode.COS:
+        return _f32(math.cos(args[0]))
+    if opcode is Opcode.EX2:
+        return _f32(2.0 ** args[0])
+    if opcode is Opcode.LG2:
+        return _f32(math.log2(args[0]))
+    raise NotImplementedError(f"no scalar semantics for {opcode}")

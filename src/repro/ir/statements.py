@@ -1,0 +1,113 @@
+"""Structured control flow of the kernel IR.
+
+Kernels are structured programs: flat instruction sequences, counted
+``for`` loops and two-sided conditionals.  Keeping control flow
+structured (instead of a branch-level CFG) is what makes the paper's
+workflow natural to reproduce — loop trip counts can be annotated
+directly on loops (Section 4: "We manually annotate the average
+iteration counts of the major loops"), and the unrolling / prefetching
+transformations of Section 3.1 become simple tree rewrites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Union
+
+from repro.ir.instructions import Instruction
+from repro.ir.types import DataType
+from repro.ir.values import Immediate, Value, VirtualRegister
+
+Statement = Union[Instruction, "ForLoop", "If"]
+
+
+@dataclasses.dataclass
+class ForLoop:
+    """A counted loop: ``for (counter = start; counter < stop; counter += step)``.
+
+    ``trip_count`` is the analysis annotation; when start/stop/step are
+    all immediates it is computed automatically.  The counter register
+    is defined by the loop and updated by its implicit increment (the
+    increment and the loop-back branch each cost one issued instruction,
+    which the PTX analysis accounts for).
+    """
+
+    counter: VirtualRegister
+    start: Value
+    stop: Value
+    step: Value
+    body: List[Statement] = dataclasses.field(default_factory=list)
+    trip_count: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.counter.dtype is not DataType.S32:
+            raise TypeError(f"loop counter {self.counter} must be s32")
+        static = self.static_trip_count()
+        if static is not None:
+            if self.trip_count is not None and self.trip_count != static:
+                raise ValueError(
+                    f"annotated trip count {self.trip_count} contradicts the "
+                    f"static bounds ({static} iterations)"
+                )
+            self.trip_count = static
+
+    def static_trip_count(self) -> Optional[int]:
+        """Trip count when all bounds are immediates, else None."""
+        bounds = (self.start, self.stop, self.step)
+        if not all(isinstance(b, Immediate) for b in bounds):
+            return None
+        start, stop, step = (int(b.value) for b in bounds)
+        if step <= 0:
+            raise ValueError(f"loop step must be positive, got {step}")
+        if stop <= start:
+            return 0
+        return -(-(stop - start) // step)
+
+    @property
+    def annotated_trips(self) -> int:
+        """Trip count for static analysis; requires an annotation."""
+        if self.trip_count is None:
+            raise ValueError(
+                f"loop over {self.counter} has dynamic bounds and no "
+                f"trip_count annotation"
+            )
+        return self.trip_count
+
+
+@dataclasses.dataclass
+class If:
+    """A two-sided conditional on a predicate register.
+
+    ``taken_fraction`` annotates the expected fraction of executions
+    that take the then-side; the static instruction-count analysis
+    weights the two sides by it, mirroring how the paper's manual PTX
+    accounting treats data-dependent branches.
+    """
+
+    cond: Value
+    then_body: List[Statement] = dataclasses.field(default_factory=list)
+    else_body: List[Statement] = dataclasses.field(default_factory=list)
+    taken_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.taken_fraction <= 1.0:
+            raise ValueError("taken_fraction must lie in [0, 1]")
+
+
+def walk(body: List[Statement]) -> Iterator[Statement]:
+    """Yield every statement in a body, depth-first, including nests."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ForLoop):
+            yield from walk(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk(stmt.then_body)
+            yield from walk(stmt.else_body)
+
+
+def instructions(body: List[Statement]) -> Iterator[Instruction]:
+    """Yield every Instruction in a body, depth-first."""
+    for stmt in walk(body):
+        if isinstance(stmt, Instruction):
+            yield stmt

@@ -1,0 +1,144 @@
+"""Structural and type validation of kernel IR.
+
+The verifier enforces the invariants the downstream analyses rely on:
+every virtual register is defined before (lexically) it is read, every
+Param/SharedArray operand belongs to the kernel, operand types agree,
+and memory indices are integers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.types import DataType
+from repro.ir.values import (
+    Immediate,
+    LocalArray,
+    Param,
+    SharedArray,
+    SpecialRegister,
+    Value,
+    VirtualRegister,
+    value_dtype,
+)
+
+
+class ValidationError(ValueError):
+    """The kernel violates an IR invariant."""
+
+
+class _Verifier:
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.params = set(kernel.params)
+        self.shared = set(kernel.shared_arrays)
+        self.local = set(kernel.local_arrays)
+        self.defined: Set[VirtualRegister] = set()
+        self.errors: List[str] = []
+
+    def run(self) -> None:
+        self._check_body(self.kernel.body)
+        if self.errors:
+            raise ValidationError(
+                f"kernel {self.kernel.name!r}: " + "; ".join(self.errors)
+            )
+
+    def _check_body(self, body: List[Statement]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Instruction):
+                self._check_instruction(stmt)
+            elif isinstance(stmt, ForLoop):
+                self._check_value(stmt.start, "loop start")
+                self._check_value(stmt.stop, "loop stop")
+                self._check_value(stmt.step, "loop step")
+                for bound in (stmt.start, stmt.stop, stmt.step):
+                    if not value_dtype(bound).is_integer and not isinstance(
+                        bound, VirtualRegister
+                    ):
+                        self.errors.append(f"loop bound {bound} is not integer")
+                self.defined.add(stmt.counter)
+                self._check_body(stmt.body)
+            elif isinstance(stmt, If):
+                self._check_value(stmt.cond, "if condition")
+                if value_dtype(stmt.cond) is not DataType.PRED:
+                    self.errors.append(f"if condition {stmt.cond} is not a predicate")
+                self._check_body(stmt.then_body)
+                self._check_body(stmt.else_body)
+            else:
+                self.errors.append(f"unknown statement {stmt!r}")
+
+    def _check_value(self, value: Value, context: str) -> None:
+        if isinstance(value, VirtualRegister):
+            if value not in self.defined:
+                self.errors.append(f"{context}: {value} read before definition")
+        elif isinstance(value, Param):
+            if value not in self.params:
+                self.errors.append(f"{context}: foreign parameter {value.name}")
+            if value.is_pointer:
+                self.errors.append(
+                    f"{context}: pointer {value.name} used as a scalar operand"
+                )
+        elif not isinstance(value, (Immediate, SpecialRegister)):
+            self.errors.append(f"{context}: bad operand {value!r}")
+
+    def _check_instruction(self, instr: Instruction) -> None:
+        where = str(instr)
+        for src in instr.srcs:
+            self._check_value(src, where)
+        if instr.mem is not None:
+            self._check_value(instr.mem.index, f"{where} (index)")
+            if not value_dtype(instr.mem.index).is_integer:
+                self.errors.append(f"{where}: memory index must be integer")
+            base = instr.mem.base
+            if isinstance(base, SharedArray):
+                if base not in self.shared:
+                    self.errors.append(f"{where}: foreign shared array {base.name}")
+            elif isinstance(base, LocalArray):
+                if base not in self.local:
+                    self.errors.append(f"{where}: foreign local array {base.name}")
+            elif isinstance(base, Param):
+                if base not in self.params:
+                    self.errors.append(f"{where}: foreign parameter {base.name}")
+                if not base.is_pointer:
+                    self.errors.append(f"{where}: scalar {base.name} dereferenced")
+            else:
+                self.errors.append(f"{where}: bad memory base {base!r}")
+        self._check_types(instr, where)
+        if instr.dest is not None:
+            self.defined.add(instr.dest)
+
+    def _check_types(self, instr: Instruction, where: str) -> None:
+        if instr.opcode is Opcode.SETP:
+            a, b = (value_dtype(s) for s in instr.srcs)
+            if a is not b:
+                self.errors.append(f"{where}: comparing {a} with {b}")
+        elif instr.opcode is Opcode.SELP:
+            if value_dtype(instr.srcs[0]) is not DataType.PRED:
+                self.errors.append(f"{where}: selp selector must be a predicate")
+            if value_dtype(instr.srcs[1]) is not value_dtype(instr.srcs[2]):
+                self.errors.append(f"{where}: selp arms differ in type")
+        elif instr.opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.MAD,
+                              Opcode.DIV, Opcode.REM, Opcode.MIN, Opcode.MAX):
+            kinds = {value_dtype(s).is_float for s in instr.srcs}
+            if len(kinds) > 1:
+                self.errors.append(f"{where}: mixed int/float operands")
+        elif instr.opcode in (Opcode.AND, Opcode.OR, Opcode.XOR,
+                              Opcode.SHL, Opcode.SHR):
+            for src in instr.srcs:
+                dtype = value_dtype(src)
+                if not (dtype.is_integer or dtype is DataType.PRED):
+                    self.errors.append(f"{where}: bitwise op on {dtype}")
+        if instr.opcode is Opcode.LD and instr.dest is not None:
+            if instr.dest.dtype is not instr.mem.dtype:
+                self.errors.append(
+                    f"{where}: loading {instr.mem.dtype} into "
+                    f"{instr.dest.dtype} register"
+                )
+
+
+def validate(kernel: Kernel) -> None:
+    """Raise ValidationError if the kernel violates an IR invariant."""
+    _Verifier(kernel).run()

@@ -1,0 +1,85 @@
+"""Bandwidth-boundedness screen (Section 4).
+
+"In order for these metrics to correlate to performance, global memory
+bandwidth must not be the bottleneck on performance.  This is easily
+calculated by examining the percentage of memory accesses in the
+instruction stream and determining the average number of bytes being
+transferred per cycle."
+
+The estimate assumes the issue port never starves (the best case the
+metrics describe): one warp instruction per four cycles bounds the
+instruction rate, and the per-thread traffic of the profile bounds the
+bytes that rate tries to move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.constants import GEFORCE_8800_GTX, DeviceSpec
+from repro.ptx.analysis import ExecutionProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthEstimate:
+    """Static estimate of a configuration's DRAM pressure."""
+
+    demand_bytes_per_cycle: float
+    available_bytes_per_cycle: float
+    memory_instruction_fraction: float
+
+    @property
+    def demand_ratio(self) -> float:
+        return self.demand_bytes_per_cycle / self.available_bytes_per_cycle
+
+    def is_bandwidth_bound(self, threshold: float = 1.0) -> bool:
+        return self.demand_ratio > threshold
+
+
+def estimate_bandwidth(
+    profile: ExecutionProfile,
+    threads_per_block: int,
+    blocks_per_sm: int,
+    device: DeviceSpec = GEFORCE_8800_GTX,
+    issue_cycles_per_instruction: int = 4,
+    uncoalesced_traffic_factor: float = 8.0,
+) -> BandwidthEstimate:
+    """Bytes per cycle one SM demands if never memory-stalled.
+
+    An SM issues one warp instruction per ``issue_cycles`` cycles, so a
+    block's warps take ``Instr * warps * issue_cycles`` port cycles.
+    Dividing the block's global traffic by that time gives per-SM
+    demand; comparing against the SM's fair share of the interface
+    flags bandwidth-bound configurations.
+
+    Uncoalesced accesses are charged their G80 interface cost (a
+    32-byte transaction per 4-byte word).  The paper lists coalescing
+    as a factor its metrics do not yet include (Section 7); folding it
+    into this *screen* is exactly what makes the 8x8 matmul tiles
+    statically recognizable as bandwidth-bound.
+    """
+    warps = max(1, -(-threads_per_block // device.warp_size))
+    block_issue_cycles = profile.instructions * warps * issue_cycles_per_instruction
+    traffic = profile.traffic
+    coalesced_bytes = traffic.total_bytes - (
+        traffic.uncoalesced_load_bytes + traffic.uncoalesced_store_bytes
+    )
+    effective_bytes = coalesced_bytes + uncoalesced_traffic_factor * (
+        traffic.uncoalesced_load_bytes + traffic.uncoalesced_store_bytes
+    )
+    block_bytes = effective_bytes * threads_per_block
+    demand = block_bytes / block_issue_cycles if block_issue_cycles else 0.0
+    available = device.bytes_per_cycle / device.num_sms
+    memory_ops = (
+        profile.traffic.load_bytes + profile.traffic.store_bytes
+    ) / 4.0  # 4-byte words per access
+    fraction = memory_ops / profile.instructions if profile.instructions else 0.0
+    # Demand scales with the number of resident blocks only until the
+    # port saturates; a single block's warps already keep the port
+    # busy, so residency does not multiply demand.
+    del blocks_per_sm
+    return BandwidthEstimate(
+        demand_bytes_per_cycle=demand,
+        available_bytes_per_cycle=available,
+        memory_instruction_fraction=fraction,
+    )

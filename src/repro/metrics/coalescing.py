@@ -1,0 +1,64 @@
+"""Coalescing-aware efficiency — the paper's Section 7 future work.
+
+"Second, we wish to account for factors such as memory access
+coalescing that are currently not factored into the performance
+metrics, so that they may be more effective predictors of
+performance."
+
+The adjustment charges every uncoalesced global access its true
+interface cost in instruction-equivalents: an uncoalesced 4-byte word
+moves ``factor`` times its size across the DRAM pins, which costs the
+same machine time as issuing ``factor - 1`` additional instructions
+would (both are measured in 4-cycle units at the fair-share transfer
+rate).  The result drops bandwidth-crippled configurations (the 8x8
+matmul tiles) off the Pareto frontier without mispricing anything
+else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.metrics.efficiency import efficiency
+from repro.metrics.model import MetricReport
+
+WORD_BYTES = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class AdjustedMetrics:
+    """Metric pair with the coalescing penalty folded into Instr."""
+
+    efficiency: float
+    utilization: float
+    adjusted_instructions: float
+    penalty_instructions: float
+
+
+def coalescing_adjusted(
+    report: MetricReport,
+    uncoalesced_traffic_factor: float = 8.0,
+) -> AdjustedMetrics:
+    """Re-derive Equation 1 with coalescing-penalized instruction counts.
+
+    Utilization is left untouched: uncoalesced accesses waste
+    bandwidth, not latency-hiding opportunity.
+    """
+    traffic = report.profile.traffic
+    uncoalesced_words = (
+        traffic.uncoalesced_load_bytes + traffic.uncoalesced_store_bytes
+    ) / WORD_BYTES
+    penalty = uncoalesced_words * (uncoalesced_traffic_factor - 1.0)
+    adjusted = report.instructions + penalty
+    return AdjustedMetrics(
+        efficiency=efficiency(adjusted, report.threads),
+        utilization=report.utilization,
+        adjusted_instructions=adjusted,
+        penalty_instructions=penalty,
+    )
+
+
+def adjusted_point(report: MetricReport) -> tuple:
+    """(efficiency, utilization) for Pareto plots, coalescing-aware."""
+    adjusted = coalescing_adjusted(report)
+    return (adjusted.efficiency, adjusted.utilization)

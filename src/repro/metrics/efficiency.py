@@ -1,0 +1,25 @@
+"""Equation 1: the efficiency metric.
+
+    Efficiency = 1 / (Instr * Threads)
+
+"This efficiency metric indicates the overall efficiency of the
+configuration in terms of how many total instructions must execute
+before the kernel finishes."  Higher is better; only relative values
+between configurations are meaningful (Section 4).
+"""
+
+from __future__ import annotations
+
+
+def efficiency(instructions: float, threads: int) -> float:
+    """Efficiency of one configuration.
+
+    ``instructions`` is the per-thread dynamic instruction count from
+    the PTX analysis; ``threads`` is the total number of threads the
+    grid launches.
+    """
+    if instructions <= 0:
+        raise ValueError(f"instruction count must be positive, got {instructions}")
+    if threads <= 0:
+        raise ValueError(f"thread count must be positive, got {threads}")
+    return 1.0 / (instructions * threads)

@@ -1,0 +1,27 @@
+"""Equation 2: the utilization metric.
+
+    Utilization = (Instr / Regions) * [ (W_TB - 1)/2 + (B_SM - 1) * W_TB ]
+
+``Instr/Regions`` is the average run of non-blocking instructions a
+warp executes before hitting its own blocking instruction; the bracket
+counts the independent warps available to hide that wait — half of the
+same block's other warps (they may be heading to the same barrier)
+plus every warp of the other resident blocks (Section 4).
+"""
+
+from __future__ import annotations
+
+
+def utilization(
+    instructions: float,
+    regions: int,
+    warps_per_block: int,
+    blocks_per_sm: int,
+) -> float:
+    """Utilization of one configuration."""
+    if regions <= 0:
+        raise ValueError(f"region count must be positive, got {regions}")
+    if warps_per_block < 1 or blocks_per_sm < 1:
+        raise ValueError("warps per block and blocks per SM must be >= 1")
+    other_warps = (warps_per_block - 1) / 2.0 + (blocks_per_sm - 1) * warps_per_block
+    return (instructions / regions) * other_warps

@@ -1,0 +1,344 @@
+"""Affine lane analysis: infer coalescing and bank behaviour statically.
+
+The paper hand-reasons about which accesses coalesce ("Used more
+efficiently when multiple threads simultaneously access contiguous
+elements", Table 1) and notes that accounting for coalescing in the
+metrics is future work (Section 7).  This module derives those facts
+from the IR instead of trusting annotations: every memory index is
+symbolically evaluated as an affine function
+
+    index(thread) = base + dx * tid.x + dy * tid.y
+
+where ``base`` is warp-uniform (block coordinates, loop counters,
+immediates, scalar params).  From (dx, dy) and the block shape the
+G80's half-warp rules follow:
+
+* a global access *coalesces* when the 16 threads of a half-warp touch
+  16 consecutive elements;
+* a shared access is *conflict-free* when the half-warp's element
+  indices hit 16 distinct banks (stride coprime to 16), or when every
+  thread reads the same address (broadcast).
+
+Anything non-affine (data-dependent indices, division of a varying
+value) is conservatively unknown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.memory import MemorySpace, SHARED_MEMORY_BANKS
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import (
+    Immediate,
+    Param,
+    SpecialRegister,
+    Value,
+    VirtualRegister,
+)
+
+HALF_WARP = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class Affine:
+    """index = base(uniform) + dx * tid.x + dy * tid.y.
+
+    ``constant`` is the known part of the uniform base, or None when
+    the base is uniform but unknown (e.g. involves ctaid or a loop
+    counter).
+    """
+
+    dx: int
+    dy: int
+    constant: Optional[int] = None
+
+    @property
+    def is_lane_uniform(self) -> bool:
+        return self.dx == 0 and self.dy == 0
+
+
+UNIFORM = Affine(0, 0, None)
+
+
+def _combine_linear(a: "Affine", b: "Affine", sign: int) -> Optional[Affine]:
+    constant = None
+    if a.constant is not None and b.constant is not None:
+        constant = a.constant + sign * b.constant
+    return Affine(a.dx + sign * b.dx, a.dy + sign * b.dy, constant)
+
+
+class _AffineEvaluator:
+    """Symbolic evaluation over the kernel's def chains."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self._defs: Dict[VirtualRegister, List[Instruction]] = {}
+        self._counters: set = set()
+        self._collect(kernel.body)
+        self._cache: Dict[VirtualRegister, Optional[Affine]] = {}
+
+    def _collect(self, body: List[Statement]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Instruction):
+                if stmt.dest is not None:
+                    self._defs.setdefault(stmt.dest, []).append(stmt)
+            elif isinstance(stmt, ForLoop):
+                self._counters.add(stmt.counter)
+                self._collect(stmt.body)
+            elif isinstance(stmt, If):
+                self._collect(stmt.then_body)
+                self._collect(stmt.else_body)
+
+    # ------------------------------------------------------------------
+
+    def value(self, operand: Value) -> Optional[Affine]:
+        if isinstance(operand, Immediate):
+            if isinstance(operand.value, int):
+                return Affine(0, 0, operand.value)
+            return None
+        if isinstance(operand, SpecialRegister):
+            if operand is SpecialRegister.TID_X:
+                return Affine(1, 0, 0)
+            if operand is SpecialRegister.TID_Y:
+                return Affine(0, 1, 0)
+            if operand is SpecialRegister.TID_Z:
+                return None     # three-dimensional blocks: give up
+            return UNIFORM      # block ids and dims are warp-uniform
+        if isinstance(operand, Param):
+            return UNIFORM if not operand.is_pointer else None
+        if isinstance(operand, VirtualRegister):
+            return self.register(operand)
+        return None
+
+    def register(self, register: VirtualRegister) -> Optional[Affine]:
+        if register in self._cache:
+            return self._cache[register]
+        self._cache[register] = None      # cut cycles conservatively
+        if register in self._counters:
+            result: Optional[Affine] = UNIFORM
+        else:
+            definitions = self._defs.get(register, [])
+            base_defs = []
+            updated = False
+            for definition in definitions:
+                if self._is_uniform_self_update(register, definition):
+                    # Induction update r = r +/- uniform: preserves the
+                    # lane coefficients, invalidates the constant.
+                    updated = True
+                else:
+                    base_defs.append(definition)
+            if not base_defs:
+                result = None
+            else:
+                shapes = [self._instruction(d) for d in base_defs]
+                result = self._merge(shapes)
+                if result is not None and updated:
+                    result = Affine(result.dx, result.dy, None)
+        self._cache[register] = result
+        return result
+
+    def _is_uniform_self_update(
+        self, register: VirtualRegister, definition: Instruction
+    ) -> bool:
+        if definition.opcode not in (Opcode.ADD, Opcode.SUB):
+            return False
+        if register not in definition.srcs:
+            return False
+        other = [s for s in definition.srcs if s != register]
+        if len(other) != 1:
+            return False
+        shape = self.value(other[0])
+        return shape is not None and shape.is_lane_uniform
+
+    @staticmethod
+    def _merge(shapes: List[Optional[Affine]]) -> Optional[Affine]:
+        """Multiple definitions agree if their lane coefficients do."""
+        if any(s is None for s in shapes):
+            return None
+        first = shapes[0]
+        if all(s.dx == first.dx and s.dy == first.dy for s in shapes):
+            constant = first.constant if len(shapes) == 1 else None
+            return Affine(first.dx, first.dy, constant)
+        return None
+
+    def _instruction(self, instr: Instruction) -> Optional[Affine]:
+        opcode = instr.opcode
+        if opcode is Opcode.MOV:
+            return self.value(instr.srcs[0])
+        if opcode in (Opcode.ADD, Opcode.SUB):
+            a = self.value(instr.srcs[0])
+            b = self.value(instr.srcs[1])
+            if a is None or b is None:
+                return None
+            return _combine_linear(a, b, 1 if opcode is Opcode.ADD else -1)
+        if opcode is Opcode.MUL:
+            return self._product(instr.srcs[0], instr.srcs[1])
+        if opcode is Opcode.MAD:
+            product = self._product(instr.srcs[0], instr.srcs[1])
+            addend = self.value(instr.srcs[2])
+            if product is None or addend is None:
+                return None
+            return _combine_linear(product, addend, 1)
+        if opcode is Opcode.SHL:
+            amount = instr.srcs[1]
+            base = self.value(instr.srcs[0])
+            if base is None or not isinstance(amount, Immediate):
+                return None
+            factor = 1 << int(amount.value)
+            return Affine(
+                base.dx * factor, base.dy * factor,
+                None if base.constant is None else base.constant * factor,
+            )
+        if opcode is Opcode.CVT:
+            return self.value(instr.srcs[0])
+        if opcode in (Opcode.DIV, Opcode.REM, Opcode.SHR, Opcode.AND,
+                      Opcode.OR, Opcode.XOR, Opcode.MIN, Opcode.MAX):
+            # Uniform op uniform stays uniform; anything varying is no
+            # longer affine after these.
+            operands = [self.value(s) for s in instr.srcs]
+            if all(o is not None and o.is_lane_uniform for o in operands):
+                return UNIFORM
+            return None
+        if opcode is Opcode.LD:
+            return None         # data-dependent
+        return None
+
+    def _product(self, left: Value, right: Value) -> Optional[Affine]:
+        a = self.value(left)
+        b = self.value(right)
+        if a is None or b is None:
+            return None
+        for varying, const in ((a, b), (b, a)):
+            if const.is_lane_uniform and const.constant is not None:
+                factor = const.constant
+                return Affine(
+                    varying.dx * factor, varying.dy * factor,
+                    None if varying.constant is None
+                    else varying.constant * factor,
+                )
+        if a.is_lane_uniform and b.is_lane_uniform:
+            return UNIFORM
+        return None
+
+
+# ----------------------------------------------------------------------
+# Half-warp judgments.
+
+
+def _half_warp_offsets(shape: Affine, block_x: int) -> Optional[List[int]]:
+    """Element offsets of one half-warp's threads, relative to lane 0.
+
+    Lanes are assigned x-fastest; a half-warp covers 16 consecutive
+    linear thread ids.
+    """
+    if block_x <= 0:
+        return None
+    offsets = []
+    for lane in range(HALF_WARP):
+        x = lane % block_x
+        y = lane // block_x
+        offsets.append(shape.dx * x + shape.dy * y)
+    return offsets
+
+
+def is_coalesced(shape: Affine, block_x: int) -> bool:
+    """Do the 16 half-warp threads touch 16 consecutive elements?"""
+    offsets = _half_warp_offsets(shape, block_x)
+    if offsets is None:
+        return False
+    return sorted(offsets) == list(range(HALF_WARP))
+
+
+def bank_conflict_ways(shape: Affine, block_x: int) -> int:
+    """Serialization factor of a half-warp's shared access.
+
+    A bank serves one *address* per cycle, broadcast to every thread
+    requesting it; serialization happens when threads need distinct
+    addresses living in the same bank.  The factor is therefore the
+    maximum number of distinct addresses mapped to one bank.
+    """
+    offsets = _half_warp_offsets(shape, block_x)
+    if offsets is None:
+        return HALF_WARP
+    banks: Dict[int, set] = {}
+    for offset in offsets:
+        banks.setdefault(offset % SHARED_MEMORY_BANKS, set()).add(offset)
+    return max(len(addresses) for addresses in banks.values())
+
+
+# ----------------------------------------------------------------------
+# Kernel-level reports.
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessReport:
+    """Inferred behaviour of one memory instruction."""
+
+    instruction: Instruction
+    position: int                     # walk order
+    shape: Optional[Affine]
+    coalesced: Optional[bool]         # None: not a DRAM access / unknown
+    bank_ways: Optional[int]          # None: not a shared access / unknown
+
+
+def analyze_memory_access(kernel: Kernel) -> List[AccessReport]:
+    """Infer coalescing / bank behaviour for every memory instruction."""
+    evaluator = _AffineEvaluator(kernel)
+    block_x = kernel.block_dim.x
+    reports: List[AccessReport] = []
+
+    def visit(body: List[Statement]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Instruction):
+                if stmt.mem is None:
+                    continue
+                shape = evaluator.value(stmt.mem.index)
+                coalesced = None
+                bank_ways = None
+                space = stmt.mem.space
+                if space is MemorySpace.GLOBAL:
+                    coalesced = (
+                        None if shape is None
+                        else is_coalesced(shape, block_x)
+                    )
+                elif space is MemorySpace.LOCAL:
+                    # Local memory is thread-interleaved by the
+                    # hardware: a lane-uniform slot index lands on
+                    # consecutive DRAM words across the half-warp.
+                    coalesced = (
+                        None if shape is None else shape.is_lane_uniform
+                    )
+                elif space is MemorySpace.SHARED:
+                    bank_ways = (
+                        None if shape is None
+                        else bank_conflict_ways(shape, block_x)
+                    )
+                reports.append(AccessReport(
+                    instruction=stmt, position=len(reports),
+                    shape=shape, coalesced=coalesced, bank_ways=bank_ways,
+                ))
+            elif isinstance(stmt, ForLoop):
+                visit(stmt.body)
+            elif isinstance(stmt, If):
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+
+    visit(kernel.body)
+    return reports
+
+
+def annotation_mismatches(kernel: Kernel) -> List[AccessReport]:
+    """Global accesses whose hand annotation contradicts the analysis.
+
+    Unknown (non-affine) shapes are not reported — the annotation is
+    the only information available there.
+    """
+    return [
+        report for report in analyze_memory_access(kernel)
+        if report.coalesced is not None
+        and report.coalesced != report.instruction.coalesced
+    ]

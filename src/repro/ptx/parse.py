@@ -1,0 +1,159 @@
+"""Parsing of the PTX-style text emitted by :mod:`repro.ptx.emit`.
+
+The paper's workflow reads ``-ptx`` listings to count instructions and
+annotate loops by hand.  This parser supports that workflow in
+reverse: given a PTX listing (ours, or an edited one), it produces a
+structured listing — instruction records, labels, branch targets — on
+which the same static accounting can be done without the original IR.
+It is deliberately a *listing* parser, not a full PTX front end: it
+recovers what Section 4 extracts (opcodes, spaces, operands, loop
+structure via back edges), which is all the methodology consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Tuple
+
+
+class PtxParseError(ValueError):
+    """The listing does not look like emitted PTX."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PtxInstruction:
+    """One parsed instruction line."""
+
+    opcode: str                     # e.g. "mad" of "mad.s32"
+    suffixes: Tuple[str, ...]       # e.g. ("s32",) or ("global", "f32")
+    operands: Tuple[str, ...]
+    predicate: Optional[str] = None   # guard register, None if unguarded
+    comment: Optional[str] = None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in ("ld", "st")
+
+    @property
+    def space(self) -> Optional[str]:
+        if self.is_memory and self.suffixes:
+            return self.suffixes[0]
+        return None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode == "bra"
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.opcode == "bar"
+
+
+@dataclasses.dataclass(frozen=True)
+class PtxListing:
+    """A parsed kernel listing."""
+
+    name: str
+    params: Tuple[str, ...]
+    shared_declarations: Tuple[Tuple[str, int], ...]   # (name, bytes)
+    instructions: Tuple[PtxInstruction, ...]
+    labels: Dict[str, int]          # label -> instruction index it precedes
+
+    def count(self, opcode: str) -> int:
+        return sum(1 for i in self.instructions if i.opcode == opcode)
+
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """(branch_index, target_index) pairs that jump backwards —
+        one per loop in structured code."""
+        edges = []
+        for index, instr in enumerate(self.instructions):
+            if instr.is_branch and instr.operands:
+                target = self.labels.get(instr.operands[0])
+                if target is not None and target <= index:
+                    edges.append((index, target))
+        return edges
+
+    def loop_annotations(self) -> List[int]:
+        """Trip counts recovered from '// trips=N' comments."""
+        trips = []
+        for instr in self.instructions:
+            if instr.comment:
+                match = re.search(r"trips=(\d+)", instr.comment)
+                if match:
+                    trips.append(int(match.group(1)))
+        return trips
+
+
+_ENTRY = re.compile(r"^\.entry\s+(\w+)\s*\((.*)\)\s*$")
+_SHARED = re.compile(r"^\.shared\s+\.align\s+\d+\s+\.b8\s+(\w+)\[(\d+)\];$")
+_LABEL = re.compile(r"^(\$\w+):$")
+_PARAM = re.compile(r"\.param\s+\.\w+\s+(\w+)")
+_GUARD = re.compile(r"^@(!?%[\w.$]+)\s+(.*)$")
+
+
+def parse_ptx(text: str) -> PtxListing:
+    """Parse one emitted kernel listing."""
+    name = None
+    params: List[str] = []
+    shared: List[Tuple[str, int]] = []
+    instructions: List[PtxInstruction] = []
+    labels: Dict[str, int] = {}
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line in ("{", "}"):
+            continue
+        entry = _ENTRY.match(line)
+        if entry:
+            if name is not None:
+                raise PtxParseError("multiple .entry directives")
+            name = entry.group(1)
+            params = _PARAM.findall(entry.group(2))
+            continue
+        shared_match = _SHARED.match(line)
+        if shared_match:
+            shared.append((shared_match.group(1), int(shared_match.group(2))))
+            continue
+        label = _LABEL.match(line)
+        if label:
+            labels[label.group(1)] = len(instructions)
+            continue
+        instructions.append(_parse_instruction(line))
+
+    if name is None:
+        raise PtxParseError("no .entry directive found")
+    return PtxListing(
+        name=name,
+        params=tuple(params),
+        shared_declarations=tuple(shared),
+        instructions=tuple(instructions),
+        labels=labels,
+    )
+
+
+def _parse_instruction(line: str) -> PtxInstruction:
+    comment = None
+    if "//" in line:
+        line, comment = line.split("//", 1)
+        line = line.strip()
+        comment = comment.strip()
+    predicate = None
+    guard = _GUARD.match(line)
+    if guard:
+        predicate = guard.group(1)
+        line = guard.group(2).strip()
+    if not line.endswith(";"):
+        raise PtxParseError(f"missing ';' in {line!r}")
+    line = line[:-1].strip()
+
+    head, _, tail = line.partition(" ")
+    parts = head.split(".")
+    opcode = parts[0]
+    suffixes = tuple(parts[1:])
+    if opcode == "bar":             # bar.sync carries no operands
+        return PtxInstruction("bar", suffixes, (), predicate, comment)
+    operands = tuple(
+        op.strip() for op in tail.replace("\t", " ").split(",") if op.strip()
+    ) if tail else ()
+    return PtxInstruction(opcode, suffixes, operands, predicate, comment)

@@ -1,0 +1,86 @@
+"""Whole-GPU timing estimate for one kernel configuration.
+
+The full grids of the paper's applications run tens of thousands of
+thread blocks; simulating each one is pointless because blocks are
+identical in structure.  We simulate a couple of full residencies of
+one SM (fill + steady state) and extrapolate block throughput across
+the grid and the 16 SMs — the same reasoning the paper applies when it
+scales results from reduced inputs ("execution time will scale
+accordingly with an increase in input data size").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.arch.occupancy import LaunchError, Occupancy
+from repro.cubin.resources import ResourceUsage, cubin_info
+from repro.ir.kernel import Kernel
+from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
+from repro.sim.sm import SMResult, simulate_sm
+from repro.sim.trace import build_trace
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Timing estimate plus the evidence behind it."""
+
+    kernel_name: str
+    cycles: float
+    seconds: float
+    occupancy: Occupancy
+    resources: ResourceUsage
+    sm: SMResult
+    trace_events: int
+    blocks_sampled: int
+    blocks_per_sm_total: int
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+def simulate_kernel(
+    kernel: Kernel,
+    config: SimConfig = DEFAULT_SIM_CONFIG,
+    resources: Optional[ResourceUsage] = None,
+) -> SimulationResult:
+    """Estimate a kernel's execution time on the device.
+
+    Raises LaunchError for configurations that do not fit on an SM —
+    the paper's "invalid executable" points.
+    """
+    if resources is None:
+        resources = cubin_info(kernel)
+    occupancy = resources.occupancy(config.device)
+
+    trace = build_trace(kernel, config)
+    blocks_per_sm_total = math.ceil(kernel.num_blocks / config.device.num_sms)
+    blocks_to_sample = min(
+        blocks_per_sm_total,
+        occupancy.blocks_per_sm * config.simulated_waves,
+    )
+    sm_result = simulate_sm(
+        trace=trace,
+        warps_per_block=occupancy.warps_per_block,
+        blocks_resident=occupancy.blocks_per_sm,
+        total_blocks=blocks_to_sample,
+        config=config,
+    )
+    cycles = sm_result.cycles_per_block * blocks_per_sm_total
+    return SimulationResult(
+        kernel_name=kernel.name,
+        cycles=cycles,
+        seconds=config.device.cycles_to_seconds(cycles),
+        occupancy=occupancy,
+        resources=resources,
+        sm=sm_result,
+        trace_events=len(trace),
+        blocks_sampled=blocks_to_sample,
+        blocks_per_sm_total=blocks_per_sm_total,
+    )
+
+
+__all__ = ["LaunchError", "SimulationResult", "simulate_kernel"]

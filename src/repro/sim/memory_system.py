@@ -1,0 +1,55 @@
+"""DRAM interface model: fixed latency plus token-bucket bandwidth.
+
+Two constraints govern a transfer's completion:
+
+* a *burst* pipe serving requests at several times one SM's fair
+  share of the 86.4 GB/s interface — barrier-phased kernels load in
+  bursts while other SMs compute, so short bursts see far more than
+  the long-run average; and
+* a *sustained* budget accruing at exactly the fair share — over any
+  long window an SM cannot move more than its share, which is what
+  makes genuinely bandwidth-bound configurations (the paper's 8x8
+  matmul tiles) slow regardless of burstiness.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SimConfig
+
+
+class MemorySystem:
+    """Per-SM view of the global-memory interface."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self._share = config.bandwidth_bytes_per_cycle_per_sm
+        self._burst_rate = self._share * config.bandwidth_burst_factor
+        self._window_cycles = config.burst_window_bytes / self._share
+        self._burst_free_at = 0.0
+        self._sustained_end = 0.0
+        self.total_bytes = 0.0
+        self.busy_cycles = 0.0
+
+    def request(self, now: float, bytes_: float, latency: float) -> float:
+        """Issue a transfer; returns its completion time.
+
+        Zero-byte requests (texture-cache hits) only pay latency.
+        """
+        if bytes_ <= 0.0:
+            return now + latency
+        burst_start = max(self._burst_free_at, now)
+        burst_end = burst_start + bytes_ / self._burst_rate
+        # The sustained budget never idles below "now": credit does
+        # not accumulate while the SM is not using memory beyond one
+        # burst window.
+        self._sustained_end = (
+            max(self._sustained_end, now) + bytes_ / self._share
+        )
+        service_end = max(burst_end, self._sustained_end - self._window_cycles)
+        self.total_bytes += bytes_
+        self.busy_cycles += service_end - burst_start
+        self._burst_free_at = service_end
+        return service_end + latency
+
+    @property
+    def pipe_free_at(self) -> float:
+        return self._burst_free_at

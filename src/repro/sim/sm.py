@@ -1,0 +1,210 @@
+"""Discrete-event timing model of one streaming multiprocessor.
+
+Models the mechanisms Section 2.1 names as the performance
+determinants: a single in-order issue port shared by all resident
+warps (one warp instruction per four cycles), zero-overhead warp
+switching (any ready warp may issue; the SM stalls only when no warp
+has ready operands), scoreboarded global loads that block at first
+use, block-wide barriers, SFU throughput, and queueing on the DRAM
+interface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List
+
+from repro.sim.config import SimConfig
+from repro.sim.memory_system import MemorySystem
+from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE, WarpTrace
+
+
+class SimulationDeadlock(RuntimeError):
+    """The event loop wedged; indicates a malformed trace."""
+
+
+class _Warp:
+    __slots__ = ("index", "block", "pos", "ready_at", "pending", "done",
+                 "at_barrier")
+
+    def __init__(self, index: int, block: "_Block") -> None:
+        self.index = index
+        self.block = block
+        self.reset(0.0)
+
+    def reset(self, start_time: float) -> None:
+        self.pos = 0
+        self.ready_at = start_time
+        self.pending: Dict[int, float] = {}
+        self.done = False
+        self.at_barrier = False
+
+
+class _Block:
+    __slots__ = ("warps", "arrived", "barrier_time", "done_count", "finish_time")
+
+    def __init__(self) -> None:
+        self.warps: List[_Warp] = []
+        self.arrived = 0
+        self.barrier_time = 0.0
+        self.done_count = 0
+        self.finish_time = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SMResult:
+    """Outcome of simulating one SM over a fixed number of blocks."""
+
+    cycles: float
+    blocks_completed: int
+    issue_busy_cycles: float
+    dram_bytes: float
+    dram_busy_cycles: float
+
+    @property
+    def cycles_per_block(self) -> float:
+        return self.cycles / self.blocks_completed
+
+    @property
+    def issue_utilization(self) -> float:
+        return self.issue_busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        return self.dram_busy_cycles / self.cycles if self.cycles else 0.0
+
+
+def simulate_sm(
+    trace: WarpTrace,
+    warps_per_block: int,
+    blocks_resident: int,
+    total_blocks: int,
+    config: SimConfig,
+) -> SMResult:
+    """Replay ``total_blocks`` copies of a block's warps on one SM.
+
+    ``blocks_resident`` blocks run concurrently (B_SM); a finished
+    block's slot is refilled immediately, as the runtime does.
+    """
+    if total_blocks < blocks_resident:
+        blocks_resident = total_blocks
+    memory = MemorySystem(config)
+    events = trace.events
+    issue_cost = config.issue_cycles_per_instruction
+    sfu_cost = config.sfu_cycles_per_instruction
+
+    blocks = [_Block() for _ in range(blocks_resident)]
+    heap: List[tuple] = []
+    sequence = 0
+    for block in blocks:
+        for _ in range(warps_per_block):
+            warp = _Warp(sequence, block)
+            block.warps.append(warp)
+            heapq.heappush(heap, (0.0, sequence, warp))
+            sequence += 1
+
+    port_free = 0.0
+    sfu_free = 0.0
+    issue_busy = 0.0
+    finished_blocks = 0
+    blocks_started = blocks_resident
+    finish_time = 0.0
+
+    def settle(warp: _Warp) -> bool:
+        """Advance through non-port events; True if warp can issue."""
+        nonlocal finished_blocks, blocks_started, finish_time, sequence
+        while True:
+            if warp.pos >= len(events):
+                warp.done = True
+                block = warp.block
+                block.done_count += 1
+                block.finish_time = max(block.finish_time, warp.ready_at)
+                if block.done_count == len(block.warps):
+                    finished_blocks += 1
+                    finish_time = max(finish_time, block.finish_time)
+                    if blocks_started < total_blocks:
+                        blocks_started += 1
+                        restart = block.finish_time
+                        block.done_count = 0
+                        block.arrived = 0
+                        block.barrier_time = 0.0
+                        block.finish_time = 0.0
+                        for w in block.warps:
+                            w.reset(restart)
+                            sequence += 1
+                            heapq.heappush(heap, (restart, sequence, w))
+                return False
+            kind, a, b = events[warp.pos]
+            if kind == USE:
+                warp.ready_at = max(warp.ready_at, warp.pending.pop(a, 0.0))
+                warp.pos += 1
+                continue
+            if kind == BARRIER:
+                block = warp.block
+                block.arrived += 1
+                block.barrier_time = max(block.barrier_time, warp.ready_at)
+                warp.at_barrier = True
+                warp.pos += 1
+                if block.arrived == len(block.warps):
+                    release = block.barrier_time
+                    block.arrived = 0
+                    block.barrier_time = 0.0
+                    for w in block.warps:
+                        w.at_barrier = False
+                        w.ready_at = max(w.ready_at, release)
+                        sequence += 1
+                        heapq.heappush(heap, (w.ready_at, sequence, w))
+                return False
+            return True
+
+    while heap:
+        _, _, warp = heapq.heappop(heap)
+        if warp.done or warp.at_barrier:
+            continue
+        if not settle(warp):
+            continue
+        kind, a, b = events[warp.pos]
+        start = max(port_free, warp.ready_at)
+        if kind == COMPUTE:
+            duration = a * issue_cost
+            warp.ready_at = start + duration
+        elif kind == SFU:
+            # Issue occupies the port briefly; the SFU pipeline is a
+            # separate throughput-limited resource, and the result is
+            # scoreboarded until its latency elapses.
+            duration = issue_cost
+            sfu_free = max(sfu_free, start + duration) + sfu_cost
+            warp.pending[a] = sfu_free + config.sfu_result_latency
+            warp.ready_at = start + duration
+        elif kind == LOAD:
+            duration = issue_cost
+            bytes_, latency = b
+            completion = memory.request(start + duration, bytes_, latency)
+            warp.pending[a] = completion
+            warp.ready_at = start + duration
+        elif kind == STORE:
+            duration = issue_cost
+            memory.request(start + duration, a, 0.0)
+            warp.ready_at = start + duration
+        else:
+            raise SimulationDeadlock(f"unexpected event kind {kind}")
+        port_free = start + duration
+        issue_busy += duration
+        warp.pos += 1
+        sequence += 1
+        heapq.heappush(heap, (warp.ready_at, sequence, warp))
+
+    if finished_blocks < total_blocks:
+        raise SimulationDeadlock(
+            f"completed {finished_blocks}/{total_blocks} blocks"
+        )
+    return SMResult(
+        # A block is not done until its outstanding stores drain; the
+        # pipe term is what makes store-bound kernels bandwidth-bound.
+        cycles=max(finish_time, port_free, memory.pipe_free_at),
+        blocks_completed=finished_blocks,
+        issue_busy_cycles=issue_busy,
+        dram_bytes=memory.total_bytes,
+        dram_busy_cycles=memory.busy_cycles,
+    )

@@ -1,0 +1,135 @@
+"""Warp-level execution traces.
+
+The timing simulator does not interpret instructions; it replays a
+*trace* — the per-warp sequence of issue-port work, memory requests,
+scoreboard waits and barriers that one warp of the kernel produces.
+Because kernels are SPMD and divergence is modeled statically, every
+warp replays the same trace; only the timing state differs.
+
+Load/use separation matters: "global load operations execute
+immediately and do not block execution until a use of the destination
+operand is encountered" (Section 4).  The trace records the load at
+its issue point and a USE event at the first read of its destination,
+which is precisely what makes prefetching profitable in the simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.ir.instructions import Instruction
+from repro.ir.kernel import Kernel
+from repro.ir.values import VirtualRegister
+from repro.ptx.analysis import ControlOp, expand_dynamic
+from repro.ptx.isa import InstrClass, classify
+from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
+
+# Event kinds (tuple-encoded for speed: (kind, a, b)).
+COMPUTE = 0   # a = issue slots (ALU instructions)
+SFU = 1       # a = tag; result is scoreboarded like a load
+LOAD = 2      # a = tag, b = (DRAM bytes for the warp, latency)
+USE = 3       # a = tag
+STORE = 4     # a = DRAM bytes for the warp
+BARRIER = 5
+
+Event = Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class WarpTrace:
+    """The replayable event stream of one warp."""
+
+    events: List[Event]
+    issue_slots: int          # total port-consuming instructions
+    dram_bytes: float         # per-warp DRAM traffic (loads + stores)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _warp_bytes(instr: Instruction, threads: int, config: SimConfig) -> float:
+    bytes_per_thread = instr.mem.dtype.size_bytes
+    total = bytes_per_thread * threads
+    if not instr.coalesced:
+        total *= config.uncoalesced_traffic_factor
+    return total
+
+
+def build_trace(kernel: Kernel, config: SimConfig = DEFAULT_SIM_CONFIG) -> WarpTrace:
+    """Compile a kernel into its warp trace.
+
+    The final (possibly partial) warp is modeled like a full one: the
+    SIMD pipeline charges a full warp's issue slots regardless of how
+    many lanes are active.
+    """
+    threads = min(kernel.threads_per_block, config.device.warp_size)
+    events: List[Event] = []
+    pending: dict = {}          # dest register -> tag
+    compute_run = 0
+    issue_slots = 0
+    dram_bytes = 0.0
+    next_tag = 0
+
+    def flush_compute() -> None:
+        nonlocal compute_run
+        if compute_run:
+            events.append((COMPUTE, compute_run, 0))
+            compute_run = 0
+
+    def note_uses(instr: Instruction) -> None:
+        for value in instr.reads:
+            if isinstance(value, VirtualRegister) and value in pending:
+                flush_compute()
+                events.append((USE, pending.pop(value), 0))
+
+    for op in expand_dynamic(kernel):
+        if isinstance(op, ControlOp):
+            compute_run += 1
+            issue_slots += 1
+            continue
+        cls = classify(op)
+        note_uses(op)
+        issue_slots += 1
+        if cls in (InstrClass.GLOBAL_LOAD, InstrClass.LOCAL_LOAD,
+                   InstrClass.TEXTURE_LOAD):
+            flush_compute()
+            if cls is InstrClass.TEXTURE_LOAD:
+                bytes_ = 0.0
+                latency = config.texture_latency_cycles
+            else:
+                bytes_ = _warp_bytes(op, threads, config)
+                latency = config.global_latency_cycles
+                dram_bytes += bytes_
+            tag = next_tag
+            next_tag += 1
+            if op.dest is not None:
+                pending[op.dest] = tag
+            events.append((LOAD, tag, (bytes_, latency)))
+        elif cls in (InstrClass.GLOBAL_STORE, InstrClass.LOCAL_STORE):
+            flush_compute()
+            bytes_ = _warp_bytes(op, threads, config)
+            dram_bytes += bytes_
+            events.append((STORE, bytes_, 0))
+        elif cls is InstrClass.BARRIER:
+            flush_compute()
+            events.append((BARRIER, 0, 0))
+        elif cls is InstrClass.SFU:
+            flush_compute()
+            tag = next_tag
+            next_tag += 1
+            if op.dest is not None:
+                pending[op.dest] = tag
+            events.append((SFU, tag, 0))
+        elif cls is InstrClass.CONST_LOAD:
+            # Constant-cache hits cost like ALU ops unless conflicted.
+            compute_run += config.constant_conflict_ways
+        elif cls in (InstrClass.SHARED_LOAD, InstrClass.SHARED_STORE):
+            # Bank-conflict-free by default (Table 1); serialized
+            # accesses replay the instruction per conflicting bank.
+            compute_run += config.shared_bank_conflict_ways
+        else:
+            # Remaining ALU work: one issue slot.
+            compute_run += 1
+    flush_compute()
+    return WarpTrace(events=events, issue_slots=issue_slots, dram_bytes=dram_bytes)

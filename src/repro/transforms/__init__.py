@@ -1,0 +1,51 @@
+"""IR-to-IR optimization passes (paper Section 3.1)."""
+
+from repro.transforms.constfold import constant_fold
+from repro.transforms.cse import eliminate_common_subexpressions
+from repro.transforms.dce import eliminate_dead_code
+from repro.transforms.licm import hoist_loop_invariants
+from repro.transforms.pipeline import standard_cleanup
+from repro.transforms.prefetch import PrefetchError, prefetch_global_loads
+from repro.transforms.schedule import schedule_loads_early
+from repro.transforms.strength import reduce_strength
+from repro.transforms.rewrite import (
+    FreshNames,
+    Pass,
+    apply_passes,
+    clone_body,
+    clone_kernel,
+    collect_defs,
+    collect_uses,
+    rewrite_instruction,
+    substitute_value,
+)
+from repro.transforms.spill import SpillError, choose_spill_candidates, spill_registers
+from repro.transforms.unroll import COMPLETE, UnrollError, UnrollFactor, unroll
+
+__all__ = [
+    "COMPLETE",
+    "FreshNames",
+    "Pass",
+    "PrefetchError",
+    "SpillError",
+    "UnrollError",
+    "UnrollFactor",
+    "apply_passes",
+    "choose_spill_candidates",
+    "clone_body",
+    "clone_kernel",
+    "collect_defs",
+    "collect_uses",
+    "constant_fold",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "hoist_loop_invariants",
+    "prefetch_global_loads",
+    "reduce_strength",
+    "schedule_loads_early",
+    "rewrite_instruction",
+    "spill_registers",
+    "standard_cleanup",
+    "substitute_value",
+    "unroll",
+]

@@ -1,0 +1,97 @@
+"""Common subexpression elimination (paper Section 3.1, category three).
+
+Redundant computations distributed across a thread's instruction
+stream — typically address arithmetic duplicated by thread-level
+tiling — are collapsed onto a single definition.  The transformation
+is restricted to single-definition registers, which is what the
+KernelBuilder produces for everything except explicit accumulators,
+keeping the substitution globally sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import Value, VirtualRegister
+from repro.transforms.rewrite import (
+    clone_kernel,
+    collect_defs,
+    rewrite_instruction,
+    substitute_value,
+)
+
+_CSE_OPS = {
+    op for op in Opcode
+    if op not in (Opcode.LD, Opcode.ST, Opcode.BAR)
+}
+
+ExprKey = Tuple
+
+
+class _CSE:
+    def __init__(self, kernel: Kernel) -> None:
+        self.defs = collect_defs(kernel.body)
+        self.replacements: Dict[VirtualRegister, Value] = {}
+
+    def _single_def(self, register: VirtualRegister) -> bool:
+        return self.defs.get(register, 0) == 1
+
+    def _key(self, instr: Instruction) -> ExprKey:
+        return (instr.opcode, instr.cmp, instr.srcs)
+
+    def run_body(self, body: List[Statement], avail: Dict[ExprKey, VirtualRegister]) -> List[Statement]:
+        result: List[Statement] = []
+        for stmt in body:
+            if isinstance(stmt, Instruction):
+                instr = rewrite_instruction(stmt, self.replacements)
+                key = None
+                eligible = (
+                    instr.opcode in _CSE_OPS
+                    and instr.dest is not None
+                    and self._single_def(instr.dest)
+                    and all(
+                        not isinstance(s, VirtualRegister) or self._single_def(s)
+                        for s in instr.srcs
+                    )
+                )
+                if eligible:
+                    key = self._key(instr)
+                    existing = avail.get(key)
+                    if existing is not None:
+                        self.replacements[instr.dest] = existing
+                        continue
+                result.append(instr)
+                if key is not None:
+                    avail[key] = instr.dest
+            elif isinstance(stmt, ForLoop):
+                result.append(ForLoop(
+                    counter=stmt.counter,
+                    start=substitute_value(stmt.start, self.replacements),
+                    stop=substitute_value(stmt.stop, self.replacements),
+                    step=substitute_value(stmt.step, self.replacements),
+                    # Nested scope: expressions computed inside a loop
+                    # iteration must not satisfy later iterations or
+                    # post-loop code (fresh table), but outer
+                    # expressions remain available inside.
+                    body=self.run_body(stmt.body, dict(avail)),
+                    trip_count=stmt.trip_count,
+                    label=stmt.label,
+                ))
+            elif isinstance(stmt, If):
+                result.append(If(
+                    cond=substitute_value(stmt.cond, self.replacements),
+                    then_body=self.run_body(stmt.then_body, dict(avail)),
+                    else_body=self.run_body(stmt.else_body, dict(avail)),
+                    taken_fraction=stmt.taken_fraction,
+                ))
+        return result
+
+
+def eliminate_common_subexpressions(kernel: Kernel) -> Kernel:
+    """One CSE sweep over the kernel."""
+    cse = _CSE(kernel)
+    body = cse.run_body(kernel.body, {})
+    return clone_kernel(kernel, body=body)

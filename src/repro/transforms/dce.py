@@ -1,0 +1,68 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never read, loops whose
+bodies emptied out, and conditionals with no surviving arms.  Loads
+count as pure: our memory model has no faulting semantics, so an
+unread load is dead weight (this is exactly what makes dropped
+redundant loads an instruction-count optimization in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import VirtualRegister
+from repro.transforms.rewrite import clone_kernel, collect_uses
+
+_SIDE_EFFECTS = (Opcode.ST, Opcode.BAR)
+
+
+def _sweep(body: List[Statement], uses: Dict[VirtualRegister, int]) -> List[Statement]:
+    result: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, Instruction):
+            if stmt.opcode in _SIDE_EFFECTS:
+                result.append(stmt)
+            elif stmt.dest is not None and uses.get(stmt.dest, 0) > 0:
+                result.append(stmt)
+        elif isinstance(stmt, ForLoop):
+            inner = _sweep(stmt.body, uses)
+            if inner or uses.get(stmt.counter, 0) > 0:
+                result.append(ForLoop(
+                    counter=stmt.counter, start=stmt.start, stop=stmt.stop,
+                    step=stmt.step, body=inner, trip_count=stmt.trip_count,
+                    label=stmt.label,
+                ))
+        elif isinstance(stmt, If):
+            then_body = _sweep(stmt.then_body, uses)
+            else_body = _sweep(stmt.else_body, uses)
+            if then_body or else_body:
+                result.append(If(
+                    cond=stmt.cond, then_body=then_body, else_body=else_body,
+                    taken_fraction=stmt.taken_fraction,
+                ))
+    return result
+
+
+def eliminate_dead_code(kernel: Kernel) -> Kernel:
+    """Iterate use-count sweeps to a fixpoint."""
+    body = kernel.body
+    while True:
+        swept = _sweep(body, collect_uses(body))
+        if _count(swept) == _count(body):
+            return clone_kernel(kernel, body=swept)
+        body = swept
+
+
+def _count(body: List[Statement]) -> int:
+    total = 0
+    for stmt in body:
+        total += 1
+        if isinstance(stmt, ForLoop):
+            total += _count(stmt.body)
+        elif isinstance(stmt, If):
+            total += _count(stmt.then_body) + _count(stmt.else_body)
+    return total

@@ -1,0 +1,105 @@
+"""Loop-invariant code motion (paper Section 3.1, category three).
+
+Pure instructions whose operands do not change across a loop's
+iterations are hoisted in front of the loop.  Speculative hoisting out
+of conditionals inside the loop is allowed because all hoistable
+operations are side-effect free in our model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import VirtualRegister
+from repro.transforms.rewrite import clone_kernel, collect_defs
+
+_HOISTABLE = {
+    op for op in Opcode if op not in (Opcode.LD, Opcode.ST, Opcode.BAR)
+}
+
+
+def _defs_in_subtree(body: List[Statement]) -> Set[VirtualRegister]:
+    return set(collect_defs(body))
+
+
+def _hoist_from(
+    body: List[Statement],
+    varying: Set[VirtualRegister],
+    hoisted: List[Instruction],
+    kernel_defs: dict,
+) -> List[Statement]:
+    """Remove invariant instructions from ``body``, appending to hoisted."""
+    remaining: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, Instruction):
+            movable = (
+                stmt.opcode in _HOISTABLE
+                and stmt.dest is not None
+                and kernel_defs.get(stmt.dest, 0) == 1
+                and all(
+                    not isinstance(v, VirtualRegister) or v not in varying
+                    for v in stmt.reads
+                )
+            )
+            if movable:
+                hoisted.append(stmt)
+                varying.discard(stmt.dest)
+            else:
+                remaining.append(stmt)
+        elif isinstance(stmt, If):
+            then_body = _hoist_from(stmt.then_body, varying, hoisted, kernel_defs)
+            else_body = _hoist_from(stmt.else_body, varying, hoisted, kernel_defs)
+            remaining.append(If(
+                cond=stmt.cond, then_body=then_body, else_body=else_body,
+                taken_fraction=stmt.taken_fraction,
+            ))
+        else:
+            remaining.append(stmt)
+    return remaining
+
+
+def _process_body(body: List[Statement], kernel_defs: dict) -> List[Statement]:
+    result: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, ForLoop):
+            inner = _process_body(stmt.body, kernel_defs)
+            loop = ForLoop(
+                counter=stmt.counter, start=stmt.start, stop=stmt.stop,
+                step=stmt.step, body=inner, trip_count=stmt.trip_count,
+                label=stmt.label,
+            )
+            # Fixpoint: hoisting one instruction can make another
+            # invariant (chains of address arithmetic).
+            while True:
+                varying = _defs_in_subtree(loop.body) | {loop.counter}
+                hoisted: List[Instruction] = []
+                new_body = _hoist_from(loop.body, varying, hoisted, kernel_defs)
+                if not hoisted:
+                    break
+                result.extend(hoisted)
+                loop = ForLoop(
+                    counter=loop.counter, start=loop.start, stop=loop.stop,
+                    step=loop.step, body=new_body, trip_count=loop.trip_count,
+                    label=loop.label,
+                )
+            result.append(loop)
+        elif isinstance(stmt, If):
+            result.append(If(
+                cond=stmt.cond,
+                then_body=_process_body(stmt.then_body, kernel_defs),
+                else_body=_process_body(stmt.else_body, kernel_defs),
+                taken_fraction=stmt.taken_fraction,
+            ))
+        else:
+            result.append(stmt)
+    return result
+
+
+def hoist_loop_invariants(kernel: Kernel) -> Kernel:
+    """Hoist invariant pure instructions out of every loop."""
+    kernel_defs = collect_defs(kernel.body)
+    body = _process_body(kernel.body, kernel_defs)
+    return clone_kernel(kernel, body=body)

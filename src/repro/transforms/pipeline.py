@@ -1,0 +1,35 @@
+"""Standard pass orderings.
+
+``standard_cleanup`` is what the application generators run after the
+structural transformations (tiling variants, unrolling, prefetching):
+fold constants, share subexpressions, hoist invariants, fold again
+(hoisting exposes folds), and sweep dead code — iterated to a fixpoint
+so the resulting PTX is stable regardless of how many rewrites ran.
+"""
+
+from __future__ import annotations
+
+from repro.ir.kernel import Kernel
+from repro.ptx.emit import emit_ptx
+from repro.transforms.constfold import constant_fold
+from repro.transforms.cse import eliminate_common_subexpressions
+from repro.transforms.dce import eliminate_dead_code
+from repro.transforms.licm import hoist_loop_invariants
+
+_MAX_ROUNDS = 10
+
+
+def standard_cleanup(kernel: Kernel) -> Kernel:
+    """Run the scalar optimization pipeline to a fixpoint."""
+    fingerprint = emit_ptx(kernel)
+    for _ in range(_MAX_ROUNDS):
+        kernel = constant_fold(kernel)
+        kernel = eliminate_common_subexpressions(kernel)
+        kernel = hoist_loop_invariants(kernel)
+        kernel = constant_fold(kernel)
+        kernel = eliminate_dead_code(kernel)
+        new_fingerprint = emit_ptx(kernel)
+        if new_fingerprint == fingerprint:
+            return kernel
+        fingerprint = new_fingerprint
+    return kernel

@@ -1,0 +1,213 @@
+"""Global-load prefetching (paper Section 3.1, category four; Figure 2(d)).
+
+Transforms a tile-streaming loop
+
+    for (...) {
+        a = A[indexA];            // long-latency load
+        As[...] = a;              // handoff to shared memory
+        indexA += 16;             // induction update
+        __syncthreads();
+        ...compute...
+        __syncthreads();
+    }
+
+into the paper's prefetched form: the load is issued one iteration
+ahead, into a register that stays live across the whole loop —
+"initiating long-latency global loads into an additional local
+variable (register) long before the variable is used":
+
+    a = A[indexA];                // prologue load
+    for (...) {
+        As[...] = a;
+        indexA += 16;
+        __syncthreads();
+        a = A[indexA];            // next iteration's data
+        ...compute...
+        __syncthreads();
+    }
+
+The final iteration's trailing load over-fetches one tile past the
+end, exactly as the paper's hand-written kernel does; the functional
+interpreter clamps global reads so this is harmless (the fetched value
+is never consumed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import VirtualRegister
+from repro.transforms.rewrite import clone_body, clone_kernel, collect_defs, collect_uses
+
+
+class PrefetchError(ValueError):
+    """The loop does not match the prefetchable tile-streaming shape."""
+
+
+def _first_barrier_index(body: List[Statement]) -> Optional[int]:
+    for position, stmt in enumerate(body):
+        if isinstance(stmt, Instruction) and stmt.opcode is Opcode.BAR:
+            return position
+    return None
+
+
+def _candidate_loads(
+    loop: ForLoop,
+    barrier_at: int,
+    outside_defs: Set[VirtualRegister],
+    kernel_uses: dict,
+) -> List[int]:
+    """Positions of loads that can be issued one iteration early."""
+    body = loop.body
+    loop_defs = set(collect_defs(body)) | {loop.counter}
+    candidates = []
+    for position in range(barrier_at):
+        stmt = body[position]
+        if not isinstance(stmt, Instruction) or stmt.opcode is not Opcode.LD:
+            continue
+        if not stmt.is_global_access:
+            continue
+        index_regs = [
+            v for v in (stmt.mem.index,) if isinstance(v, VirtualRegister)
+        ]
+        # The address must be computable at the loop preheader and be
+        # updated before the barrier (so the early load sees the next
+        # iteration's address).
+        if any(reg not in outside_defs and reg not in loop_defs for reg in index_regs):
+            continue
+        if any(
+            reg in loop_defs and not _written_before(body, barrier_at, reg)
+            and reg is not loop.counter
+            for reg in index_regs
+        ):
+            continue
+        if stmt.mem.index is loop.counter or loop.counter in index_regs:
+            # Counter-addressed loads would need a rotated counter.
+            continue
+        # Every use of the destination must precede the barrier, and
+        # the value must not escape the loop.
+        dest = stmt.dest
+        uses_in_body = _use_positions(body, dest)
+        if any(pos > barrier_at for pos in uses_in_body):
+            continue
+        if kernel_uses.get(dest, 0) != len(uses_in_body):
+            continue
+        candidates.append(position)
+    return candidates
+
+
+def _written_before(body: List[Statement], limit: int, register: VirtualRegister) -> bool:
+    for stmt in body[:limit]:
+        if isinstance(stmt, Instruction) and stmt.dest == register:
+            return True
+    return False
+
+
+def _use_positions(body: List[Statement], register: VirtualRegister) -> List[int]:
+    positions = []
+    for position, stmt in enumerate(body):
+        if isinstance(stmt, Instruction):
+            if any(v == register for v in stmt.reads):
+                positions.append(position)
+        elif isinstance(stmt, (ForLoop, If)):
+            if register in collect_uses([stmt]):
+                positions.append(position)
+    return positions
+
+
+def prefetch_global_loads(kernel: Kernel, label: Optional[str] = None) -> Kernel:
+    """Apply Figure 2(d) prefetching to matching loops.
+
+    With ``label``, only the labelled loop is transformed and a
+    PrefetchError is raised if it does not match; otherwise every
+    matching loop is transformed and non-matching loops are left alone.
+    """
+    kernel_defs = collect_defs(kernel.body)
+    kernel_uses = collect_uses(kernel.body)
+    transformed = [0]
+
+    def rewrite(body: List[Statement], outside_defs: Set[VirtualRegister]) -> List[Statement]:
+        result: List[Statement] = []
+        for stmt in body:
+            if isinstance(stmt, ForLoop):
+                local_outside = outside_defs | {stmt.counter}
+                new_body = rewrite(stmt.body, local_outside | set(collect_defs(stmt.body)))
+                loop = ForLoop(
+                    counter=stmt.counter, start=stmt.start, stop=stmt.stop,
+                    step=stmt.step, body=new_body, trip_count=stmt.trip_count,
+                    label=stmt.label,
+                )
+                wants = label is None or loop.label == label
+                if wants:
+                    prologue = _try_prefetch(loop, outside_defs, kernel_uses)
+                    if prologue is not None:
+                        result.extend(prologue)
+                        transformed[0] += 1
+                    elif label is not None:
+                        raise PrefetchError(
+                            f"loop {label!r} does not match the prefetch pattern"
+                        )
+                    else:
+                        result.append(loop)
+                    continue
+                result.append(loop)
+            elif isinstance(stmt, If):
+                result.append(If(
+                    cond=stmt.cond,
+                    then_body=rewrite(stmt.then_body, outside_defs),
+                    else_body=rewrite(stmt.else_body, outside_defs),
+                    taken_fraction=stmt.taken_fraction,
+                ))
+            else:
+                result.append(stmt)
+                if isinstance(stmt, Instruction) and stmt.dest is not None:
+                    outside_defs = outside_defs | {stmt.dest}
+        return result
+
+    def _try_prefetch(
+        loop: ForLoop,
+        outside_defs: Set[VirtualRegister],
+        uses: dict,
+    ) -> Optional[List[Statement]]:
+        barrier_at = _first_barrier_index(loop.body)
+        if barrier_at is None:
+            return None
+        candidates = _candidate_loads(loop, barrier_at, outside_defs, uses)
+        if not candidates:
+            return None
+        prologue: List[Statement] = []
+        new_body: List[Statement] = []
+        early_loads: List[Instruction] = []
+        for position, stmt in enumerate(loop.body):
+            if position in candidates:
+                prologue.extend(clone_body([stmt]))
+                early_loads.append(stmt)
+                continue
+            new_body.append(stmt)
+            if (
+                isinstance(stmt, Instruction)
+                and stmt.opcode is Opcode.BAR
+                and early_loads
+            ):
+                new_body.extend(clone_body(early_loads))
+                early_loads = []
+        prologue.append(ForLoop(
+            counter=loop.counter, start=loop.start, stop=loop.stop,
+            step=loop.step, body=new_body, trip_count=loop.trip_count,
+            label=loop.label,
+        ))
+        return prologue
+
+    body = rewrite(kernel.body, _toplevel_defs(kernel_defs, kernel))
+    if label is not None and transformed[0] == 0:
+        raise PrefetchError(f"no loop labelled {label!r} found")
+    return clone_kernel(kernel, body=body)
+
+
+def _toplevel_defs(kernel_defs: dict, kernel: Kernel) -> Set[VirtualRegister]:
+    # Registers defined anywhere count as "outside" candidates for the
+    # address check; the per-loop logic re-checks update positions.
+    return set(kernel_defs)

@@ -1,0 +1,208 @@
+"""Shared rewriting machinery for IR-to-IR passes.
+
+Provides deep cloning of statement trees, value substitution, and
+def/use bookkeeping.  All passes return fresh kernels; input IR is
+never mutated, so configurations can share a baseline kernel safely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Set
+
+from repro.ir.instructions import Instruction, MemRef
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import Value, VirtualRegister
+
+Substitution = Dict[VirtualRegister, Value]
+
+
+def substitute_value(value: Value, mapping: Substitution) -> Value:
+    if isinstance(value, VirtualRegister):
+        return mapping.get(value, value)
+    return value
+
+
+def rewrite_instruction(instr: Instruction, mapping: Substitution) -> Instruction:
+    """Clone one instruction, applying a register substitution.
+
+    Destination registers are substituted too (unroll renames them);
+    a destination mapped to a non-register is a programming error.
+    """
+    dest = instr.dest
+    if dest is not None and dest in mapping:
+        replacement = mapping[dest]
+        if not isinstance(replacement, VirtualRegister):
+            raise TypeError(f"cannot write to {replacement}")
+        dest = replacement
+    mem = instr.mem
+    if mem is not None:
+        mem = MemRef(mem.base, substitute_value(mem.index, mapping), mem.offset)
+    return Instruction(
+        opcode=instr.opcode,
+        dest=dest,
+        srcs=tuple(substitute_value(s, mapping) for s in instr.srcs),
+        mem=mem,
+        cmp=instr.cmp,
+        coalesced=instr.coalesced,
+    )
+
+
+def clone_body(body: List[Statement], mapping: Substitution = None) -> List[Statement]:
+    """Deep-copy a statement tree with an optional register substitution."""
+    mapping = mapping or {}
+    result: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, Instruction):
+            result.append(rewrite_instruction(stmt, mapping))
+        elif isinstance(stmt, ForLoop):
+            counter = substitute_value(stmt.counter, mapping)
+            if not isinstance(counter, VirtualRegister):
+                raise TypeError("loop counter must remain a register")
+            result.append(ForLoop(
+                counter=counter,
+                start=substitute_value(stmt.start, mapping),
+                stop=substitute_value(stmt.stop, mapping),
+                step=substitute_value(stmt.step, mapping),
+                body=clone_body(stmt.body, mapping),
+                trip_count=stmt.trip_count,
+                label=stmt.label,
+            ))
+        elif isinstance(stmt, If):
+            result.append(If(
+                cond=substitute_value(stmt.cond, mapping),
+                then_body=clone_body(stmt.then_body, mapping),
+                else_body=clone_body(stmt.else_body, mapping),
+                taken_fraction=stmt.taken_fraction,
+            ))
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+    return result
+
+
+def clone_kernel(kernel: Kernel, body: List[Statement] = None) -> Kernel:
+    """Copy a kernel, optionally replacing its body."""
+    return Kernel(
+        name=kernel.name,
+        params=list(kernel.params),
+        block_dim=kernel.block_dim,
+        grid_dim=kernel.grid_dim,
+        shared_arrays=list(kernel.shared_arrays),
+        local_arrays=list(kernel.local_arrays),
+        body=body if body is not None else clone_body(kernel.body),
+    )
+
+
+def collect_defs(body: List[Statement]) -> Dict[VirtualRegister, int]:
+    """Count definitions of each register in a statement tree."""
+    counts: Dict[VirtualRegister, int] = {}
+
+    def visit(statements: List[Statement]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Instruction):
+                if stmt.dest is not None:
+                    counts[stmt.dest] = counts.get(stmt.dest, 0) + 1
+            elif isinstance(stmt, ForLoop):
+                counts[stmt.counter] = counts.get(stmt.counter, 0) + 1
+                visit(stmt.body)
+            elif isinstance(stmt, If):
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+
+    visit(body)
+    return counts
+
+
+def collect_uses(body: List[Statement]) -> Dict[VirtualRegister, int]:
+    """Count reads of each register in a statement tree."""
+    counts: Dict[VirtualRegister, int] = {}
+
+    def touch(value: Value) -> None:
+        if isinstance(value, VirtualRegister):
+            counts[value] = counts.get(value, 0) + 1
+
+    def visit(statements: List[Statement]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Instruction):
+                for value in stmt.reads:
+                    touch(value)
+            elif isinstance(stmt, ForLoop):
+                touch(stmt.start)
+                touch(stmt.stop)
+                touch(stmt.step)
+                visit(stmt.body)
+            elif isinstance(stmt, If):
+                touch(stmt.cond)
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+
+    visit(body)
+    return counts
+
+
+def registers_read_before_write(body: List[Statement]) -> Set[VirtualRegister]:
+    """Registers whose first access in a body is a read.
+
+    Used by unrolling to recognize loop-carried state (accumulators)
+    that must keep its name across iteration copies.
+    """
+    seen_write: Set[VirtualRegister] = set()
+    result: Set[VirtualRegister] = set()
+
+    def visit(statements: List[Statement]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Instruction):
+                for value in stmt.reads:
+                    if isinstance(value, VirtualRegister) and value not in seen_write:
+                        result.add(value)
+                if stmt.dest is not None:
+                    seen_write.add(stmt.dest)
+            elif isinstance(stmt, ForLoop):
+                for bound in (stmt.start, stmt.stop, stmt.step):
+                    if isinstance(bound, VirtualRegister) and bound not in seen_write:
+                        result.add(bound)
+                seen_write.add(stmt.counter)
+                visit(stmt.body)
+            elif isinstance(stmt, If):
+                if isinstance(stmt.cond, VirtualRegister) and stmt.cond not in seen_write:
+                    result.add(stmt.cond)
+                # Conservatively treat both sides as executed.
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+
+    visit(body)
+    return result
+
+
+class FreshNames:
+    """Generates fresh register names that cannot collide.
+
+    Pass-created registers carry a pass-specific prefix plus a global
+    counter, so repeated pass applications stay collision-free.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter = 0
+
+    def register(self, like: VirtualRegister) -> VirtualRegister:
+        self._counter += 1
+        return VirtualRegister(
+            f"{like.name}.{self._prefix}{self._counter}", like.dtype
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Pass:
+    """A named kernel-to-kernel transformation."""
+
+    name: str
+    run: Callable[[Kernel], Kernel]
+
+
+def apply_passes(kernel: Kernel, passes: List[Pass]) -> Kernel:
+    """Run a pass list left to right."""
+    for pass_ in passes:
+        kernel = pass_.run(kernel)
+    return kernel

@@ -1,0 +1,124 @@
+"""List scheduling: issue loads as early as dependences allow.
+
+Section 3.1: "This optimization category [intra-thread parallelism] is
+primarily the jurisdiction of the instruction schedulers of the
+compiler and runtime.  The CUDA runtime appears to reschedule
+operations to hide intra-thread stalls."  This pass is that scheduler,
+made explicit and deterministic: within every straight-line run of
+instructions it performs a greedy topological reorder that prefers
+long-latency loads, widening the distance between a load and its
+first use so the scoreboard stall shrinks.
+
+Dependence rules (conservative):
+
+* register RAW / WAR / WAW;
+* a load depends on every earlier store to the same array, a store on
+  every earlier access to the same array;
+* loops, conditionals and barriers fence scheduling — only code
+  between them moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import VirtualRegister
+from repro.transforms.rewrite import clone_kernel
+
+
+def _depends(later: Instruction, earlier: Instruction) -> bool:
+    """Must ``later`` stay after ``earlier``?"""
+    # Register dependences.
+    earlier_writes = {earlier.dest} if earlier.dest is not None else set()
+    later_reads = {
+        v for v in later.reads if isinstance(v, VirtualRegister)
+    }
+    if earlier_writes & later_reads:
+        return True                                    # RAW
+    if later.dest is not None:
+        earlier_reads = {
+            v for v in earlier.reads if isinstance(v, VirtualRegister)
+        }
+        if later.dest in earlier_reads:
+            return True                                # WAR
+        if later.dest in earlier_writes:
+            return True                                # WAW
+    # Memory dependences, per base array.
+    if later.mem is not None and earlier.mem is not None:
+        same_base = later.mem.base == earlier.mem.base
+        if same_base and (
+            later.opcode is Opcode.ST or earlier.opcode is Opcode.ST
+        ):
+            return True
+    return False
+
+
+def _schedule_run(run: List[Instruction]) -> List[Instruction]:
+    """Greedy list scheduling of one straight-line instruction run."""
+    if len(run) <= 2:
+        return run
+    remaining = list(range(len(run)))
+    # predecessors[i] = indices that must precede i.
+    predecessors: Dict[int, Set[int]] = {i: set() for i in remaining}
+    for i in range(len(run)):
+        for j in range(i):
+            if _depends(run[i], run[j]):
+                predecessors[i].add(j)
+
+    emitted: List[int] = []
+    done: Set[int] = set()
+    while len(emitted) < len(run):
+        ready = [
+            i for i in remaining
+            if i not in done and predecessors[i] <= done
+        ]
+        # Prefer long-latency loads, then original program order.
+        loads = [i for i in ready if run[i].is_long_latency]
+        choice = min(loads) if loads else min(ready)
+        emitted.append(choice)
+        done.add(choice)
+    return [run[i] for i in emitted]
+
+
+def _schedule_body(body: List[Statement]) -> List[Statement]:
+    result: List[Statement] = []
+    run: List[Instruction] = []
+
+    def flush() -> None:
+        nonlocal run
+        if run:
+            result.extend(_schedule_run(run))
+            run = []
+
+    for stmt in body:
+        if isinstance(stmt, Instruction):
+            if stmt.opcode is Opcode.BAR:
+                flush()
+                result.append(stmt)
+            else:
+                run.append(stmt)
+        elif isinstance(stmt, ForLoop):
+            flush()
+            result.append(ForLoop(
+                counter=stmt.counter, start=stmt.start, stop=stmt.stop,
+                step=stmt.step, body=_schedule_body(stmt.body),
+                trip_count=stmt.trip_count, label=stmt.label,
+            ))
+        elif isinstance(stmt, If):
+            flush()
+            result.append(If(
+                cond=stmt.cond,
+                then_body=_schedule_body(stmt.then_body),
+                else_body=_schedule_body(stmt.else_body),
+                taken_fraction=stmt.taken_fraction,
+            ))
+    flush()
+    return result
+
+
+def schedule_loads_early(kernel: Kernel) -> Kernel:
+    """Hoist loads to their earliest dependence-legal position."""
+    return clone_kernel(kernel, body=_schedule_body(kernel.body))

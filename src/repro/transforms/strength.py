@@ -1,0 +1,91 @@
+"""Strength reduction: multiplies and divides by powers of two become
+shifts, remainders become masks.
+
+A small, classical companion to the Section 3.1 instruction-count
+optimizations: PTX-era SPs multiplied in one slot but the runtime
+still preferred shifts, and — more importantly here — the SAD kernel's
+``position / 32`` and ``position % 32`` decompositions are exactly the
+patterns this pass collapses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.types import DataType
+from repro.ir.values import Immediate, Value
+from repro.transforms.rewrite import clone_kernel
+
+
+def _power_of_two(value: Value) -> Optional[int]:
+    if not isinstance(value, Immediate):
+        return None
+    if value.dtype is DataType.F32 or not isinstance(value.value, int):
+        return None
+    number = value.value
+    if number <= 0 or number & (number - 1):
+        return None
+    return number.bit_length() - 1
+
+
+def _reduce(instr: Instruction) -> Instruction:
+    if instr.dest is None or not instr.dest.dtype.is_integer:
+        return instr
+    srcs = instr.srcs
+    if instr.opcode is Opcode.MUL:
+        for position, other in ((1, 0), (0, 1)):
+            shift = _power_of_two(srcs[position])
+            if shift is not None:
+                return Instruction(
+                    Opcode.SHL, dest=instr.dest,
+                    srcs=(srcs[other], Immediate(shift, DataType.S32)),
+                )
+    # DIV/REM by powers of two only round the same way as a shift/mask
+    # for non-negative dividends; SAD's position indices qualify, but
+    # the pass cannot prove it, so it restricts itself to u32 (whose
+    # division is unsigned by construction).
+    if instr.dest.dtype is DataType.U32:
+        if instr.opcode is Opcode.DIV:
+            shift = _power_of_two(srcs[1])
+            if shift is not None:
+                return Instruction(
+                    Opcode.SHR, dest=instr.dest,
+                    srcs=(srcs[0], Immediate(shift, DataType.S32)),
+                )
+        if instr.opcode is Opcode.REM:
+            shift = _power_of_two(srcs[1])
+            if shift is not None:
+                mask = (1 << shift) - 1
+                return Instruction(
+                    Opcode.AND, dest=instr.dest,
+                    srcs=(srcs[0], Immediate(mask, DataType.U32)),
+                )
+    return instr
+
+
+def _walk(body: List[Statement]) -> List[Statement]:
+    result: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, Instruction):
+            result.append(_reduce(stmt))
+        elif isinstance(stmt, ForLoop):
+            result.append(ForLoop(
+                counter=stmt.counter, start=stmt.start, stop=stmt.stop,
+                step=stmt.step, body=_walk(stmt.body),
+                trip_count=stmt.trip_count, label=stmt.label,
+            ))
+        elif isinstance(stmt, If):
+            result.append(If(
+                cond=stmt.cond, then_body=_walk(stmt.then_body),
+                else_body=_walk(stmt.else_body),
+                taken_fraction=stmt.taken_fraction,
+            ))
+    return result
+
+
+def reduce_strength(kernel: Kernel) -> Kernel:
+    """Rewrite power-of-two multiplies (and unsigned div/rem) cheaply."""
+    return clone_kernel(kernel, body=_walk(kernel.body))

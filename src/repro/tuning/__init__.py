@@ -1,0 +1,32 @@
+"""Search-space pruning: Pareto subsets and search strategies (Section 5)."""
+
+from repro.tuning.cluster import cluster_by_metrics, cluster_representatives
+from repro.tuning.pareto import dominates, pareto_front, pareto_indices
+from repro.tuning.search import (
+    EvaluatedConfig,
+    SearchResult,
+    evaluate_all,
+    full_exploration,
+    pareto_cluster_search,
+    pareto_search,
+    random_search,
+)
+from repro.tuning.space import ConfigSpace, Configuration, cartesian
+
+__all__ = [
+    "ConfigSpace",
+    "Configuration",
+    "EvaluatedConfig",
+    "SearchResult",
+    "cartesian",
+    "cluster_by_metrics",
+    "cluster_representatives",
+    "dominates",
+    "evaluate_all",
+    "full_exploration",
+    "pareto_cluster_search",
+    "pareto_front",
+    "pareto_indices",
+    "pareto_search",
+    "random_search",
+]

@@ -1,0 +1,55 @@
+"""Metric clustering (paper Section 5.2, Figure 6(b)).
+
+"configurations tend to be clustered in groups ... when several
+configurations have identical or nearly identical metrics, it may be
+sufficient to randomly select a single configuration from that
+cluster, rather than evaluating all the configurations."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tuning.search import EvaluatedConfig
+
+
+def _cluster_key(entry: EvaluatedConfig, relative_tolerance: float) -> Tuple:
+    def quantize(value: float) -> float:
+        if value == 0.0 or relative_tolerance == 0.0:
+            return value
+        # Snap to a relative grid so near-identical metrics collide.
+        import math
+
+        magnitude = 10 ** math.floor(math.log10(abs(value)))
+        step = magnitude * relative_tolerance
+        return round(value / step) * step
+
+    metrics = entry.metrics
+    return (quantize(metrics.efficiency), quantize(metrics.utilization))
+
+
+def cluster_by_metrics(
+    entries: Sequence[EvaluatedConfig],
+    relative_tolerance: float = 1e-9,
+) -> List[List[EvaluatedConfig]]:
+    """Group valid configurations whose metric pairs coincide."""
+    groups: Dict[Tuple, List[EvaluatedConfig]] = {}
+    for entry in entries:
+        if not entry.is_valid:
+            continue
+        groups.setdefault(_cluster_key(entry, relative_tolerance), []).append(entry)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def cluster_representatives(
+    entries: Sequence[EvaluatedConfig],
+    relative_tolerance: float = 1e-9,
+    seed: int = 0,
+) -> List[EvaluatedConfig]:
+    """One randomly-chosen configuration per metric cluster."""
+    rng = random.Random(seed)
+    return [
+        rng.choice(cluster)
+        for cluster in cluster_by_metrics(entries, relative_tolerance)
+    ]

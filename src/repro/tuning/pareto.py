@@ -1,0 +1,65 @@
+"""Pareto-optimal subset selection (paper Section 5.2).
+
+"We choose the small set of configurations that have no superior in
+both the efficiency and utilization metric.  This is the
+Pareto-optimal subset ... Visually, each point in this set has no
+other point both above and to the right of it."
+
+Ties are kept: configurations with identical metric pairs (the MRI
+clusters of Figure 6(b)) stand or fall together.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """True when ``a`` is at least as good on both axes and better on one."""
+    if a[0] < b[0] or a[1] < b[1]:
+        return False
+    return a[0] > b[0] or a[1] > b[1]
+
+
+def pareto_indices(points: Sequence[Point]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    O(n log n): sweep by descending first coordinate; a point survives
+    unless an already-seen point with a strictly greater first
+    coordinate has a >= second coordinate, or an equal-first-coordinate
+    point has a strictly greater second coordinate.
+    """
+    order = sorted(range(len(points)), key=lambda i: (-points[i][0], -points[i][1]))
+    survivors: List[int] = []
+    best_y_strictly_left = float("-inf")   # max y among strictly greater x
+    index = 0
+    while index < len(order):
+        # Process a group of equal x together.
+        group_start = index
+        x = points[order[index]][0]
+        group_max_y = float("-inf")
+        while index < len(order) and points[order[index]][0] == x:
+            group_max_y = max(group_max_y, points[order[index]][1])
+            index += 1
+        for position in range(group_start, index):
+            candidate = order[position]
+            y = points[candidate][1]
+            if y < group_max_y:
+                continue  # dominated within the group
+            if y < best_y_strictly_left:
+                continue  # dominated by a point further right
+            if y == best_y_strictly_left:
+                # A point with strictly greater x and equal y dominates.
+                continue
+            survivors.append(candidate)
+        best_y_strictly_left = max(best_y_strictly_left, group_max_y)
+    return sorted(survivors)
+
+
+def pareto_front(points: Sequence[Point]) -> List[Point]:
+    """The non-dominated points themselves (sorted by first coordinate)."""
+    return sorted(
+        (points[i] for i in pareto_indices(points)), key=lambda p: p[0]
+    )

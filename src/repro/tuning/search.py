@@ -1,0 +1,215 @@
+"""Search strategies over a configuration space.
+
+* ``full_exploration`` — time every valid configuration (what the
+  paper did first, and what Table 4's "Evaluation Time" column costs);
+* ``pareto_search`` — evaluate the static metrics everywhere, then
+  time only the Pareto-optimal subset (the paper's contribution);
+* ``random_search`` — time a random sample (the comparison the paper
+  names as future work).
+
+The strategies are decoupled from applications through two callables:
+
+    evaluate(config) -> MetricReport      (static; cheap; may raise LaunchError)
+    simulate(config) -> float seconds     (the expensive measurement)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.arch.occupancy import LaunchError
+from repro.metrics.model import MetricReport
+from repro.tuning.pareto import pareto_indices
+from repro.tuning.space import Configuration
+
+Evaluate = Callable[[Configuration], MetricReport]
+Simulate = Callable[[Configuration], float]
+
+
+@dataclasses.dataclass
+class EvaluatedConfig:
+    """One configuration's static metrics and (optional) measured time."""
+
+    config: Configuration
+    metrics: Optional[MetricReport] = None
+    seconds: Optional[float] = None
+    invalid_reason: Optional[str] = None
+
+    @property
+    def is_valid(self) -> bool:
+        return self.invalid_reason is None
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of one search strategy."""
+
+    strategy: str
+    evaluated: List[EvaluatedConfig]        # every configuration examined
+    timed: List[EvaluatedConfig]            # the subset actually measured
+    best: EvaluatedConfig                   # fastest measured configuration
+    measured_seconds: float                 # sum of measured kernel times
+
+    @property
+    def space_size(self) -> int:
+        return len(self.evaluated)
+
+    @property
+    def valid_count(self) -> int:
+        return sum(1 for e in self.evaluated if e.is_valid)
+
+    @property
+    def timed_count(self) -> int:
+        return len(self.timed)
+
+    @property
+    def space_reduction(self) -> float:
+        """Fraction of the valid space the strategy avoided timing."""
+        valid = self.valid_count
+        if valid == 0:
+            return 0.0
+        return 1.0 - self.timed_count / valid
+
+
+def evaluate_all(
+    configs: Sequence[Configuration],
+    evaluate: Evaluate,
+) -> List[EvaluatedConfig]:
+    """Static metrics for every configuration; invalids recorded, kept."""
+    evaluated = []
+    for config in configs:
+        entry = EvaluatedConfig(config=config)
+        try:
+            entry.metrics = evaluate(config)
+        except LaunchError as error:
+            entry.invalid_reason = str(error)
+        evaluated.append(entry)
+    return evaluated
+
+
+def _time_subset(
+    entries: List[EvaluatedConfig],
+    simulate: Simulate,
+) -> float:
+    total = 0.0
+    for entry in entries:
+        entry.seconds = simulate(entry.config)
+        total += entry.seconds
+    return total
+
+
+def _best(timed: List[EvaluatedConfig], strategy: str) -> EvaluatedConfig:
+    if not timed:
+        raise ValueError(f"{strategy}: no configuration could be timed")
+    return min(timed, key=lambda e: e.seconds)
+
+
+def full_exploration(
+    configs: Sequence[Configuration],
+    evaluate: Evaluate,
+    simulate: Simulate,
+) -> SearchResult:
+    """Measure every valid configuration."""
+    evaluated = evaluate_all(configs, evaluate)
+    timed = [e for e in evaluated if e.is_valid]
+    total = _time_subset(timed, simulate)
+    return SearchResult(
+        strategy="exhaustive",
+        evaluated=evaluated,
+        timed=timed,
+        best=_best(timed, "exhaustive"),
+        measured_seconds=total,
+    )
+
+
+def pareto_search(
+    configs: Sequence[Configuration],
+    evaluate: Evaluate,
+    simulate: Simulate,
+    screen_bandwidth_bound: bool = False,
+) -> SearchResult:
+    """Measure only the Pareto-optimal subset of the metric plot.
+
+    ``screen_bandwidth_bound`` applies the Section 5.3 advice: remove
+    configurations the bandwidth estimate flags before drawing the
+    curve ("One should screen away such points prior to defining the
+    curve").
+    """
+    evaluated = evaluate_all(configs, evaluate)
+    candidates = [e for e in evaluated if e.is_valid]
+    pool = candidates
+    if screen_bandwidth_bound:
+        unscreened = [
+            e for e in candidates
+            if not e.metrics.bandwidth.is_bandwidth_bound()
+        ]
+        if unscreened:
+            pool = unscreened
+    points = [(e.metrics.efficiency, e.metrics.utilization) for e in pool]
+    selected = [pool[i] for i in pareto_indices(points)]
+    total = _time_subset(selected, simulate)
+    return SearchResult(
+        strategy="pareto",
+        evaluated=evaluated,
+        timed=selected,
+        best=_best(selected, "pareto"),
+        measured_seconds=total,
+    )
+
+
+def pareto_cluster_search(
+    configs: Sequence[Configuration],
+    evaluate: Evaluate,
+    simulate: Simulate,
+    relative_tolerance: float = 1e-9,
+    seed: int = 0,
+) -> SearchResult:
+    """Pareto pruning plus cluster sampling (Section 5.2's refinement).
+
+    "When several configurations have identical or nearly identical
+    metrics, it may be sufficient to randomly select a single
+    configuration from that cluster, rather than evaluating all the
+    configurations."  The Pareto subset is computed as usual, then only
+    one randomly-chosen representative per metric cluster is timed.
+    """
+    from repro.tuning.cluster import cluster_by_metrics
+
+    evaluated = evaluate_all(configs, evaluate)
+    candidates = [e for e in evaluated if e.is_valid]
+    points = [(e.metrics.efficiency, e.metrics.utilization) for e in candidates]
+    selected = [candidates[i] for i in pareto_indices(points)]
+    clusters = cluster_by_metrics(selected, relative_tolerance)
+    rng = random.Random(seed)
+    representatives = [rng.choice(cluster) for cluster in clusters]
+    total = _time_subset(representatives, simulate)
+    return SearchResult(
+        strategy="pareto+cluster",
+        evaluated=evaluated,
+        timed=representatives,
+        best=_best(representatives, "pareto+cluster"),
+        measured_seconds=total,
+    )
+
+
+def random_search(
+    configs: Sequence[Configuration],
+    evaluate: Evaluate,
+    simulate: Simulate,
+    sample_size: int,
+    seed: int = 0,
+) -> SearchResult:
+    """Measure a uniform random sample of the valid space."""
+    evaluated = evaluate_all(configs, evaluate)
+    valid = [e for e in evaluated if e.is_valid]
+    rng = random.Random(seed)
+    sample = rng.sample(valid, min(sample_size, len(valid)))
+    total = _time_subset(sample, simulate)
+    return SearchResult(
+        strategy="random",
+        evaluated=evaluated,
+        timed=sample,
+        best=_best(sample, "random"),
+        measured_seconds=total,
+    )

@@ -1,0 +1,91 @@
+"""Configuration spaces: the discrete optimization spaces of Table 4."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+
+class Configuration(Mapping):
+    """One point of an optimization space: immutable, hashable."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, values: Mapping[str, Any]) -> None:
+        object.__setattr__(self, "_items", tuple(sorted(values.items())))
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self._items:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Configuration) and self._items == other._items
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._items)
+        return f"Configuration({inner})"
+
+    def replace(self, **updates: Any) -> "Configuration":
+        merged = dict(self._items)
+        merged.update(updates)
+        return Configuration(merged)
+
+
+class ConfigSpace:
+    """A named cross product of parameter values, optionally filtered.
+
+    The paper's spaces are cross products of optimization parameters
+    with hardware-invalid points removed; ``is_valid`` expresses the
+    cheap, structural part of that filter (e.g. threads per block over
+    512).  Resource-driven invalidity (register overflow) surfaces
+    later, at metric-evaluation time, exactly as it does under nvcc.
+    """
+
+    def __init__(
+        self,
+        parameters: Dict[str, Sequence[Any]],
+        is_valid=None,
+    ) -> None:
+        if not parameters:
+            raise ValueError("a configuration space needs parameters")
+        for name, values in parameters.items():
+            if not values:
+                raise ValueError(f"parameter {name!r} has no values")
+        self.parameters = {name: list(values) for name, values in parameters.items()}
+        self._is_valid = is_valid
+
+    def __iter__(self) -> Iterator[Configuration]:
+        names = list(self.parameters)
+        for combo in itertools.product(*(self.parameters[n] for n in names)):
+            config = Configuration(dict(zip(names, combo)))
+            if self._is_valid is None or self._is_valid(config):
+                yield config
+
+    def configurations(self) -> List[Configuration]:
+        return list(self)
+
+    @property
+    def raw_size(self) -> int:
+        total = 1
+        for values in self.parameters.values():
+            total *= len(values)
+        return total
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+def cartesian(parameters: Dict[str, Sequence[Any]]) -> Tuple[Configuration, ...]:
+    """All configurations of an unfiltered space."""
+    return tuple(ConfigSpace(parameters))

@@ -1,0 +1,22 @@
+"""Shared machinery for application correctness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.validate import validate
+
+
+def check_config_against_reference(app, config, rtol=1e-4, atol=1e-4, seed=11):
+    """Run one configuration in the interpreter and compare to numpy."""
+    kernel = app.kernel(config)
+    validate(kernel)
+    rng = np.random.default_rng(seed)
+    arrays, scalars = app.make_inputs(rng)
+    expected = app.reference(arrays, scalars)
+    actual = app.run_config(config, arrays, scalars)
+    for name in app.output_names:
+        np.testing.assert_allclose(
+            actual[name], expected[name], rtol=rtol, atol=atol,
+            err_msg=f"{app.name} output {name!r} mismatch for {dict(config)}",
+        )

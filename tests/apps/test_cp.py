@@ -1,0 +1,122 @@
+"""Coulombic Potential application."""
+
+import pytest
+
+from repro.apps import CoulombicPotential
+from repro.arch import LaunchError
+from repro.tuning import Configuration
+from tests.apps.helpers import check_config_against_reference
+
+
+@pytest.fixture(scope="module")
+def app():
+    return CoulombicPotential()
+
+
+@pytest.fixture(scope="module")
+def small():
+    return CoulombicPotential().test_instance()
+
+
+class TestSpace:
+    def test_raw_size_is_40(self, app):
+        assert app.space().raw_size == 40
+
+    def test_valid_size_is_38_as_in_table4(self, app):
+        valid = 0
+        for config in app.space():
+            try:
+                app.evaluate(config)
+                valid += 1
+            except LaunchError:
+                pass
+        assert valid == 38
+
+    def test_invalid_are_heavy_tiling_large_blocks(self, app):
+        invalid = []
+        for config in app.space():
+            try:
+                app.evaluate(config)
+            except LaunchError:
+                invalid.append(config)
+        assert len(invalid) == 2
+        assert all(c["tiling"] == 16 and c["block"] == 384 for c in invalid)
+
+
+class TestCorrectness:
+    CONFIGS = [
+        {"block": 64, "tiling": 1, "coalesce_output": True},
+        {"block": 128, "tiling": 4, "coalesce_output": True},
+        {"block": 64, "tiling": 8, "coalesce_output": False},
+        {"block": 384, "tiling": 2, "coalesce_output": True},
+    ]
+
+    @pytest.mark.parametrize(
+        "params", CONFIGS,
+        ids=lambda p: f"b{p['block']}t{p['tiling']}"
+                      f"{'c' if p['coalesce_output'] else 'u'}",
+    )
+    def test_config_matches_numpy(self, small, params):
+        check_config_against_reference(small, Configuration(params),
+                                       rtol=2e-3, atol=2e-3)
+
+
+class TestPaperFacts:
+    def test_efficiency_improves_monotonically_with_tiling(self, app):
+        """Figure 5: 'efficiency improves monotonically ... with
+        increasing tiling factor'."""
+        values = [
+            app.evaluate(Configuration({
+                "block": 128, "tiling": t, "coalesce_output": True,
+            })).efficiency
+            for t in (1, 2, 4, 8, 16)
+        ]
+        assert values == sorted(values)
+
+    def test_utilization_worsens_monotonically_with_tiling(self, app):
+        values = [
+            app.evaluate(Configuration({
+                "block": 128, "tiling": t, "coalesce_output": True,
+            })).utilization
+            for t in (1, 2, 4, 8, 16)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_rsqrt_regions_dominate(self, app):
+        """CP has no global loads in its loop; its blocking events are
+        the SFU rsqrts (one per point per atom) plus the entry."""
+        config = Configuration({"block": 128, "tiling": 2,
+                                "coalesce_output": True})
+        report = app.evaluate(config)
+        assert report.regions == 2 * app.num_atoms + 1
+
+    def test_sfu_instruction_mix(self, app):
+        from repro.ptx import InstrClass
+
+        report = app.evaluate(app.default_configuration())
+        assert report.profile.mix[InstrClass.SFU] == app.num_atoms
+        assert report.profile.mix[InstrClass.CONST_LOAD] == 4 * app.num_atoms
+
+    def test_uncoalesced_output_slower(self, app):
+        def seconds(coalesce):
+            return app.simulate(Configuration({
+                "block": 128, "tiling": 4, "coalesce_output": coalesce,
+            }))
+
+        assert seconds(False) >= seconds(True)
+
+    def test_optimal_tiling_is_interior(self, app):
+        """Figure 5: the optimum balances the two metrics; time stops
+        improving once utilization collapses."""
+        times = {
+            t: app.simulate(Configuration({
+                "block": 128, "tiling": t, "coalesce_output": True,
+            }))
+            for t in (1, 2, 4, 8, 16)
+        }
+        assert times[8] < times[1]
+        # The step from 8 to 16 is where improvement stalls: much
+        # smaller than any earlier step.
+        gain_4_8 = times[4] - times[8]
+        gain_8_16 = times[8] - times[16]
+        assert gain_8_16 < gain_4_8 / 2

@@ -1,0 +1,63 @@
+"""Cross-application space summary (locks the Table 4 reproduction)."""
+
+import pytest
+
+from repro.apps import all_applications
+from repro.arch import LaunchError
+
+EXPECTED = {
+    # name: (raw size, valid size, paper size)
+    "matmul": (96, 94, 93),
+    "cp": (40, 38, 38),
+    "sad": (828, 808, 908),
+    "mri-fhd": (175, 175, 175),
+}
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return {app.name: app for app in all_applications()}
+
+
+class TestSpaceSummary:
+    @pytest.mark.parametrize("name", list(EXPECTED))
+    def test_sizes(self, apps, name):
+        app = apps[name]
+        raw, valid, paper = EXPECTED[name]
+        configs = app.space().configurations()
+        assert len(configs) == raw
+        launchable = 0
+        for config in configs:
+            try:
+                app.evaluate(config)
+                launchable += 1
+            except LaunchError:
+                pass
+        assert launchable == valid
+        assert app.paper_space_size == paper
+
+    @pytest.mark.parametrize("name", list(EXPECTED))
+    def test_spaces_are_deterministic(self, apps, name):
+        app = apps[name]
+        assert app.space().configurations() == app.space().configurations()
+
+    @pytest.mark.parametrize("name", list(EXPECTED))
+    def test_default_configuration_is_in_space(self, apps, name):
+        app = apps[name]
+        assert app.default_configuration() in set(app.space())
+
+    @pytest.mark.parametrize("name", list(EXPECTED))
+    def test_kernels_validate(self, apps, name):
+        from repro.ir.validate import validate
+
+        app = apps[name]
+        for config in list(app.space())[:5]:
+            validate(app.kernel(config))
+
+    @pytest.mark.parametrize("name", list(EXPECTED))
+    def test_kernel_caching(self, apps, name):
+        app = apps[name]
+        config = app.default_configuration()
+        assert app.kernel(config) is app.kernel(config)
+        app.clear_caches()
+        assert app.kernel(config) is app.kernel(config)

@@ -1,0 +1,92 @@
+"""Broader app correctness via the fast vectorized engine.
+
+The scalar interpreter limits correctness checks to tiny problems;
+the vectorized engine lets us verify many more configurations per
+application, at larger sizes, against the numpy references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CoulombicPotential,
+    MatMul,
+    MriFhd,
+    SumOfAbsoluteDifferences,
+)
+from repro.ir.validate import validate
+from repro.tuning import Configuration
+
+
+def check(app, config, rtol=2e-3, atol=2e-3, seed=23):
+    kernel = app.kernel(config)
+    validate(kernel)
+    rng = np.random.default_rng(seed)
+    arrays, scalars = app.make_inputs(rng)
+    expected = app.reference(arrays, scalars)
+    actual = app.run_config(config, arrays, scalars, engine="vectorized")
+    for name in app.output_names:
+        np.testing.assert_allclose(actual[name], expected[name],
+                                   rtol=rtol, atol=atol)
+
+
+class TestMatMulLarge:
+    """All rect/tile combinations at a size the scalar engine cannot
+    afford (128x128 = 16k threads)."""
+
+    @pytest.mark.parametrize("tile", [8, 16])
+    @pytest.mark.parametrize("rect", [1, 2, 4])
+    def test_tilings(self, tile, rect):
+        app = MatMul(n=128)
+        check(app, Configuration({
+            "tile": tile, "rect": rect, "unroll": "complete",
+            "prefetch": False, "spill": False,
+        }))
+
+    @pytest.mark.parametrize("unroll", [1, 2, 4, "complete"])
+    def test_unrolls_with_prefetch(self, unroll):
+        app = MatMul(n=128)
+        check(app, Configuration({
+            "tile": 16, "rect": 2, "unroll": unroll,
+            "prefetch": True, "spill": False,
+        }))
+
+    def test_spill_variant(self):
+        app = MatMul(n=128)
+        check(app, Configuration({
+            "tile": 16, "rect": 4, "unroll": 4,
+            "prefetch": False, "spill": True,
+        }))
+
+
+class TestCpAllTilings:
+    @pytest.mark.parametrize("tiling", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("coalesce", [False, True])
+    def test_every_tiling(self, tiling, coalesce):
+        app = CoulombicPotential(num_points=12288, num_atoms=16)
+        check(app, Configuration({
+            "block": 64, "tiling": tiling, "coalesce_output": coalesce,
+        }), rtol=5e-3, atol=5e-3)
+
+
+class TestSadWideSample:
+    @pytest.mark.parametrize("params", [
+        {"positions_per_block": 64, "tiling": 8,
+         "unroll_search": 8, "unroll_rows": 2, "unroll_cols": 2},
+        {"positions_per_block": 32, "tiling": 1,
+         "unroll_search": 1, "unroll_rows": 4, "unroll_cols": 4},
+        {"positions_per_block": 64, "tiling": 2,
+         "unroll_search": 2, "unroll_rows": 1, "unroll_cols": 4},
+    ], ids=lambda p: f"p{p['positions_per_block']}t{p['tiling']}")
+    def test_configs(self, params):
+        app = SumOfAbsoluteDifferences(width=48, height=32, search_width=8)
+        check(app, Configuration(params), rtol=0, atol=0)
+
+
+class TestMriLargerInstance:
+    @pytest.mark.parametrize("unroll", [1, 8])
+    def test_unrolls(self, unroll):
+        app = MriFhd(num_voxels=8192, num_samples=32)
+        check(app, Configuration({
+            "block": 128, "unroll": unroll, "invocations": 2,
+        }), rtol=5e-3, atol=5e-3)

@@ -1,0 +1,51 @@
+"""Machine-model constants against the paper's Section 2.1 numbers."""
+
+import pytest
+
+from repro.arch import GEFORCE_8800_GTX, DeviceSpec
+
+
+class TestGeForce8800:
+    def test_peak_gflops_matches_paper(self):
+        # 16 SM * 18 FLOP/SM * 1.35 GHz = 388.8 GFLOPS (Section 2.1).
+        assert GEFORCE_8800_GTX.peak_gflops == pytest.approx(388.8)
+
+    def test_sm_organization(self):
+        assert GEFORCE_8800_GTX.num_sms == 16
+        assert GEFORCE_8800_GTX.sps_per_sm == 8
+        assert GEFORCE_8800_GTX.sfus_per_sm == 2
+        assert GEFORCE_8800_GTX.clock_ghz == 1.35
+
+    def test_table2_limits(self):
+        device = GEFORCE_8800_GTX
+        assert device.max_threads_per_sm == 768
+        assert device.max_blocks_per_sm == 8
+        assert device.registers_per_sm == 8192
+        assert device.shared_memory_per_sm == 16384
+        assert device.max_threads_per_block == 512
+
+    def test_memory_bandwidth(self):
+        assert GEFORCE_8800_GTX.global_memory_bandwidth_gbps == pytest.approx(86.4)
+        assert GEFORCE_8800_GTX.bytes_per_cycle == pytest.approx(86.4 / 1.35)
+
+    def test_global_latency_in_paper_band(self):
+        assert 200 <= GEFORCE_8800_GTX.global_latency_cycles <= 300
+
+    def test_warp_issues_over_four_cycles(self):
+        assert GEFORCE_8800_GTX.warp_issue_cycles == 4
+        assert GEFORCE_8800_GTX.warp_size == 32
+
+    def test_cycles_to_seconds(self):
+        assert GEFORCE_8800_GTX.cycles_to_seconds(1.35e9) == pytest.approx(1.0)
+        assert GEFORCE_8800_GTX.cycles_to_seconds(0) == 0.0
+
+
+class TestCustomDevice:
+    def test_spec_is_immutable(self):
+        with pytest.raises(Exception):
+            GEFORCE_8800_GTX.num_sms = 4
+
+    def test_alternative_device(self):
+        half = DeviceSpec(name="half-8800", num_sms=8)
+        assert half.peak_gflops == pytest.approx(388.8 / 2)
+        assert half.bytes_per_cycle == GEFORCE_8800_GTX.bytes_per_cycle

@@ -1,0 +1,56 @@
+"""Memory-space properties against Table 1."""
+
+from repro.arch import (
+    GEFORCE_8800_GTX,
+    SHARED_MEMORY_BANKS,
+    MemorySpace,
+    memory_properties,
+)
+
+
+class TestMemorySpaces:
+    def test_read_only_spaces(self):
+        assert MemorySpace.CONSTANT.is_read_only
+        assert MemorySpace.TEXTURE.is_read_only
+        assert not MemorySpace.GLOBAL.is_read_only
+        assert not MemorySpace.SHARED.is_read_only
+        assert not MemorySpace.LOCAL.is_read_only
+
+    def test_on_chip_spaces(self):
+        assert MemorySpace.SHARED.is_on_chip
+        assert MemorySpace.CONSTANT.is_on_chip
+        assert MemorySpace.TEXTURE.is_on_chip
+        assert not MemorySpace.GLOBAL.is_on_chip
+        assert not MemorySpace.LOCAL.is_on_chip
+
+
+class TestTable1:
+    def test_all_spaces_described(self):
+        properties = memory_properties()
+        assert set(properties) == set(MemorySpace)
+
+    def test_global_latency_band(self):
+        latency = memory_properties()[MemorySpace.GLOBAL].latency_cycles
+        assert 200 <= latency <= 300
+
+    def test_local_shares_global_path(self):
+        properties = memory_properties()
+        assert (
+            properties[MemorySpace.LOCAL].latency_cycles
+            == properties[MemorySpace.GLOBAL].latency_cycles
+        )
+
+    def test_on_chip_latencies_near_register(self):
+        properties = memory_properties()
+        assert properties[MemorySpace.SHARED].latency_cycles == 0
+        assert properties[MemorySpace.CONSTANT].latency_cycles == 0
+
+    def test_texture_latency_over_100(self):
+        assert memory_properties()[MemorySpace.TEXTURE].latency_cycles > 100
+
+    def test_sixteen_banks(self):
+        assert SHARED_MEMORY_BANKS == 16
+
+    def test_read_only_flags_match_space(self):
+        for space, props in memory_properties().items():
+            assert props.read_only == space.is_read_only

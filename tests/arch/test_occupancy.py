@@ -1,0 +1,100 @@
+"""Occupancy calculation against the paper's Section 2.2 worked example."""
+
+import pytest
+
+from repro.arch import (
+    GEFORCE_8800_GTX,
+    DeviceSpec,
+    LaunchError,
+    blocks_per_sm,
+    check_block_validity,
+    warps_per_block,
+)
+
+
+class TestPaperExample:
+    """Section 2.2: 256 threads/block, 10 regs/thread, 4KB shared."""
+
+    def test_three_blocks_fit(self):
+        occupancy = blocks_per_sm(256, 10, 4096)
+        assert occupancy.blocks_per_sm == 3
+        assert occupancy.threads_per_sm == 768
+
+    def test_one_extra_register_drops_to_two_blocks(self):
+        # 11 regs * 768 threads = 8448 > 8192 (a 33% thread loss from a
+        # 10% register increase).
+        occupancy = blocks_per_sm(256, 11, 4096)
+        assert occupancy.blocks_per_sm == 2
+        assert occupancy.threads_per_sm == 512
+        assert occupancy.limiting_resource == "registers"
+
+    def test_extra_shared_kilobyte_keeps_three_blocks(self):
+        occupancy = blocks_per_sm(256, 10, 5120)
+        assert occupancy.blocks_per_sm == 3
+
+
+class TestLimits:
+    def test_eight_block_cap(self):
+        occupancy = blocks_per_sm(64, 4, 128)
+        assert occupancy.blocks_per_sm == 8
+        assert occupancy.limiting_resource == "blocks"
+
+    def test_thread_limited(self):
+        occupancy = blocks_per_sm(256, 4, 128)
+        assert occupancy.blocks_per_sm == 3
+        assert occupancy.limiting_resource == "threads"
+
+    def test_shared_memory_limited(self):
+        occupancy = blocks_per_sm(64, 4, 8192)
+        assert occupancy.blocks_per_sm == 2
+        assert occupancy.limiting_resource == "shared_memory"
+
+    def test_register_limited(self):
+        occupancy = blocks_per_sm(128, 32, 128)
+        assert occupancy.blocks_per_sm == 2
+        assert occupancy.limiting_resource == "registers"
+
+
+class TestInvalidConfigurations:
+    def test_block_too_large(self):
+        with pytest.raises(LaunchError, match="512-thread limit"):
+            blocks_per_sm(513, 4, 128)
+
+    def test_register_file_overflow(self):
+        # The paper's invalid-executable case (Figure 3, far right).
+        with pytest.raises(LaunchError, match="register file"):
+            blocks_per_sm(256, 33, 128)
+
+    def test_shared_memory_overflow(self):
+        with pytest.raises(LaunchError, match="scratchpad"):
+            blocks_per_sm(64, 4, 16385)
+
+    def test_empty_block(self):
+        with pytest.raises(LaunchError):
+            blocks_per_sm(0, 4, 128)
+
+    def test_check_block_validity_reports_reason(self):
+        assert check_block_validity(256, 10, 4096) is None
+        assert "register" in check_block_validity(512, 17, 0)
+        assert "512-thread" in check_block_validity(768, 1, 0)
+
+
+class TestWarpsPerBlock:
+    @pytest.mark.parametrize("threads, expected", [
+        (1, 1), (31, 1), (32, 1), (33, 2), (256, 8), (512, 16),
+    ])
+    def test_rounds_up(self, threads, expected):
+        assert warps_per_block(threads) == expected
+
+
+class TestCustomDevice:
+    def test_occupancy_respects_device(self):
+        tiny = DeviceSpec(registers_per_sm=1024)
+        occupancy = blocks_per_sm(64, 8, 128, device=tiny)
+        assert occupancy.blocks_per_sm == 2
+        assert occupancy.limiting_resource == "registers"
+
+    def test_warps_per_sm(self):
+        occupancy = blocks_per_sm(256, 10, 4096)
+        assert occupancy.warps_per_block == 8
+        assert occupancy.warps_per_sm == 24

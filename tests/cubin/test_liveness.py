@@ -1,0 +1,167 @@
+"""Live intervals, loop widening, pipelining pressure."""
+
+from repro.cubin import (
+    analyze_liveness,
+    live_intervals,
+    max_pressure,
+    pipeline_register_pressure,
+)
+from repro.cubin.liveness import LiveInterval
+from repro.ir import DataType, Dim3, KernelBuilder, VirtualRegister
+from repro.ir.builder import TID_X
+from tests.conftest import build_tiled_matmul
+
+F32 = DataType.F32
+
+
+def builder():
+    return KernelBuilder("k", block_dim=Dim3(32), grid_dim=Dim3(1))
+
+
+def interval_of(kernel, name):
+    for interval in live_intervals(kernel):
+        if interval.register.name == name:
+            return interval
+    raise AssertionError(f"no interval for {name}")
+
+
+class TestStraightLine:
+    def test_chain_has_unit_pressure_per_stage(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        a = b.ld(x, TID_X)
+        c = b.add(a, 1.0)
+        d = b.add(c, 1.0)
+        b.st(x, TID_X, d)
+        intervals = live_intervals(b.finish())
+        # a dies when c is defined, etc.: max two values overlap at
+        # each definition point.
+        assert max_pressure(intervals) == 2
+
+    def test_parallel_values_overlap(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        values = [b.ld(x, TID_X, offset=i) for i in range(6)]
+        total = values[0]
+        for value in values[1:]:
+            total = b.add(total, value)
+        b.st(x, TID_X, total)
+        # At the first add: the five remaining loads, the two operands
+        # (dying at that position — endpoints are inclusive) and the
+        # new sum are simultaneously live.
+        assert max_pressure(live_intervals(b.finish())) == 7
+
+
+class TestLoopWidening:
+    def test_value_used_inside_loop_lives_through_it(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        base = b.ld(x, TID_X)             # defined before the loop
+        acc = b.mov(0.0)
+        with b.loop(0, 4):
+            b.add(acc, base, dest=acc)    # read every iteration
+        b.st(x, TID_X, acc)
+        kernel = b.finish()
+        info = analyze_liveness(kernel)
+        loop_start, loop_end = info.loops[0]
+        for name in ("v", "t"):
+            pass
+        base_interval = interval_of(kernel, base.name)
+        assert base_interval.start <= loop_start
+        assert base_interval.end >= loop_end
+
+    def test_loop_local_temp_stays_local(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        acc = b.mov(0.0)
+        with b.loop(0, 4) as i:
+            temp = b.cvt(i, F32)
+            b.add(acc, temp, dest=acc)
+        b.st(x, TID_X, acc)
+        kernel = b.finish()
+        info = analyze_liveness(kernel)
+        loop_start, loop_end = info.loops[0]
+        temp_interval = interval_of(kernel, temp.name)
+        assert temp_interval.start > loop_start
+        assert temp_interval.end < loop_end
+
+    def test_loop_carried_value_spans_loop(self):
+        # Read-before-write inside the body = carried across the back
+        # edge = live for the whole loop.
+        b = builder()
+        x = b.param_ptr("x", F32)
+        rotating = b.mov(1.0)
+        with b.loop(0, 4):
+            b.mul(rotating, 2.0, dest=rotating)
+        b.st(x, TID_X, rotating)
+        kernel = b.finish()
+        info = analyze_liveness(kernel)
+        loop_start, loop_end = info.loops[0]
+        interval = interval_of(kernel, rotating.name)
+        assert interval.start <= loop_start
+        assert interval.end >= loop_end
+
+    def test_predicates_excluded_by_default(self):
+        from repro.ir import CmpOp
+
+        b = builder()
+        x = b.param_ptr("x", F32)
+        pred = b.setp(CmpOp.LT, TID_X, 4)
+        value = b.selp(pred, 1.0, 2.0)
+        b.st(x, TID_X, value)
+        kernel = b.finish()
+        names = {iv.register.name for iv in live_intervals(kernel)}
+        assert pred.name not in names
+        names_with = {
+            iv.register.name
+            for iv in live_intervals(kernel, include_predicates=True)
+        }
+        assert pred.name in names_with
+
+
+class TestOverlap:
+    def test_interval_overlap(self):
+        r1 = VirtualRegister("a", F32)
+        r2 = VirtualRegister("b", F32)
+        assert LiveInterval(r1, 0, 5).overlaps(LiveInterval(r2, 5, 9))
+        assert not LiveInterval(r1, 0, 4).overlaps(LiveInterval(r2, 5, 9))
+
+
+class TestPipelinePressure:
+    def test_no_barrier_no_pressure(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        acc = b.mov(0.0)
+        with b.loop(0, 8):
+            value = b.ld(x, TID_X)
+            b.add(acc, value, dest=acc)
+        b.st(x, TID_X, acc)
+        assert pipeline_register_pressure(b.finish()) == 0
+
+    def test_barrier_loop_without_inflight_loads_unpiped(self):
+        # The plain (non-prefetched) tile loop: loads complete within
+        # their own iteration, so the scheduler has nothing to pipeline.
+        assert pipeline_register_pressure(build_tiled_matmul()) == 0
+
+    def test_nested_loop_fences_pipelining(self):
+        from repro.apps import MatMul
+        from repro.tuning import Configuration
+
+        app = MatMul()
+        partially_unrolled = app.kernel(Configuration({
+            "tile": 16, "rect": 4, "unroll": 4, "prefetch": True, "spill": False,
+        }))
+        assert pipeline_register_pressure(partially_unrolled) == 0
+
+    def test_prefetched_straightline_loop_is_pipelined(self):
+        from repro.apps import MatMul
+        from repro.tuning import Configuration
+
+        app = MatMul()
+        kernel = app.kernel(Configuration({
+            "tile": 16, "rect": 4, "unroll": "complete",
+            "prefetch": True, "spill": False,
+        }))
+        pressure = pipeline_register_pressure(kernel)
+        # 5 in-flight global values (x2) + accumulators/induction (+1).
+        assert pressure >= 5 * 2 + 4

@@ -1,0 +1,49 @@
+"""The -cubin resource report."""
+
+import pytest
+
+from repro.arch import LaunchError
+from repro.cubin import (
+    RESERVED_REGISTERS,
+    SHARED_MEMORY_RUNTIME_BYTES,
+    cubin_info,
+)
+from tests.conftest import build_saxpy, build_tiled_matmul
+
+
+class TestCubinInfo:
+    def test_shared_memory_includes_runtime_overhead(self):
+        info = cubin_info(build_tiled_matmul())
+        # Two 16x16 f32 tiles + the runtime's parameter area: the
+        # paper's worked example reports 2088 bytes.
+        assert info.shared_memory_per_block == 2048 + SHARED_MEMORY_RUNTIME_BYTES
+        assert info.shared_memory_per_block == 2088
+
+    def test_registers_include_reserve(self):
+        info = cubin_info(build_saxpy())
+        assert info.registers_per_thread >= RESERVED_REGISTERS + 1
+
+    def test_occupancy_from_resources(self):
+        info = cubin_info(build_tiled_matmul())
+        occupancy = info.occupancy()
+        assert occupancy.blocks_per_sm == 2      # register limited
+        assert occupancy.warps_per_block == 8
+        assert info.is_launchable()
+
+    def test_unlaunchable_configuration(self):
+        from repro.cubin.resources import ResourceUsage
+
+        info = ResourceUsage(
+            registers_per_thread=33,
+            shared_memory_per_block=128,
+            threads_per_block=256,
+        )
+        assert not info.is_launchable()
+        with pytest.raises(LaunchError):
+            info.occupancy()
+
+    def test_matmul_registers_in_paper_band(self):
+        # The worked example's B_SM = 2 requires 11..16 registers at
+        # 256 threads/block.
+        info = cubin_info(build_tiled_matmul())
+        assert 11 <= info.registers_per_thread <= 16

@@ -1,0 +1,43 @@
+"""Experiment driver on the fastest application (CP)."""
+
+import pytest
+
+from repro.apps import CoulombicPotential
+from repro.harness import run_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment(CoulombicPotential(), include_random=True,
+                          random_seed=7)
+
+
+class TestRunExperiment:
+    def test_both_searches_ran(self, experiment):
+        assert experiment.exhaustive.strategy == "exhaustive"
+        assert experiment.pareto.strategy == "pareto"
+        assert experiment.random.strategy == "random"
+
+    def test_optimum_on_curve(self, experiment):
+        assert experiment.optimum_on_curve
+
+    def test_space_reduction_in_paper_band(self, experiment):
+        assert 60.0 <= experiment.space_reduction_percent <= 99.0
+
+    def test_pruned_search_is_cheaper(self, experiment):
+        assert (
+            experiment.pareto.measured_seconds
+            < experiment.exhaustive.measured_seconds
+        )
+
+    def test_pruned_gap_zero_when_on_curve(self, experiment):
+        assert experiment.pruned_best_gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_speedup_positive(self, experiment):
+        assert experiment.speedup_over_cpu > 1.0
+
+    def test_random_sample_matches_pareto_budget(self, experiment):
+        assert experiment.random.timed_count == experiment.pareto.timed_count
+
+    def test_worst_over_best(self, experiment):
+        assert experiment.worst_over_best > 1.0

@@ -1,0 +1,64 @@
+"""Figure data generators."""
+
+import pytest
+
+from repro.apps import CoulombicPotential
+from repro.harness import (
+    ascii_scatter,
+    figure5_series,
+    figure6_data,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def cp_experiment():
+    return run_experiment(CoulombicPotential())
+
+
+class TestFigure5:
+    def test_series_structure(self):
+        series = figure5_series()
+        assert [row["tiling"] for row in series] == [1, 2, 4, 8, 16]
+        assert all(0 < row["inv_efficiency_norm"] <= 1 for row in series)
+        assert all(0 < row["inv_utilization_norm"] <= 1 for row in series)
+
+    def test_reciprocal_efficiency_decreases(self):
+        """Lower is better: efficiency improves monotonically with
+        tiling, so its reciprocal falls."""
+        series = figure5_series()
+        values = [row["inv_efficiency_norm"] for row in series]
+        assert values == sorted(values, reverse=True)
+
+    def test_reciprocal_utilization_increases(self):
+        series = figure5_series()
+        values = [row["inv_utilization_norm"] for row in series]
+        assert values == sorted(values)
+
+
+class TestFigure6:
+    def test_data(self, cp_experiment):
+        data = figure6_data(cp_experiment)
+        assert data.name == "cp"
+        assert len(data.points) == 38
+        assert max(p[0] for p in data.points) == pytest.approx(1.0)
+        assert max(p[1] for p in data.points) == pytest.approx(1.0)
+        assert data.optimum_on_curve
+
+    def test_pareto_points_undominated(self, cp_experiment):
+        from repro.tuning import dominates
+
+        data = figure6_data(cp_experiment)
+        for index in data.pareto:
+            assert not any(
+                dominates(other, data.points[index]) for other in data.points
+            )
+
+
+class TestAsciiScatter:
+    def test_renders_markers(self, cp_experiment):
+        data = figure6_data(cp_experiment)
+        art = ascii_scatter(data.points, data.pareto, data.optimal)
+        assert "@" in art
+        assert "o" in art
+        assert art.count("\n") > 10

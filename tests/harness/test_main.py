@@ -1,0 +1,34 @@
+"""The ``python -m repro.harness`` entry point."""
+
+import pytest
+
+from repro.harness.__main__ import main, parse_args
+
+
+class TestParseArgs:
+    def test_defaults(self):
+        options = parse_args(["prog"])
+        assert options.output == "EXPERIMENTS.md"
+        assert options.apps is None
+        assert not options.no_random
+
+    def test_custom(self):
+        options = parse_args(["prog", "out.md", "--apps", "cp,matmul",
+                              "--no-random"])
+        assert options.output == "out.md"
+        assert options.apps == "cp,matmul"
+        assert options.no_random
+
+
+class TestMain:
+    def test_subset_run_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        code = main(["prog", str(output), "--apps", "cp", "--no-random"])
+        assert code == 0
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "cp" in capsys.readouterr().out
+
+    def test_unknown_app_rejected(self, tmp_path):
+        code = main(["prog", str(tmp_path / "x.md"), "--apps", "nonesuch"])
+        assert code == 2

@@ -1,0 +1,32 @@
+"""EXPERIMENTS.md renderer."""
+
+import pytest
+
+from repro.apps import CoulombicPotential
+from repro.harness import render_report, run_experiment, write_report
+
+
+@pytest.fixture(scope="module")
+def experiments():
+    return [run_experiment(CoulombicPotential())]
+
+
+class TestRenderReport:
+    def test_sections_present(self, experiments):
+        text = render_report(experiments, preamble="Reduced-size run.")
+        assert "# EXPERIMENTS" in text
+        assert "Reduced-size run." in text
+        assert "## Table 3" in text
+        assert "## Table 4" in text
+        assert "## Figure 5" in text
+        assert "## Figure 6" in text
+        assert "Headline claim" in text
+
+    def test_headline_reflects_results(self, experiments):
+        text = render_report(experiments)
+        assert "**True**" in text
+
+    def test_write_report(self, experiments, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        write_report(str(path), experiments)
+        assert path.read_text().startswith("# EXPERIMENTS")

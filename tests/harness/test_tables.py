@@ -1,0 +1,52 @@
+"""Table renderers."""
+
+import pytest
+
+from repro.apps import CoulombicPotential
+from repro.harness import format_table, run_experiment, table3_rows, table4_rows
+
+
+@pytest.fixture(scope="module")
+def experiments():
+    return [run_experiment(CoulombicPotential())]
+
+
+class TestTable3:
+    def test_rows(self, experiments):
+        rows = table3_rows(experiments)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["application"] == "cp"
+        assert row["paper_speedup"] == 647.0
+        assert row["speedup"] > 1.0
+        assert row["gpu_best_ms"] > 0
+
+
+class TestTable4:
+    def test_rows(self, experiments):
+        rows = table4_rows(experiments)
+        row = rows[0]
+        assert row["kernel"] == "cp"
+        assert row["configurations"] == 40
+        assert row["valid_configurations"] == 38
+        assert row["paper_configurations"] == 38
+        assert row["selected"] < row["valid_configurations"]
+        assert row["optimum_on_curve"] is True
+        assert 0 < row["selected_evaluation_time_s"] < row["evaluation_time_s"]
+        assert "per-thread tiling" in row["parameters"]
+
+
+class TestFormatTable:
+    def test_renders_columns(self, experiments):
+        text = format_table(table3_rows(experiments),
+                            ["application", "speedup"])
+        lines = text.splitlines()
+        assert lines[0].startswith("application")
+        assert len(lines) == 3      # header, ruler, one row
+
+    def test_empty(self):
+        assert format_table([], ["a"]) == "(no rows)"
+
+    def test_floats_formatted(self, experiments):
+        text = format_table(table3_rows(experiments), ["speedup"])
+        assert "." in text.splitlines()[2]

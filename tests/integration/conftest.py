@@ -1,0 +1,23 @@
+"""Shared session state for the expensive integration experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import all_applications
+from repro.harness import run_experiment
+
+_CACHE = {}
+
+
+def experiment_for(name: str):
+    """One AppExperiment per application, computed once per session."""
+    if name not in _CACHE:
+        app = next(a for a in all_applications() if a.name == name)
+        _CACHE[name] = run_experiment(app)
+    return _CACHE[name]
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    return experiment_for

@@ -1,0 +1,47 @@
+"""Golden regression lock for the headline experiment.
+
+The whole pipeline — kernel generation, transforms, register
+allocation, trace building, simulation, metrics, pruning — is
+deterministic, so the end-to-end numbers can be pinned.  If a refactor
+moves any of these, that is a behaviour change and must be a conscious
+decision (update the constants AND the EXPERIMENTS.md narrative).
+"""
+
+import pytest
+
+from tests.integration.conftest import experiment_for
+
+GOLDEN = {
+    "matmul": dict(
+        valid=94, pareto=8, best_ms=16.164124,
+        best={"prefetch": False, "rect": 4, "spill": False,
+              "tile": 16, "unroll": "complete"},
+    ),
+    "cp": dict(
+        valid=38, pareto=10, best_ms=0.923556,
+        best={"block": 64, "coalesce_output": True, "tiling": 8},
+    ),
+    "sad": dict(
+        valid=808, pareto=27, best_ms=1.140438,
+        best={"positions_per_block": 512, "tiling": 8, "unroll_cols": 4,
+              "unroll_rows": 4, "unroll_search": 8},
+    ),
+    "mri-fhd": dict(
+        valid=175, pareto=35, best_ms=140.464933,
+        best={"block": 64, "invocations": 1, "unroll": 16},
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(GOLDEN))
+def test_golden_results(name):
+    golden = GOLDEN[name]
+    experiment = experiment_for(name)
+
+    assert experiment.exhaustive.valid_count == golden["valid"]
+    assert experiment.pareto.timed_count == golden["pareto"]
+    assert dict(experiment.exhaustive.best.config) == golden["best"]
+    assert experiment.exhaustive.best.seconds * 1e3 == pytest.approx(
+        golden["best_ms"], rel=1e-4
+    )
+    assert experiment.pareto.best.config == experiment.exhaustive.best.config

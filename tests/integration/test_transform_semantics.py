@@ -1,0 +1,222 @@
+"""Property test: the optimization pipeline preserves semantics.
+
+Hypothesis generates random integer kernels (straight-line programs,
+optionally wrapped in accumulation loops); each is executed in the
+functional interpreter before and after the full cleanup pipeline and
+after unrolling, and the outputs must match bit for bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import launch
+from repro.ir import DataType, Dim3, KernelBuilder, validate
+from repro.ir.builder import CTAID_X, TID_X
+from repro.transforms import COMPLETE, standard_cleanup, unroll
+
+S32 = DataType.S32
+
+# (opcode-name, arity) pool — all total functions on s32.
+_BINARY = ["add", "sub", "mul", "min", "max", "and_", "or_", "xor"]
+
+
+@st.composite
+def straight_line_program(draw):
+    """A random DAG of integer arithmetic feeding one store."""
+    op_count = draw(st.integers(min_value=1, max_value=12))
+    operations = []
+    for _ in range(op_count):
+        name = draw(st.sampled_from(_BINARY + ["mad"]))
+        operations.append((
+            name,
+            draw(st.integers(-3, 5)),          # value-pool index or imm
+            draw(st.integers(-3, 5)),
+            draw(st.integers(-3, 5)),
+        ))
+    return operations
+
+
+@st.composite
+def looped_program(draw):
+    body = draw(straight_line_program())
+    trips = draw(st.integers(min_value=0, max_value=7))
+    start = draw(st.integers(min_value=0, max_value=3))
+    step = draw(st.integers(min_value=1, max_value=3))
+    return body, trips, start, step
+
+
+def _materialize(builder, operations, pool):
+    def pick(token):
+        if token < 0:
+            return token * 7 + 1      # a small immediate
+        return pool[token % len(pool)]
+
+    for name, a, b, c in operations:
+        if name == "mad":
+            value = builder.mad(pick(a), pick(b), pick(c))
+        else:
+            value = getattr(builder, name)(pick(a), pick(b))
+        pool.append(value)
+    return pool[-1]
+
+
+def _build_straight_line(operations):
+    builder = KernelBuilder("prop", block_dim=Dim3(16), grid_dim=Dim3(2))
+    out = builder.param_ptr("out", S32)
+    pool = [builder.mov(TID_X, dtype=S32), builder.mad(CTAID_X, 16, TID_X)]
+    result = _materialize(builder, operations, pool)
+    index = builder.mad(CTAID_X, 16, TID_X)
+    builder.st(out, index, result)
+    return builder.finish()
+
+
+def _build_looped(body_ops, trips, start, step):
+    builder = KernelBuilder("prop_loop", block_dim=Dim3(16), grid_dim=Dim3(1))
+    out = builder.param_ptr("out", S32)
+    total = builder.mov(0, dtype=S32)
+    with builder.loop(start, start + trips * step, step=step,
+                      label="main") as counter:
+        pool = [builder.mov(TID_X, dtype=S32), counter, total]
+        result = _materialize(builder, body_ops, pool)
+        builder.add(total, result, dest=total)
+    builder.st(out, TID_X, total)
+    return builder.finish()
+
+
+def _run(kernel, size):
+    buffer = np.zeros(size, dtype=np.int32)
+    launch(kernel, {"out": buffer})
+    return buffer
+
+
+class TestCleanupPreservesSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(straight_line_program())
+    def test_straight_line(self, operations):
+        kernel = _build_straight_line(operations)
+        validate(kernel)
+        cleaned = standard_cleanup(kernel)
+        validate(cleaned)
+        np.testing.assert_array_equal(_run(kernel, 32), _run(cleaned, 32))
+
+    @settings(max_examples=40, deadline=None)
+    @given(looped_program())
+    def test_loops(self, program):
+        kernel = _build_looped(*program)
+        validate(kernel)
+        cleaned = standard_cleanup(kernel)
+        validate(cleaned)
+        np.testing.assert_array_equal(_run(kernel, 16), _run(cleaned, 16))
+
+
+@st.composite
+def memory_program(draw):
+    """Random interleavings of arithmetic, loads and stores."""
+    steps = []
+    for _ in range(draw(st.integers(min_value=2, max_value=10))):
+        kind = draw(st.sampled_from(["alu", "load", "store"]))
+        steps.append((
+            kind,
+            draw(st.sampled_from(_BINARY)),
+            draw(st.integers(-3, 5)),
+            draw(st.integers(-3, 5)),
+            draw(st.integers(0, 15)),     # memory offset
+        ))
+    return steps
+
+
+def _build_memory_program(steps):
+    builder = KernelBuilder("mem", block_dim=Dim3(16), grid_dim=Dim3(1))
+    data = builder.param_ptr("data", S32)
+    pool = [builder.mov(TID_X, dtype=S32)]
+
+    def pick(token):
+        if token < 0:
+            return token * 5 + 2
+        return pool[token % len(pool)]
+
+    for kind, op, a, b, offset in steps:
+        if kind == "alu":
+            pool.append(getattr(builder, op)(pick(a), pick(b)))
+        elif kind == "load":
+            pool.append(builder.ld(data, TID_X, offset=offset))
+        else:
+            builder.st(data, TID_X, pick(a), offset=offset)
+    builder.st(data, TID_X, pool[-1], offset=16)
+    return builder.finish()
+
+
+class TestSchedulePreservesSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(memory_program())
+    def test_memory_interleavings(self, steps):
+        from repro.transforms import schedule_loads_early
+
+        kernel = _build_memory_program(steps)
+        validate(kernel)
+        scheduled = schedule_loads_early(kernel)
+        validate(scheduled)
+        first = np.arange(64, dtype=np.int32)
+        second = first.copy()
+        launch(kernel, {"data": first})
+        launch(scheduled, {"data": second})
+        np.testing.assert_array_equal(first, second)
+
+
+class TestStrengthReductionPreservesSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(straight_line_program())
+    def test_straight_line(self, operations):
+        from repro.transforms import reduce_strength
+
+        kernel = _build_straight_line(operations)
+        reduced = reduce_strength(kernel)
+        validate(reduced)
+        np.testing.assert_array_equal(_run(kernel, 32), _run(reduced, 32))
+
+
+class TestSpillPreservesSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(looped_program(), st.integers(min_value=1, max_value=3))
+    def test_spilling_any_register_set(self, program, count):
+        from repro.transforms import SpillError, spill_registers
+
+        kernel = _build_looped(*program)
+        try:
+            spilled = spill_registers(kernel, count)
+        except SpillError:
+            return  # nothing spillable in this program
+        validate(spilled)
+        np.testing.assert_array_equal(_run(kernel, 16), _run(spilled, 16))
+
+    @settings(max_examples=20, deadline=None)
+    @given(looped_program())
+    def test_spill_then_cleanup(self, program):
+        from repro.transforms import SpillError, spill_registers
+
+        kernel = _build_looped(*program)
+        try:
+            spilled = standard_cleanup(spill_registers(kernel, 2))
+        except SpillError:
+            return
+        validate(spilled)
+        np.testing.assert_array_equal(_run(kernel, 16), _run(spilled, 16))
+
+
+class TestUnrollPreservesSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(looped_program(), st.sampled_from([2, 3, 4, COMPLETE]))
+    def test_any_factor(self, program, factor):
+        kernel = _build_looped(*program)
+        unrolled = unroll(kernel, factor, label="main")
+        validate(unrolled)
+        np.testing.assert_array_equal(_run(kernel, 16), _run(unrolled, 16))
+
+    @settings(max_examples=25, deadline=None)
+    @given(looped_program(), st.sampled_from([2, 4, COMPLETE]))
+    def test_unroll_then_cleanup(self, program, factor):
+        kernel = _build_looped(*program)
+        transformed = standard_cleanup(unroll(kernel, factor, label="main"))
+        validate(transformed)
+        np.testing.assert_array_equal(_run(kernel, 16), _run(transformed, 16))

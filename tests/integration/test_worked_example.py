@@ -1,0 +1,74 @@
+"""Section 4's worked example, end to end.
+
+The paper computes, for the completely-unrolled 16x16 matmul kernel on
+4k x 4k matrices: 13 registers, 2088 bytes of shared memory, B_SM = 2,
+W_TB = 8, Instr = 15150, Regions = 769, Threads = 2^24, Efficiency =
+3.93e-12, Utilization = 227.  We rebuild that kernel at the paper's
+size and check every step of the calculation.
+"""
+
+import pytest
+
+from repro.apps import MatMul
+from repro.metrics import efficiency, utilization
+from repro.tuning import Configuration
+
+PAPER_INSTR = 15150
+PAPER_REGIONS = 769
+PAPER_THREADS = 2 ** 24
+
+
+@pytest.fixture(scope="module")
+def report():
+    app = MatMul(n=4096)
+    config = Configuration({
+        "tile": 16, "rect": 1, "unroll": "complete",
+        "prefetch": False, "spill": False,
+    })
+    return app.evaluate(config)
+
+
+class TestPaperArithmetic:
+    """Equations 1-2 with the paper's published inputs."""
+
+    def test_efficiency(self):
+        assert efficiency(PAPER_INSTR, PAPER_THREADS) == pytest.approx(
+            3.93e-12, rel=1e-2
+        )
+
+    def test_utilization(self):
+        assert utilization(PAPER_INSTR, PAPER_REGIONS, 8, 2) == pytest.approx(
+            227, rel=5e-3
+        )
+
+
+class TestOurKernel:
+    """The same quantities from our compiler pipeline."""
+
+    def test_threads(self, report):
+        assert report.threads == PAPER_THREADS
+
+    def test_regions_exact(self, report):
+        # 2 barriers + 1 load unit per tile iteration, 256 iterations.
+        assert report.regions == PAPER_REGIONS
+
+    def test_instructions_within_one_percent(self, report):
+        assert report.instructions == pytest.approx(PAPER_INSTR, rel=0.01)
+
+    def test_occupancy(self, report):
+        assert report.warps_per_block == 8
+        assert report.blocks_per_sm == 2
+        assert report.occupancy.limiting_resource == "registers"
+
+    def test_shared_memory_exact(self, report):
+        assert report.resources.shared_memory_per_block == 2088
+
+    def test_registers_in_bsm2_band(self, report):
+        # The paper reports 13; anything in 11..16 yields B_SM = 2.
+        assert 11 <= report.resources.registers_per_thread <= 16
+
+    def test_efficiency_matches_paper_within_two_percent(self, report):
+        assert report.efficiency == pytest.approx(3.93e-12, rel=0.02)
+
+    def test_utilization_matches_paper_within_two_percent(self, report):
+        assert report.utilization == pytest.approx(227, rel=0.02)

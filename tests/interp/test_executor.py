@@ -1,0 +1,195 @@
+"""Functional interpreter: SPMD semantics, barriers, memory rules."""
+
+import numpy as np
+import pytest
+
+from repro.interp import (
+    BarrierDivergence,
+    KernelFault,
+    UninitializedRead,
+    launch,
+)
+from repro.ir import CmpOp, DataType, Dim3, KernelBuilder
+from repro.ir.builder import CTAID_X, NCTAID_X, NTID_X, TID_X, TID_Y
+from tests.conftest import build_saxpy, build_tiled_matmul, run_matmul_kernel
+
+F32 = DataType.F32
+S32 = DataType.S32
+
+
+class TestBasicExecution:
+    def test_saxpy(self, rng):
+        kernel = build_saxpy()
+        x = rng.standard_normal(256, dtype=np.float32)
+        y = rng.standard_normal(256, dtype=np.float32)
+        expected = np.float32(2.5) * x + y
+        buffers = {"x": x.copy(), "y": y.copy()}
+        launch(kernel, buffers, {"a": 2.5})
+        np.testing.assert_allclose(buffers["y"], expected, rtol=1e-6)
+
+    def test_matmul_against_numpy(self):
+        result, reference = run_matmul_kernel(build_tiled_matmul(n=32), 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+    def test_special_registers(self):
+        builder = KernelBuilder("ids", block_dim=Dim3(8, 2), grid_dim=Dim3(3))
+        out = builder.param_ptr("out", S32)
+        linear = builder.mad(TID_Y, NTID_X, TID_X)
+        block_base = builder.mul(CTAID_X, 16)
+        global_id = builder.add(block_base, linear)
+        payload = builder.mad(CTAID_X, 1000, builder.mul(NCTAID_X, 1))
+        builder.st(out, global_id, builder.add(payload, linear))
+        out_buffer = np.zeros(48, dtype=np.int32)
+        launch(builder.finish(), {"out": out_buffer})
+        # thread (x=1, y=1) of block 2 -> linear 9, value 2000+3+9.
+        assert out_buffer[2 * 16 + 9] == 2012
+
+    def test_conditional_execution(self):
+        builder = KernelBuilder("cond", block_dim=Dim3(16), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        pred = builder.setp(CmpOp.LT, TID_X, 8)
+        with builder.if_(pred) as branch:
+            builder.st(out, TID_X, 1)
+        with branch.orelse():
+            builder.st(out, TID_X, 2)
+        out_buffer = np.zeros(16, dtype=np.int32)
+        launch(builder.finish(), {"out": out_buffer})
+        np.testing.assert_array_equal(out_buffer[:8], 1)
+        np.testing.assert_array_equal(out_buffer[8:], 2)
+
+    def test_loop_counter_after_loop(self):
+        builder = KernelBuilder("post", block_dim=Dim3(4), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        with builder.loop(0, 5) as i:
+            builder.add(i, 0)
+        builder.st(out, TID_X, i)
+        out_buffer = np.zeros(4, dtype=np.int32)
+        launch(builder.finish(), {"out": out_buffer})
+        np.testing.assert_array_equal(out_buffer, 5)
+
+
+class TestSharedMemoryAndBarriers:
+    def test_block_reversal_through_shared(self):
+        builder = KernelBuilder("rev", block_dim=Dim3(32), grid_dim=Dim3(2))
+        data = builder.param_ptr("data", S32)
+        staging = builder.shared("staging", S32, (32,))
+        global_id = builder.mad(CTAID_X, 32, TID_X)
+        value = builder.ld(data, global_id)
+        builder.st(staging, TID_X, value)
+        builder.bar()
+        reversed_idx = builder.sub(31, TID_X)
+        builder.st(data, global_id, builder.ld(staging, reversed_idx))
+        buffer = np.arange(64, dtype=np.int32)
+        launch(builder.finish(), {"data": buffer})
+        expected = np.concatenate([
+            np.arange(31, -1, -1), np.arange(63, 31, -1)
+        ]).astype(np.int32)
+        np.testing.assert_array_equal(buffer, expected)
+
+    def test_shared_memory_fresh_per_block(self):
+        builder = KernelBuilder("fresh", block_dim=Dim3(4), grid_dim=Dim3(2))
+        out = builder.param_ptr("out", S32)
+        staging = builder.shared("staging", S32, (4,))
+        initial = builder.ld(staging, TID_X)       # must read zero
+        builder.st(staging, TID_X, builder.add(initial, 1))
+        builder.bar()
+        builder.st(out, builder.mad(CTAID_X, 4, TID_X),
+                   builder.ld(staging, TID_X))
+        buffer = np.full(8, -1, dtype=np.int32)
+        launch(builder.finish(), {"out": buffer})
+        np.testing.assert_array_equal(buffer, 1)
+
+    def test_divergent_barrier_detected(self):
+        builder = KernelBuilder("div", block_dim=Dim3(4), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        builder.shared("s", S32, (4,))
+        pred = builder.setp(CmpOp.LT, TID_X, 2)
+        with builder.if_(pred):
+            builder.bar()
+        builder.st(out, TID_X, 1)
+        with pytest.raises(BarrierDivergence):
+            launch(builder.finish(), {"out": np.zeros(4, dtype=np.int32)})
+
+
+class TestMemoryRules:
+    def test_global_overfetch_clamps(self):
+        builder = KernelBuilder("clamp", block_dim=Dim3(4), grid_dim=Dim3(1))
+        data = builder.param_ptr("data", S32)
+        past_end = builder.add(TID_X, 1000)
+        value = builder.ld(data, past_end)
+        builder.st(data, TID_X, value)
+        buffer = np.arange(8, dtype=np.int32)
+        launch(builder.finish(), {"data": buffer})
+        np.testing.assert_array_equal(buffer[:4], 7)   # clamped to last
+
+    def test_out_of_bounds_store_faults(self):
+        builder = KernelBuilder("oob", block_dim=Dim3(4), grid_dim=Dim3(1))
+        data = builder.param_ptr("data", S32)
+        builder.st(data, builder.add(TID_X, 1000), 1)
+        with pytest.raises(KernelFault, match="store index"):
+            launch(builder.finish(), {"data": np.zeros(8, dtype=np.int32)})
+
+    def test_shared_out_of_bounds_load_faults(self):
+        builder = KernelBuilder("soob", block_dim=Dim3(4), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        staging = builder.shared("staging", S32, (4,))
+        value = builder.ld(staging, builder.add(TID_X, 100))
+        builder.st(out, TID_X, value)
+        with pytest.raises(KernelFault, match="outside"):
+            launch(builder.finish(), {"out": np.zeros(4, dtype=np.int32)})
+
+    def test_local_arrays_are_per_thread(self):
+        builder = KernelBuilder("local", block_dim=Dim3(8), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        scratch = builder.local("scratch", S32, 1)
+        builder.st(scratch, 0, TID_X)
+        builder.bar()
+        builder.st(out, TID_X, builder.ld(scratch, 0))
+        buffer = np.zeros(8, dtype=np.int32)
+        launch(builder.finish(), {"out": buffer})
+        np.testing.assert_array_equal(buffer, np.arange(8, dtype=np.int32))
+
+
+class TestArgumentChecking:
+    def test_missing_array(self):
+        with pytest.raises(KernelFault, match="missing array"):
+            launch(build_saxpy(), {"x": np.zeros(256, dtype=np.float32)},
+                   {"a": 1.0})
+
+    def test_missing_scalar(self):
+        buffers = {
+            "x": np.zeros(256, dtype=np.float32),
+            "y": np.zeros(256, dtype=np.float32),
+        }
+        with pytest.raises(KernelFault, match="missing scalar"):
+            launch(build_saxpy(), buffers)
+
+    def test_wrong_dtype(self):
+        buffers = {
+            "x": np.zeros(256, dtype=np.float64),
+            "y": np.zeros(256, dtype=np.float32),
+        }
+        with pytest.raises(KernelFault, match="dtype"):
+            launch(build_saxpy(), buffers, {"a": 1.0})
+
+    def test_thread_count_cap(self):
+        builder = KernelBuilder("huge", block_dim=Dim3(512), grid_dim=Dim3(1 << 10))
+        out = builder.param_ptr("out", S32)
+        builder.st(out, TID_X, 1)
+        with pytest.raises(KernelFault, match="refusing"):
+            launch(builder.finish(), {"out": np.zeros(16, dtype=np.int32)})
+
+    def test_uninitialized_register_read(self):
+        from repro.ir import Instruction, Kernel, Opcode, VirtualRegister
+        from repro.ir import MemRef, Param
+
+        ghost = VirtualRegister("ghost", S32)
+        out = Param("out", S32, is_pointer=True)
+        kernel = Kernel(
+            name="bad", params=[out],
+            block_dim=Dim3(1), grid_dim=Dim3(1),
+            body=[Instruction(Opcode.ST, srcs=(ghost,),
+                              mem=MemRef(out, VirtualRegister("g2", S32)))],
+        )
+        with pytest.raises(UninitializedRead):
+            launch(kernel, {"out": np.zeros(4, dtype=np.int32)})

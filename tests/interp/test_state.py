@@ -1,0 +1,62 @@
+"""Interpreter state containers."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ThreadContext, ThreadState, UninitializedRead
+from repro.interp.state import allocate_shared, numpy_dtype
+from repro.ir import DataType, Dim3, LocalArray, SharedArray, VirtualRegister
+
+
+def make_state(local_arrays=()):
+    context = ThreadContext(
+        tid=(1, 2, 0), ctaid=(3, 0, 0),
+        block_dim=Dim3(8, 4), grid_dim=Dim3(16),
+    )
+    return ThreadState(context, list(local_arrays))
+
+
+class TestThreadState:
+    def test_write_then_read(self):
+        state = make_state()
+        register = VirtualRegister("x", DataType.F32)
+        state.write(register, 1.5)
+        assert state.read(register) == 1.5
+
+    def test_uninitialized_read_raises_with_context(self):
+        state = make_state()
+        register = VirtualRegister("ghost", DataType.F32)
+        with pytest.raises(UninitializedRead, match="ghost"):
+            state.read(register)
+
+    def test_local_arrays_zeroed(self):
+        scratch = LocalArray("scratch", DataType.S32, 4)
+        state = make_state([scratch])
+        assert state.local_arrays[scratch].tolist() == [0, 0, 0, 0]
+        assert state.local_arrays[scratch].dtype == np.int32
+
+
+class TestAllocateShared:
+    def test_shapes_and_dtypes(self):
+        arrays = allocate_shared([
+            SharedArray("a", DataType.F32, (4, 4)),
+            SharedArray("b", DataType.S32, (8,)),
+        ])
+        (a_array, b_array) = (arrays[key] for key in arrays)
+        assert {arr.size for arr in arrays.values()} == {16, 8}
+
+    def test_zero_initialized(self):
+        arrays = allocate_shared([SharedArray("a", DataType.F32, (4,))])
+        array = next(iter(arrays.values()))
+        assert not array.any()
+
+
+class TestNumpyDtype:
+    @pytest.mark.parametrize("dtype, expected", [
+        (DataType.F32, np.float32),
+        (DataType.S32, np.int32),
+        (DataType.U32, np.uint32),
+        (DataType.PRED, np.bool_),
+    ])
+    def test_mapping(self, dtype, expected):
+        assert numpy_dtype(dtype) == expected

@@ -1,0 +1,167 @@
+"""Vectorized engine: agreement with the scalar interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import BarrierDivergence, launch, launch_vectorized
+from repro.ir import CmpOp, DataType, Dim3, KernelBuilder
+from repro.ir.builder import CTAID_X, TID_X
+from tests.conftest import build_saxpy, build_tiled_matmul
+
+F32 = DataType.F32
+S32 = DataType.S32
+
+
+def run_both(kernel, arrays, scalars=None):
+    first = {name: array.copy() for name, array in arrays.items()}
+    second = {name: array.copy() for name, array in arrays.items()}
+    launch(kernel, first, scalars or {})
+    launch_vectorized(kernel, second, scalars or {})
+    return first, second
+
+
+class TestAgreement:
+    def test_saxpy(self, rng):
+        arrays = {
+            "x": rng.standard_normal(256, dtype=np.float32),
+            "y": rng.standard_normal(256, dtype=np.float32),
+        }
+        scalar, vector = run_both(build_saxpy(), arrays, {"a": 1.5})
+        np.testing.assert_array_equal(scalar["y"], vector["y"])
+
+    def test_matmul(self, rng):
+        n = 32
+        kernel = build_tiled_matmul(n=n)
+        arrays = {
+            "A": rng.standard_normal(n * n, dtype=np.float32),
+            "B": rng.standard_normal(n * n, dtype=np.float32),
+            "C": np.zeros(n * n, dtype=np.float32),
+        }
+        scalar, vector = run_both(kernel, arrays)
+        np.testing.assert_allclose(scalar["C"], vector["C"], rtol=1e-6)
+
+    def test_divergent_conditional(self):
+        builder = KernelBuilder("div", block_dim=Dim3(32), grid_dim=Dim3(2))
+        out = builder.param_ptr("out", S32)
+        gid = builder.mad(CTAID_X, 32, TID_X)
+        pred = builder.setp(CmpOp.LT, TID_X, 11)
+        with builder.if_(pred) as branch:
+            builder.st(out, gid, builder.mul(TID_X, 3))
+        with branch.orelse():
+            builder.st(out, gid, builder.add(TID_X, 100))
+        kernel = builder.finish()
+        arrays = {"out": np.zeros(64, dtype=np.int32)}
+        scalar, vector = run_both(kernel, arrays)
+        np.testing.assert_array_equal(scalar["out"], vector["out"])
+
+    def test_nonuniform_loop_bounds(self):
+        builder = KernelBuilder("tri", block_dim=Dim3(16), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        bound = builder.mov(TID_X, dtype=S32)
+        total = builder.mov(0, dtype=S32)
+        with builder.loop(0, bound, trip_count=8) as i:
+            builder.add(total, i, dest=total)
+        builder.st(out, TID_X, total)
+        kernel = builder.finish()
+        arrays = {"out": np.zeros(16, dtype=np.int32)}
+        scalar, vector = run_both(kernel, arrays)
+        np.testing.assert_array_equal(scalar["out"], vector["out"])
+        # Triangular sums: t*(t-1)/2.
+        expected = np.array([t * (t - 1) // 2 for t in range(16)], np.int32)
+        np.testing.assert_array_equal(vector["out"], expected)
+
+    def test_global_load_clamping_matches(self):
+        builder = KernelBuilder("clamp", block_dim=Dim3(8), grid_dim=Dim3(1))
+        data = builder.param_ptr("data", S32)
+        value = builder.ld(data, builder.add(TID_X, 1000))
+        builder.st(data, TID_X, value)
+        kernel = builder.finish()
+        arrays = {"data": np.arange(16, dtype=np.int32)}
+        scalar, vector = run_both(kernel, arrays)
+        np.testing.assert_array_equal(scalar["data"], vector["data"])
+
+    def test_local_arrays(self):
+        builder = KernelBuilder("local", block_dim=Dim3(8), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        scratch = builder.local("scratch", S32, 2)
+        builder.st(scratch, 0, builder.mul(TID_X, 5))
+        builder.st(scratch, 1, builder.add(TID_X, 9))
+        builder.st(out, TID_X,
+                   builder.add(builder.ld(scratch, 0), builder.ld(scratch, 1)))
+        kernel = builder.finish()
+        arrays = {"out": np.zeros(8, dtype=np.int32)}
+        scalar, vector = run_both(kernel, arrays)
+        np.testing.assert_array_equal(scalar["out"], vector["out"])
+
+
+class TestApplications:
+    @pytest.mark.parametrize("app_name", ["cp", "sad", "mri-fhd"])
+    def test_apps_agree_across_engines(self, app_name, rng):
+        from repro.apps import all_applications
+
+        app = next(a for a in all_applications()
+                   if a.name == app_name).test_instance()
+        config = app.default_configuration()
+        if config not in set(app.space()):
+            config = next(iter(app.space()))
+        kernel = app.kernel(config)
+        arrays, scalars = app.make_inputs(rng)
+        first = {k: v.copy() for k, v in arrays.items()}
+        second = {k: v.copy() for k, v in arrays.items()}
+        launch(kernel, first, scalars)
+        launch_vectorized(kernel, second, scalars)
+        for name in app.output_names:
+            np.testing.assert_allclose(first[name], second[name], rtol=1e-5,
+                                       atol=1e-5)
+
+
+class TestGuards:
+    def test_barrier_under_divergence_rejected(self):
+        builder = KernelBuilder("badbar", block_dim=Dim3(8), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        builder.shared("s", S32, (8,))
+        pred = builder.setp(CmpOp.LT, TID_X, 4)
+        with builder.if_(pred):
+            builder.bar()
+        builder.st(out, TID_X, 1)
+        with pytest.raises(BarrierDivergence):
+            launch_vectorized(builder.finish(),
+                              {"out": np.zeros(8, dtype=np.int32)})
+
+    def test_out_of_bounds_store_faults(self):
+        from repro.interp import KernelFault
+
+        builder = KernelBuilder("oob", block_dim=Dim3(4), grid_dim=Dim3(1))
+        data = builder.param_ptr("data", S32)
+        builder.st(data, builder.add(TID_X, 1000), 1)
+        with pytest.raises(KernelFault, match="store index"):
+            launch_vectorized(builder.finish(),
+                              {"data": np.zeros(8, dtype=np.int32)})
+
+
+class TestPropertyAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["add", "sub", "mul", "min", "max"]),
+                  st.integers(-2, 4), st.integers(-2, 4)),
+        min_size=1, max_size=10,
+    ))
+    def test_random_programs(self, operations):
+        builder = KernelBuilder("prop", block_dim=Dim3(16), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        pool = [builder.mov(TID_X, dtype=S32)]
+
+        def pick(token):
+            if token < 0:
+                return token * 3 + 1
+            return pool[token % len(pool)]
+
+        for name, a, b in operations:
+            pool.append(getattr(builder, name)(pick(a), pick(b)))
+        builder.st(out, TID_X, pool[-1])
+        kernel = builder.finish()
+        arrays = {"out": np.zeros(16, dtype=np.int32)}
+        scalar, vector = run_both(kernel, arrays)
+        np.testing.assert_array_equal(scalar["out"], vector["out"])

@@ -1,0 +1,134 @@
+"""KernelBuilder authoring API."""
+
+import pytest
+
+from repro.arch import MemorySpace
+from repro.ir import CmpOp, DataType, Dim3, ForLoop, If, KernelBuilder, Opcode
+from repro.ir.builder import TID_X
+from repro.ir.validate import validate
+
+
+def fresh_builder():
+    return KernelBuilder("k", block_dim=Dim3(64), grid_dim=Dim3(4))
+
+
+class TestDeclarations:
+    def test_params_and_arrays(self):
+        builder = fresh_builder()
+        builder.param_ptr("x", DataType.F32)
+        builder.param_ptr("lut", DataType.F32, space=MemorySpace.CONSTANT)
+        builder.param_scalar("n", DataType.S32)
+        builder.shared("As", DataType.F32, (8, 8))
+        builder.local("spill", DataType.F32, 2)
+        kernel = builder.finish()
+        assert [p.name for p in kernel.params] == ["x", "lut", "n"]
+        assert kernel.shared_arrays[0].num_elements == 64
+        assert kernel.local_arrays[0].length == 2
+
+    def test_fresh_registers_unique(self):
+        builder = fresh_builder()
+        names = {builder.fresh(DataType.F32).name for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestCoercion:
+    def test_python_numbers_become_immediates(self):
+        builder = fresh_builder()
+        result = builder.add(TID_X, 3)
+        kernel = builder.finish()
+        instr = kernel.body[0]
+        assert instr.srcs[1].value == 3
+        assert result.dtype is DataType.S32
+
+    def test_float_inference(self):
+        builder = fresh_builder()
+        result = builder.mul(2.0, 3.0)
+        assert result.dtype is DataType.F32
+
+    def test_bool_rejected(self):
+        builder = fresh_builder()
+        with pytest.raises(TypeError):
+            builder.add(True, 1)
+
+    def test_sfu_requires_f32(self):
+        builder = fresh_builder()
+        with pytest.raises(TypeError):
+            builder.rsqrt(TID_X)
+
+
+class TestControlFlow:
+    def test_loop_context(self):
+        builder = fresh_builder()
+        with builder.loop(0, 8, label="outer") as i:
+            builder.add(i, 1)
+        kernel = builder.finish()
+        loop = kernel.body[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.trip_count == 8
+        assert loop.label == "outer"
+        assert len(loop.body) == 1
+
+    def test_if_else_context(self):
+        builder = fresh_builder()
+        pred = builder.setp(CmpOp.LT, TID_X, 16)
+        with builder.if_(pred, taken_fraction=0.25) as branch:
+            builder.add(1, 2)
+        with branch.orelse():
+            builder.add(3, 4)
+        kernel = builder.finish()
+        conditional = kernel.body[1]
+        assert isinstance(conditional, If)
+        assert conditional.taken_fraction == 0.25
+        assert len(conditional.then_body) == 1
+        assert len(conditional.else_body) == 1
+
+    def test_nested_loops(self):
+        builder = fresh_builder()
+        with builder.loop(0, 4) as i:
+            with builder.loop(0, 8) as j:
+                builder.mad(i, 8, j)
+        kernel = builder.finish()
+        outer = kernel.body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, ForLoop)
+        assert inner.trip_count == 8
+
+    def test_unbalanced_contexts_detected(self):
+        builder = fresh_builder()
+        context = builder.loop(0, 4)
+        context.__enter__()
+        with pytest.raises(RuntimeError, match="unbalanced"):
+            builder.finish()
+
+
+class TestAccumulatorPattern:
+    def test_dest_reuse(self):
+        builder = fresh_builder()
+        acc = builder.mov(0.0)
+        with builder.loop(0, 4):
+            builder.add(acc, 1.0, dest=acc)
+        kernel = builder.finish()
+        validate(kernel)
+        assert kernel.body[1].body[0].dest == acc
+
+
+class TestMemoryHelpers:
+    def test_load_store_offsets(self):
+        builder = fresh_builder()
+        x = builder.param_ptr("x", DataType.F32)
+        value = builder.ld(x, TID_X, offset=4, coalesced=False)
+        builder.st(x, TID_X, value, offset=8)
+        kernel = builder.finish()
+        load, store = kernel.body
+        assert load.mem.offset == 4
+        assert not load.coalesced
+        assert store.mem.offset == 8
+        assert store.opcode is Opcode.ST
+
+    def test_validates(self):
+        builder = fresh_builder()
+        x = builder.param_ptr("x", DataType.F32)
+        value = builder.ld(x, TID_X)
+        doubled = builder.add(value, value)
+        builder.st(x, TID_X, doubled)
+        validate(builder.finish())

@@ -1,0 +1,117 @@
+"""Instruction construction invariants."""
+
+import pytest
+
+from repro.arch import MemorySpace
+from repro.ir import (
+    CmpOp,
+    DataType,
+    Instruction,
+    MemRef,
+    Opcode,
+    Param,
+    SharedArray,
+    VirtualRegister,
+    imm,
+)
+
+F32 = DataType.F32
+REG = VirtualRegister("r", F32)
+A = VirtualRegister("a", F32)
+B = VirtualRegister("b", F32)
+PTR = Param("data", F32, is_pointer=True)
+SHARED = SharedArray("As", F32, (4,))
+
+
+class TestArity:
+    def test_add_requires_two_operands(self):
+        with pytest.raises(ValueError, match="takes 2"):
+            Instruction(Opcode.ADD, dest=REG, srcs=(A,))
+
+    def test_mad_requires_three(self):
+        with pytest.raises(ValueError, match="takes 3"):
+            Instruction(Opcode.MAD, dest=REG, srcs=(A, B))
+
+    def test_alu_requires_destination(self):
+        with pytest.raises(ValueError, match="destination"):
+            Instruction(Opcode.ADD, srcs=(A, B))
+
+    def test_alu_rejects_memory_operand(self):
+        with pytest.raises(ValueError, match="no memory operand"):
+            Instruction(Opcode.ADD, dest=REG, srcs=(A, B),
+                        mem=MemRef(PTR, imm(0)))
+
+
+class TestSetp:
+    def test_requires_comparison(self):
+        pred = VirtualRegister("p", DataType.PRED)
+        with pytest.raises(ValueError, match="comparison"):
+            Instruction(Opcode.SETP, dest=pred, srcs=(A, B))
+
+    def test_other_opcodes_reject_comparison(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, dest=REG, srcs=(A, B), cmp=CmpOp.LT)
+
+
+class TestMemoryOps:
+    def test_load_requires_memref_and_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LD, dest=REG)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LD, mem=MemRef(PTR, imm(0)))
+
+    def test_store_takes_one_source_no_dest(self):
+        store = Instruction(Opcode.ST, srcs=(A,), mem=MemRef(PTR, imm(0)))
+        assert store.dest is None
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ST, dest=REG, srcs=(A,), mem=MemRef(PTR, imm(0)))
+
+    def test_store_to_constant_rejected(self):
+        constant = Param("lut", F32, is_pointer=True, space=MemorySpace.CONSTANT)
+        with pytest.raises(ValueError, match="read-only"):
+            Instruction(Opcode.ST, srcs=(A,), mem=MemRef(constant, imm(0)))
+
+    def test_memref_space(self):
+        assert MemRef(PTR, imm(0)).space is MemorySpace.GLOBAL
+        assert MemRef(SHARED, imm(0)).space is MemorySpace.SHARED
+
+    def test_memref_offset_rendering(self):
+        assert "data[0+4]" in str(MemRef(PTR, imm(0), offset=4))
+
+
+class TestBarrier:
+    def test_takes_no_operands(self):
+        bar = Instruction(Opcode.BAR)
+        assert bar.opcode.is_barrier
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BAR, srcs=(A,))
+
+
+class TestClassificationProperties:
+    def test_long_latency_loads_only(self):
+        global_load = Instruction(Opcode.LD, dest=REG, mem=MemRef(PTR, imm(0)))
+        assert global_load.is_long_latency
+        shared_load = Instruction(Opcode.LD, dest=REG, mem=MemRef(SHARED, imm(0)))
+        assert not shared_load.is_long_latency
+        # Stores never block the issuing warp (Section 4).
+        global_store = Instruction(Opcode.ST, srcs=(A,), mem=MemRef(PTR, imm(0)))
+        assert not global_store.is_long_latency
+
+    def test_sfu_classification(self):
+        assert Opcode.RSQRT.is_sfu
+        assert Opcode.SIN.is_sfu
+        assert not Opcode.MAD.is_sfu
+
+    def test_reads_include_memory_index(self):
+        index = VirtualRegister("i", DataType.S32)
+        load = Instruction(Opcode.LD, dest=REG, mem=MemRef(PTR, index))
+        assert index in load.reads
+
+    def test_reads_include_store_value(self):
+        store = Instruction(Opcode.ST, srcs=(A,), mem=MemRef(PTR, imm(0)))
+        assert A in store.reads
+
+    def test_str_round_trips_key_content(self):
+        add = Instruction(Opcode.ADD, dest=REG, srcs=(A, B))
+        assert "add" in str(add)
+        assert "%r" in str(add)

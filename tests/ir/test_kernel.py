@@ -1,0 +1,98 @@
+"""Kernel container and launch geometry."""
+
+import pytest
+
+from repro.ir import (
+    DataType,
+    Dim3,
+    Kernel,
+    Param,
+    SharedArray,
+    flatten_thread_index,
+    warp_assignment,
+)
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(16, 16).count == 256
+        assert Dim3(4, 4, 2).count == 32
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+
+    def test_str(self):
+        assert str(Dim3(2, 3)) == "(2, 3, 1)"
+
+
+class TestKernel:
+    def _kernel(self, **overrides):
+        defaults = dict(
+            name="k",
+            params=[Param("x", DataType.F32, is_pointer=True)],
+            block_dim=Dim3(256),
+            grid_dim=Dim3(64),
+        )
+        defaults.update(overrides)
+        return Kernel(**defaults)
+
+    def test_thread_accounting(self):
+        kernel = self._kernel()
+        assert kernel.threads_per_block == 256
+        assert kernel.num_blocks == 64
+        assert kernel.total_threads == 256 * 64
+
+    def test_shared_memory_bytes(self):
+        kernel = self._kernel(shared_arrays=[
+            SharedArray("As", DataType.F32, (16, 16)),
+            SharedArray("Bs", DataType.F32, (16, 16)),
+        ])
+        assert kernel.shared_memory_bytes == 2048
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            self._kernel(
+                params=[Param("x", DataType.F32, is_pointer=True)],
+                shared_arrays=[SharedArray("x", DataType.F32, (4,))],
+            )
+
+    def test_param_lookup(self):
+        kernel = self._kernel()
+        assert kernel.param("x").name == "x"
+        with pytest.raises(KeyError):
+            kernel.param("missing")
+
+    def test_shared_lookup(self):
+        kernel = self._kernel(shared_arrays=[SharedArray("As", DataType.F32, (4,))])
+        assert kernel.shared("As").num_elements == 4
+        with pytest.raises(KeyError):
+            kernel.shared("missing")
+
+    def test_check_launch_rejects_oversized_block(self):
+        kernel = self._kernel(block_dim=Dim3(32, 32))  # 1024 threads
+        with pytest.raises(ValueError, match="threads/block"):
+            kernel.check_launch()
+
+    def test_check_launch_rejects_oversized_shared(self):
+        kernel = self._kernel(shared_arrays=[
+            SharedArray("big", DataType.F32, (4097,)),
+        ])
+        with pytest.raises(ValueError, match="shared memory"):
+            kernel.check_launch()
+
+
+class TestThreadIndexing:
+    def test_flatten_x_fastest(self):
+        block = Dim3(16, 16)
+        assert flatten_thread_index((0, 0, 0), block) == 0
+        assert flatten_thread_index((1, 0, 0), block) == 1
+        assert flatten_thread_index((0, 1, 0), block) == 16
+        assert flatten_thread_index((0, 0, 1), block) == 256
+
+    def test_warp_assignment(self):
+        warps = warp_assignment(Dim3(64))
+        assert warps[0] == 0
+        assert warps[31] == 0
+        assert warps[32] == 1
+        assert warps[63] == 1

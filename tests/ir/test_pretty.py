@@ -1,0 +1,27 @@
+"""Pseudocode rendering."""
+
+from repro.ir import format_kernel
+from tests.conftest import build_saxpy, build_tiled_matmul
+
+
+class TestFormatKernel:
+    def test_saxpy_renders(self):
+        text = format_kernel(build_saxpy())
+        assert "__global__ void saxpy" in text
+        assert "mad" in text
+        assert "grid=(4, 1, 1)" in text
+
+    def test_matmul_shows_structure(self):
+        text = format_kernel(build_tiled_matmul())
+        assert "__shared__ f32 As[16x16]" in text
+        assert "for (" in text
+        assert "trips=2" in text          # 32/16 outer iterations
+        assert "bar.sync" in text
+        assert text.count("{") == text.count("}")
+
+    def test_indentation_nests(self):
+        text = format_kernel(build_tiled_matmul())
+        lines = text.splitlines()
+        inner_loads = [l for l in lines if "ld %" in l or "ld.shared" in l]
+        # Inner-loop shared loads are indented deeper than prologue.
+        assert any(line.startswith("      ") for line in lines)

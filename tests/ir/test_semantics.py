@@ -1,0 +1,131 @@
+"""Scalar semantics: 32-bit wrapping, f32 rounding, comparisons.
+
+Includes hypothesis property tests, since these semantics back both
+the interpreter and the constant folder — they must agree by
+construction, but each must also be internally consistent.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import CmpOp, DataType, Opcode
+from repro.ir.semantics import coerce_scalar, eval_compare, eval_op
+
+S32 = DataType.S32
+U32 = DataType.U32
+F32 = DataType.F32
+
+int32s = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_subnormal=False, width=32)
+
+
+class TestCoercion:
+    def test_s32_wraps(self):
+        assert coerce_scalar(2 ** 31, S32) == -(2 ** 31)
+        assert coerce_scalar(-(2 ** 31) - 1, S32) == 2 ** 31 - 1
+
+    def test_u32_wraps(self):
+        assert coerce_scalar(2 ** 32 + 5, U32) == 5
+        assert coerce_scalar(-1, U32) == 2 ** 32 - 1
+
+    def test_f32_rounds_to_single(self):
+        value = coerce_scalar(1.0 + 2 ** -30, F32)
+        assert value == 1.0  # not representable in f32
+
+    @given(int32s)
+    def test_s32_identity_in_range(self, value):
+        assert coerce_scalar(value, S32) == value
+
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63))
+    def test_s32_always_in_range(self, value):
+        wrapped = coerce_scalar(value, S32)
+        assert -(2 ** 31) <= wrapped <= 2 ** 31 - 1
+        assert (wrapped - value) % (2 ** 32) == 0
+
+
+class TestIntegerOps:
+    def test_div_truncates_toward_zero(self):
+        assert eval_op(Opcode.DIV, S32, (-7, 2)) == -3
+        assert eval_op(Opcode.DIV, S32, (7, -2)) == -3
+        assert eval_op(Opcode.DIV, S32, (7, 2)) == 3
+
+    def test_rem_sign_follows_dividend(self):
+        assert eval_op(Opcode.REM, S32, (-7, 2)) == -1
+        assert eval_op(Opcode.REM, S32, (7, -2)) == 1
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            eval_op(Opcode.DIV, S32, (1, 0))
+
+    @given(int32s, st.integers(min_value=1, max_value=2 ** 31 - 1))
+    def test_div_rem_identity(self, a, b):
+        q = eval_op(Opcode.DIV, S32, (a, b))
+        r = eval_op(Opcode.REM, S32, (a, b))
+        assert q * b + r == a
+        assert abs(r) < b
+
+    def test_shifts_mask_amount(self):
+        assert eval_op(Opcode.SHL, S32, (1, 33)) == 2  # 33 & 31 == 1
+        assert eval_op(Opcode.SHR, S32, (4, 1)) == 2
+
+    def test_bitwise(self):
+        assert eval_op(Opcode.AND, S32, (0b1100, 0b1010)) == 0b1000
+        assert eval_op(Opcode.OR, S32, (0b1100, 0b1010)) == 0b1110
+        assert eval_op(Opcode.XOR, S32, (0b1100, 0b1010)) == 0b0110
+
+    @given(int32s, int32s)
+    def test_mul_wraps_like_numpy(self, a, b):
+        ours = eval_op(Opcode.MUL, S32, (a, b))
+        with np.errstate(over="ignore"):
+            theirs = int(np.int32(a) * np.int32(b))
+        assert ours == theirs
+
+
+class TestFloatOps:
+    def test_mad(self):
+        assert eval_op(Opcode.MAD, F32, (2.0, 3.0, 1.0)) == 7.0
+
+    def test_abs_neg_min_max(self):
+        assert eval_op(Opcode.ABS, F32, (-2.5,)) == 2.5
+        assert eval_op(Opcode.NEG, F32, (2.5,)) == -2.5
+        assert eval_op(Opcode.MIN, F32, (1.0, 2.0)) == 1.0
+        assert eval_op(Opcode.MAX, F32, (1.0, 2.0)) == 2.0
+
+    @given(floats)
+    def test_results_are_f32_representable(self, value):
+        result = eval_op(Opcode.MUL, F32, (value, 1.0000001))
+        assert result == float(np.float32(result))
+
+    def test_sfu_ops(self):
+        assert eval_op(Opcode.RSQRT, F32, (4.0,)) == pytest.approx(0.5)
+        assert eval_op(Opcode.RCP, F32, (4.0,)) == pytest.approx(0.25)
+        assert eval_op(Opcode.SQRT, F32, (9.0,)) == pytest.approx(3.0)
+        assert eval_op(Opcode.SIN, F32, (0.0,)) == 0.0
+        assert eval_op(Opcode.COS, F32, (0.0,)) == 1.0
+        assert eval_op(Opcode.EX2, F32, (3.0,)) == 8.0
+        assert eval_op(Opcode.LG2, F32, (8.0,)) == 3.0
+
+    def test_cvt(self):
+        assert eval_op(Opcode.CVT, F32, (3,)) == 3.0
+        assert eval_op(Opcode.CVT, S32, (3.7,)) == 3
+
+
+class TestPredicates:
+    @given(int32s, int32s)
+    def test_comparisons_consistent(self, a, b):
+        assert eval_compare(CmpOp.LT, a, b) == (a < b)
+        assert eval_compare(CmpOp.GE, a, b) == (not eval_compare(CmpOp.LT, a, b))
+        assert eval_compare(CmpOp.EQ, a, b) == (a == b)
+        assert eval_compare(CmpOp.NE, a, b) == (a != b)
+
+    def test_selp(self):
+        assert eval_op(Opcode.SELP, S32, (True, 1, 2)) == 1
+        assert eval_op(Opcode.SELP, S32, (False, 1, 2)) == 2
+
+    def test_setp_via_eval_op(self):
+        assert eval_op(Opcode.SETP, DataType.PRED, (1, 2), cmp=CmpOp.LT) is True

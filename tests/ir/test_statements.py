@@ -1,0 +1,94 @@
+"""Structured control flow: loops, conditionals, traversal."""
+
+import pytest
+
+from repro.ir import (
+    DataType,
+    ForLoop,
+    If,
+    Instruction,
+    Opcode,
+    VirtualRegister,
+    imm,
+    instructions,
+    walk,
+)
+
+S32 = DataType.S32
+
+
+def counter(name="i"):
+    return VirtualRegister(name, S32)
+
+
+class TestForLoop:
+    def test_static_trip_count(self):
+        loop = ForLoop(counter(), imm(0), imm(16), imm(1))
+        assert loop.trip_count == 16
+
+    def test_strided_trip_count_rounds_up(self):
+        loop = ForLoop(counter(), imm(0), imm(10), imm(4))
+        assert loop.trip_count == 3
+
+    def test_zero_trips(self):
+        loop = ForLoop(counter(), imm(5), imm(5), imm(1))
+        assert loop.trip_count == 0
+
+    def test_dynamic_bounds_need_annotation(self):
+        bound = VirtualRegister("n", S32)
+        loop = ForLoop(counter(), imm(0), bound, imm(1))
+        assert loop.trip_count is None
+        with pytest.raises(ValueError, match="trip_count annotation"):
+            loop.annotated_trips
+
+    def test_dynamic_bounds_accept_annotation(self):
+        bound = VirtualRegister("n", S32)
+        loop = ForLoop(counter(), imm(0), bound, imm(1), trip_count=64)
+        assert loop.annotated_trips == 64
+
+    def test_annotation_must_match_static_bounds(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            ForLoop(counter(), imm(0), imm(16), imm(1), trip_count=8)
+
+    def test_nonpositive_step_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ForLoop(counter(), imm(0), imm(16), imm(0))
+
+    def test_counter_must_be_s32(self):
+        with pytest.raises(TypeError):
+            ForLoop(VirtualRegister("f", DataType.F32), imm(0), imm(4), imm(1))
+
+    def test_label(self):
+        loop = ForLoop(counter(), imm(0), imm(4), imm(1), label="inner")
+        assert loop.label == "inner"
+
+
+class TestIf:
+    def test_taken_fraction_bounds(self):
+        pred = VirtualRegister("p", DataType.PRED)
+        If(cond=pred, taken_fraction=0.5)
+        with pytest.raises(ValueError):
+            If(cond=pred, taken_fraction=1.5)
+        with pytest.raises(ValueError):
+            If(cond=pred, taken_fraction=-0.1)
+
+
+class TestTraversal:
+    def _nested(self):
+        reg = VirtualRegister("x", S32)
+        inner = Instruction(Opcode.ADD, dest=reg, srcs=(imm(1), imm(2)))
+        loop = ForLoop(counter(), imm(0), imm(4), imm(1), body=[inner])
+        pred = VirtualRegister("p", DataType.PRED)
+        setp = Instruction(Opcode.SETP, dest=pred, srcs=(imm(1), imm(2)),
+                           cmp=__import__("repro.ir", fromlist=["CmpOp"]).CmpOp.LT)
+        branch = If(cond=pred, then_body=[loop])
+        return [setp, branch], {setp, inner}
+
+    def test_walk_reaches_nested_statements(self):
+        body, expected_instrs = self._nested()
+        visited = list(walk(body))
+        assert len(visited) == 4  # setp, if, loop, add
+
+    def test_instructions_filters(self):
+        body, expected_instrs = self._nested()
+        assert set(instructions(body)) == expected_instrs

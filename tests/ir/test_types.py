@@ -1,0 +1,31 @@
+"""Scalar type vocabulary."""
+
+from repro.ir import CmpOp, DataType
+
+
+class TestDataType:
+    def test_sizes(self):
+        assert DataType.F32.size_bytes == 4
+        assert DataType.S32.size_bytes == 4
+        assert DataType.U32.size_bytes == 4
+        assert DataType.PRED.size_bytes == 1
+
+    def test_classification(self):
+        assert DataType.F32.is_float
+        assert not DataType.F32.is_integer
+        assert DataType.S32.is_integer
+        assert DataType.U32.is_integer
+        assert not DataType.PRED.is_integer
+        assert not DataType.PRED.is_float
+
+    def test_str(self):
+        assert str(DataType.F32) == "f32"
+        assert str(DataType.PRED) == "pred"
+
+
+class TestCmpOp:
+    def test_all_six_comparisons(self):
+        assert {op.value for op in CmpOp} == {"lt", "le", "gt", "ge", "eq", "ne"}
+
+    def test_str(self):
+        assert str(CmpOp.LT) == "lt"

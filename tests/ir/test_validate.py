@@ -1,0 +1,151 @@
+"""IR verifier: def-before-use, ownership, typing."""
+
+import pytest
+
+from repro.ir import (
+    CmpOp,
+    DataType,
+    Dim3,
+    Instruction,
+    Kernel,
+    MemRef,
+    Opcode,
+    Param,
+    SharedArray,
+    ValidationError,
+    VirtualRegister,
+    imm,
+    validate,
+)
+from repro.ir.statements import ForLoop, If
+
+F32 = DataType.F32
+S32 = DataType.S32
+
+
+def kernel_with(body, params=None, shared=None):
+    return Kernel(
+        name="k",
+        params=params or [],
+        block_dim=Dim3(32),
+        grid_dim=Dim3(1),
+        shared_arrays=shared or [],
+        body=body,
+    )
+
+
+class TestDefBeforeUse:
+    def test_read_before_definition(self):
+        ghost = VirtualRegister("ghost", F32)
+        out = VirtualRegister("out", F32)
+        body = [Instruction(Opcode.ADD, dest=out, srcs=(ghost, imm(1.0)))]
+        with pytest.raises(ValidationError, match="before definition"):
+            validate(kernel_with(body))
+
+    def test_straight_line_ok(self):
+        a = VirtualRegister("a", F32)
+        b = VirtualRegister("b", F32)
+        body = [
+            Instruction(Opcode.MOV, dest=a, srcs=(imm(1.0),)),
+            Instruction(Opcode.ADD, dest=b, srcs=(a, a)),
+        ]
+        validate(kernel_with(body))
+
+    def test_loop_counter_is_defined_inside(self):
+        i = VirtualRegister("i", S32)
+        x = VirtualRegister("x", S32)
+        loop = ForLoop(i, imm(0), imm(4), imm(1), body=[
+            Instruction(Opcode.ADD, dest=x, srcs=(i, imm(1))),
+        ])
+        validate(kernel_with([loop]))
+
+
+class TestOwnership:
+    def test_foreign_parameter(self):
+        foreign = Param("other", F32, is_pointer=True)
+        out = VirtualRegister("v", F32)
+        body = [Instruction(Opcode.LD, dest=out, mem=MemRef(foreign, imm(0)))]
+        with pytest.raises(ValidationError, match="foreign parameter"):
+            validate(kernel_with(body))
+
+    def test_foreign_shared_array(self):
+        foreign = SharedArray("ghost", F32, (4,))
+        out = VirtualRegister("v", F32)
+        body = [Instruction(Opcode.LD, dest=out, mem=MemRef(foreign, imm(0)))]
+        with pytest.raises(ValidationError, match="foreign shared"):
+            validate(kernel_with(body))
+
+    def test_pointer_used_as_scalar(self):
+        pointer = Param("x", F32, is_pointer=True)
+        out = VirtualRegister("v", F32)
+        body = [Instruction(Opcode.ADD, dest=out, srcs=(pointer, imm(1.0)))]
+        with pytest.raises(ValidationError, match="used as a scalar"):
+            validate(kernel_with(body, params=[pointer]))
+
+    def test_scalar_dereferenced(self):
+        scalar = Param("n", S32)
+        out = VirtualRegister("v", S32)
+        body = [Instruction(Opcode.LD, dest=out, mem=MemRef(scalar, imm(0)))]
+        with pytest.raises(ValidationError, match="dereferenced"):
+            validate(kernel_with(body, params=[scalar]))
+
+
+class TestTyping:
+    def test_mixed_int_float_arithmetic(self):
+        a = VirtualRegister("a", F32)
+        out = VirtualRegister("o", F32)
+        body = [
+            Instruction(Opcode.MOV, dest=a, srcs=(imm(1.0),)),
+            Instruction(Opcode.ADD, dest=out, srcs=(a, imm(1))),
+        ]
+        with pytest.raises(ValidationError, match="mixed"):
+            validate(kernel_with(body))
+
+    def test_if_condition_must_be_predicate(self):
+        x = VirtualRegister("x", S32)
+        body = [
+            Instruction(Opcode.MOV, dest=x, srcs=(imm(1),)),
+            If(cond=x),
+        ]
+        with pytest.raises(ValidationError, match="not a predicate"):
+            validate(kernel_with(body))
+
+    def test_memory_index_must_be_integer(self):
+        f = VirtualRegister("f", F32)
+        out = VirtualRegister("v", F32)
+        pointer = Param("x", F32, is_pointer=True)
+        body = [
+            Instruction(Opcode.MOV, dest=f, srcs=(imm(1.0),)),
+            Instruction(Opcode.LD, dest=out, mem=MemRef(pointer, f)),
+        ]
+        with pytest.raises(ValidationError, match="must be integer"):
+            validate(kernel_with(body, params=[pointer]))
+
+    def test_load_type_must_match_register(self):
+        pointer = Param("x", F32, is_pointer=True)
+        out = VirtualRegister("v", S32)
+        body = [Instruction(Opcode.LD, dest=out, mem=MemRef(pointer, imm(0)))]
+        with pytest.raises(ValidationError, match="loading f32"):
+            validate(kernel_with(body, params=[pointer]))
+
+    def test_setp_operand_types_must_match(self):
+        a = VirtualRegister("a", F32)
+        p = VirtualRegister("p", DataType.PRED)
+        body = [
+            Instruction(Opcode.MOV, dest=a, srcs=(imm(1.0),)),
+            Instruction(Opcode.SETP, dest=p, srcs=(a, imm(1)), cmp=CmpOp.LT),
+        ]
+        with pytest.raises(ValidationError, match="comparing"):
+            validate(kernel_with(body))
+
+    def test_errors_are_aggregated(self):
+        ghost1 = VirtualRegister("g1", F32)
+        ghost2 = VirtualRegister("g2", F32)
+        out = VirtualRegister("o", F32)
+        body = [
+            Instruction(Opcode.ADD, dest=out, srcs=(ghost1, ghost2)),
+        ]
+        with pytest.raises(ValidationError) as excinfo:
+            validate(kernel_with(body))
+        assert "g1" in str(excinfo.value)
+        assert "g2" in str(excinfo.value)

@@ -1,0 +1,94 @@
+"""Operand kinds: registers, immediates, params, arrays."""
+
+import pytest
+
+from repro.arch import MemorySpace
+from repro.ir import (
+    DataType,
+    Immediate,
+    LocalArray,
+    Param,
+    SharedArray,
+    SpecialRegister,
+    VirtualRegister,
+    imm,
+    value_dtype,
+)
+
+
+class TestVirtualRegister:
+    def test_identity_by_name_and_type(self):
+        assert VirtualRegister("a", DataType.F32) == VirtualRegister("a", DataType.F32)
+        assert VirtualRegister("a", DataType.F32) != VirtualRegister("a", DataType.S32)
+
+    def test_hashable(self):
+        registers = {VirtualRegister("a", DataType.F32)}
+        assert VirtualRegister("a", DataType.F32) in registers
+
+    def test_str(self):
+        assert str(VirtualRegister("t1", DataType.F32)) == "%t1"
+
+
+class TestImmediate:
+    def test_integer_immediate_rejects_float(self):
+        with pytest.raises(TypeError):
+            Immediate(1.5, DataType.S32)
+
+    def test_imm_infers_types(self):
+        assert imm(3).dtype is DataType.S32
+        assert imm(3.0).dtype is DataType.F32
+        assert imm(3, DataType.U32).dtype is DataType.U32
+
+
+class TestSpecialRegister:
+    def test_all_are_s32(self):
+        for special in SpecialRegister:
+            assert special.dtype is DataType.S32
+
+    def test_str(self):
+        assert str(SpecialRegister.TID_X) == "%tid.x"
+        assert str(SpecialRegister.CTAID_Y) == "%ctaid.y"
+
+
+class TestParam:
+    def test_scalar_param_rejects_space(self):
+        with pytest.raises(ValueError):
+            Param("n", DataType.S32, is_pointer=False, space=MemorySpace.CONSTANT)
+
+    def test_pointer_spaces(self):
+        pointer = Param("data", DataType.F32, is_pointer=True,
+                        space=MemorySpace.TEXTURE)
+        assert pointer.space is MemorySpace.TEXTURE
+
+
+class TestSharedArray:
+    def test_size_bytes(self):
+        array = SharedArray("As", DataType.F32, (16, 16))
+        assert array.num_elements == 256
+        assert array.size_bytes == 1024
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            SharedArray("bad", DataType.F32, ())
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            SharedArray("bad", DataType.F32, (4, 0))
+
+
+class TestLocalArray:
+    def test_size(self):
+        array = LocalArray("__spill", DataType.F32, 3)
+        assert array.size_bytes == 12
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            LocalArray("bad", DataType.F32, 0)
+
+
+class TestValueDtype:
+    def test_covers_all_kinds(self):
+        assert value_dtype(VirtualRegister("a", DataType.F32)) is DataType.F32
+        assert value_dtype(imm(1)) is DataType.S32
+        assert value_dtype(SpecialRegister.TID_X) is DataType.S32
+        assert value_dtype(Param("n", DataType.U32)) is DataType.U32

@@ -1,0 +1,111 @@
+"""The analytical cost model: bounds, correlation with the simulator."""
+
+import pytest
+
+from repro.arch import LaunchError
+from repro.metrics import analytical_estimate
+from repro.sim import simulate_kernel
+from repro.tuning import Configuration
+from tests.conftest import build_tiled_matmul
+
+
+class TestBasics:
+    def test_fields(self):
+        estimate = analytical_estimate(build_tiled_matmul())
+        assert estimate.cycles > 0
+        assert estimate.seconds > 0
+        assert estimate.bound in ("issue", "sfu", "bandwidth")
+        assert estimate.blocks_per_sm_total >= 1
+
+    def test_deterministic(self):
+        first = analytical_estimate(build_tiled_matmul())
+        second = analytical_estimate(build_tiled_matmul())
+        assert first.cycles == second.cycles
+
+    def test_invalid_configuration_raises(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        kernel = app.kernel(Configuration({
+            "tile": 16, "rect": 4, "unroll": "complete",
+            "prefetch": True, "spill": False,
+        }))
+        with pytest.raises(LaunchError):
+            analytical_estimate(kernel)
+
+
+class TestBoundIdentification:
+    def test_matmul_16x16_issue_bound(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        kernel = app.kernel(Configuration({
+            "tile": 16, "rect": 1, "unroll": 1,
+            "prefetch": False, "spill": False,
+        }))
+        assert analytical_estimate(kernel).bound == "issue"
+
+    def test_matmul_8x8_bandwidth_bound(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        kernel = app.kernel(Configuration({
+            "tile": 8, "rect": 1, "unroll": "complete",
+            "prefetch": False, "spill": False,
+        }))
+        assert analytical_estimate(kernel).bound == "bandwidth"
+
+    def test_cp_sfu_heavy(self):
+        from repro.apps import CoulombicPotential
+
+        app = CoulombicPotential()
+        kernel = app.kernel(Configuration({
+            "block": 128, "tiling": 16, "coalesce_output": True,
+        }))
+        estimate = analytical_estimate(kernel)
+        # Deep tiling amortizes ALU work; the SFUs close in on the port.
+        assert estimate.sfu_cycles > 0.5 * estimate.issue_cycles
+
+
+class TestAgainstSimulator:
+    def _correlation(self, app, configs):
+        from scipy.stats import spearmanr
+
+        analytical = []
+        simulated = []
+        for config in configs:
+            try:
+                kernel = app.kernel(config)
+                analytical.append(analytical_estimate(kernel).seconds)
+            except LaunchError:
+                continue
+            simulated.append(app.simulate(config))
+        rho, _ = spearmanr(analytical, simulated)
+        return rho
+
+    def test_cp_rank_correlation(self):
+        from repro.apps import CoulombicPotential
+
+        app = CoulombicPotential()
+        rho = self._correlation(app, app.space().configurations())
+        assert rho > 0.85
+
+    def test_matmul_rank_correlation(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        rho = self._correlation(app, app.space().configurations())
+        assert rho > 0.7
+
+    def test_magnitude_within_factor_three(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        config = Configuration({
+            "tile": 16, "rect": 1, "unroll": "complete",
+            "prefetch": False, "spill": False,
+        })
+        kernel = app.kernel(config)
+        modeled = analytical_estimate(kernel).seconds
+        simulated = simulate_kernel(kernel).seconds
+        assert modeled == pytest.approx(simulated, rel=2.0)

@@ -1,0 +1,48 @@
+"""The bandwidth-boundedness screen."""
+
+import pytest
+
+from repro.metrics import estimate_bandwidth
+from repro.ptx import profile_kernel
+from repro.tuning import Configuration
+
+
+class TestScreen:
+    def test_8x8_tiles_flagged_16x16_not(self):
+        """The paper's matmul bandwidth story, statically visible."""
+        from repro.apps import MatMul
+
+        app = MatMul()
+        flags = {}
+        for tile in (8, 16):
+            config = Configuration({
+                "tile": tile, "rect": 1, "unroll": 1,
+                "prefetch": False, "spill": False,
+            })
+            report = app.evaluate(config)
+            flags[tile] = report.bandwidth.demand_ratio
+        assert flags[8] > flags[16]
+        assert flags[8] > 1.0             # 8x8 demands more than the share
+
+    def test_compute_bound_kernel_unflagged(self):
+        from repro.apps import CoulombicPotential
+
+        app = CoulombicPotential()
+        report = app.evaluate(app.default_configuration())
+        assert not report.bandwidth.is_bandwidth_bound()
+
+    def test_memory_fraction(self):
+        from tests.conftest import build_saxpy
+
+        profile = profile_kernel(build_saxpy())
+        estimate = estimate_bandwidth(profile, threads_per_block=64,
+                                      blocks_per_sm=3)
+        assert estimate.memory_instruction_fraction == pytest.approx(3 / 5)
+
+    def test_threshold_parameter(self):
+        from tests.conftest import build_saxpy
+
+        profile = profile_kernel(build_saxpy())
+        estimate = estimate_bandwidth(profile, threads_per_block=64,
+                                      blocks_per_sm=3)
+        assert estimate.is_bandwidth_bound(threshold=0.0001)

@@ -1,0 +1,79 @@
+"""Coalescing-aware metric extension (Section 7 future work)."""
+
+import pytest
+
+from repro.metrics import adjusted_point, coalescing_adjusted
+from repro.tuning import Configuration, pareto_indices
+
+
+class TestAdjustment:
+    def test_coalesced_kernel_unchanged(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        report = app.evaluate(Configuration({
+            "tile": 16, "rect": 1, "unroll": 1,
+            "prefetch": False, "spill": False,
+        }))
+        adjusted = coalescing_adjusted(report)
+        assert adjusted.penalty_instructions == 0.0
+        assert adjusted.efficiency == pytest.approx(report.efficiency)
+        assert adjusted.utilization == report.utilization
+
+    def test_uncoalesced_kernel_penalized(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        report = app.evaluate(Configuration({
+            "tile": 8, "rect": 1, "unroll": 1,
+            "prefetch": False, "spill": False,
+        }))
+        adjusted = coalescing_adjusted(report)
+        assert adjusted.penalty_instructions > 0
+        assert adjusted.efficiency < report.efficiency
+
+    def test_factor_parameter(self):
+        from repro.apps import MatMul
+
+        app = MatMul()
+        report = app.evaluate(Configuration({
+            "tile": 8, "rect": 1, "unroll": 1,
+            "prefetch": False, "spill": False,
+        }))
+        mild = coalescing_adjusted(report, uncoalesced_traffic_factor=2.0)
+        harsh = coalescing_adjusted(report, uncoalesced_traffic_factor=8.0)
+        assert harsh.efficiency < mild.efficiency
+
+
+class TestImprovedPruning:
+    def test_matmul_frontier_loses_8x8_filler(self):
+        """With the coalescing-aware metric, the matmul Pareto curve is
+        no longer dominated by bandwidth-crippled 8x8 points (the
+        Section 5.3 weakness the future-work item targets) and still
+        contains the true optimum."""
+        from repro.apps import MatMul
+        from repro.arch import LaunchError
+
+        app = MatMul()
+        entries = []
+        for config in app.space():
+            try:
+                entries.append((config, app.evaluate(config)))
+            except LaunchError:
+                continue
+
+        raw_points = [(r.efficiency, r.utilization) for _, r in entries]
+        adjusted_points = [adjusted_point(r) for _, r in entries]
+
+        raw_tiles = [entries[i][0]["tile"] for i in pareto_indices(raw_points)]
+        adjusted_front = pareto_indices(adjusted_points)
+        adjusted_tiles = [entries[i][0]["tile"] for i in adjusted_front]
+
+        assert raw_tiles.count(8) > 0          # the 5.3 phenomenon
+        assert adjusted_tiles.count(8) < raw_tiles.count(8)
+
+        best = min(
+            range(len(entries)),
+            key=lambda i: app.simulate(entries[i][0]),
+        )
+        assert best in set(adjusted_front)

@@ -1,0 +1,32 @@
+"""Equation 1."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import efficiency
+
+
+class TestEfficiency:
+    def test_paper_worked_example(self):
+        # Section 4: Instr = 15150, Threads = 2^24 -> 3.93e-12.
+        assert efficiency(15150, 2 ** 24) == pytest.approx(3.93e-12, rel=1e-2)
+
+    def test_fewer_instructions_is_better(self):
+        assert efficiency(100, 1024) > efficiency(200, 1024)
+
+    def test_fewer_threads_is_better(self):
+        assert efficiency(100, 512) > efficiency(100, 1024)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            efficiency(0, 1024)
+        with pytest.raises(ValueError):
+            efficiency(100, 0)
+
+    @given(st.floats(min_value=1, max_value=1e7),
+           st.integers(min_value=1, max_value=2 ** 30))
+    def test_positive_and_monotone(self, instructions, threads):
+        value = efficiency(instructions, threads)
+        assert value > 0
+        assert efficiency(instructions * 2, threads) < value

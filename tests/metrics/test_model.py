@@ -1,0 +1,46 @@
+"""End-to-end metric evaluation of kernels."""
+
+import pytest
+
+from repro.arch import LaunchError
+from repro.metrics import evaluate_kernel
+from tests.conftest import build_saxpy, build_tiled_matmul
+
+
+class TestEvaluateKernel:
+    def test_matmul_report(self):
+        report = evaluate_kernel(build_tiled_matmul(n=32))
+        assert report.regions == 7
+        assert report.threads == 32 * 32
+        assert report.warps_per_block == 8
+        assert report.blocks_per_sm == 2
+        assert report.efficiency == pytest.approx(
+            1.0 / (report.instructions * report.threads)
+        )
+        assert report.utilization > 0
+
+    def test_dominance(self):
+        saxpy = evaluate_kernel(build_saxpy())
+        matmul = evaluate_kernel(build_tiled_matmul())
+        assert not saxpy.dominates(saxpy)
+        if saxpy.efficiency > matmul.efficiency and saxpy.utilization > matmul.utilization:
+            assert saxpy.dominates(matmul)
+
+    def test_invalid_kernel_raises(self):
+        from repro.apps import MatMul
+        from repro.tuning import Configuration
+
+        app = MatMul()
+        kernel = app.kernel(Configuration({
+            "tile": 16, "rect": 4, "unroll": "complete",
+            "prefetch": True, "spill": False,
+        }))
+        with pytest.raises(LaunchError):
+            evaluate_kernel(kernel)
+
+    def test_bandwidth_estimate_attached(self):
+        report = evaluate_kernel(build_tiled_matmul())
+        assert report.bandwidth.demand_bytes_per_cycle >= 0
+        assert report.bandwidth.available_bytes_per_cycle == pytest.approx(
+            86.4 / 1.35 / 16
+        )

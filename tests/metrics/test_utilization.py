@@ -1,0 +1,47 @@
+"""Equation 2."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import utilization
+
+
+class TestUtilization:
+    def test_paper_worked_example(self):
+        # Instr=15150, Regions=769, W_TB=8, B_SM=2 -> ~227.
+        value = utilization(15150, 769, 8, 2)
+        assert value == pytest.approx(227, rel=5e-3)
+
+    def test_bracket_terms(self):
+        # (W_TB-1)/2 + (B_SM-1)*W_TB with Instr/Regions = 1.
+        assert utilization(1, 1, 8, 2) == pytest.approx(3.5 + 8)
+        assert utilization(1, 1, 8, 1) == pytest.approx(3.5)
+        assert utilization(1, 1, 1, 1) == 0.0  # a lone warp hides nothing
+
+    def test_more_blocks_help(self):
+        assert utilization(100, 10, 8, 3) > utilization(100, 10, 8, 2)
+
+    def test_more_regions_hurt(self):
+        assert utilization(100, 20, 8, 2) < utilization(100, 10, 8, 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            utilization(100, 0, 8, 2)
+        with pytest.raises(ValueError):
+            utilization(100, 10, 0, 2)
+        with pytest.raises(ValueError):
+            utilization(100, 10, 8, 0)
+
+    @given(
+        st.floats(min_value=1, max_value=1e6),
+        st.integers(min_value=1, max_value=10000),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_nonnegative_and_monotone_in_occupancy(
+        self, instructions, regions, warps, blocks
+    ):
+        value = utilization(instructions, regions, warps, blocks)
+        assert value >= 0
+        assert utilization(instructions, regions, warps, blocks + 1) >= value

@@ -1,0 +1,44 @@
+"""PTX text emission."""
+
+from repro.ir import CmpOp, DataType, Dim3, KernelBuilder
+from repro.ir.builder import TID_X
+from repro.ptx import emit_ptx
+from tests.conftest import build_saxpy, build_tiled_matmul
+
+
+class TestEmission:
+    def test_entry_and_params(self):
+        text = emit_ptx(build_saxpy())
+        assert ".entry saxpy" in text
+        assert ".param .u64 x" in text
+        assert ".param .f32 a" in text
+        assert text.strip().endswith("}")
+
+    def test_shared_declarations(self):
+        text = emit_ptx(build_tiled_matmul())
+        assert ".shared .align 4 .b8 As[1024];" in text
+
+    def test_loops_lower_to_labels_and_branches(self):
+        text = emit_ptx(build_tiled_matmul())
+        assert "$Lt_" in text
+        assert "bra" in text
+        assert "// trips=" in text
+        assert "setp.lt.s32" in text
+
+    def test_conditionals_lower_to_guarded_branches(self):
+        builder = KernelBuilder("cond", block_dim=Dim3(32), grid_dim=Dim3(1))
+        pred = builder.setp(CmpOp.LT, TID_X, 16)
+        with builder.if_(pred) as branch:
+            builder.add(1, 2)
+        with branch.orelse():
+            builder.add(3, 4)
+        text = emit_ptx(builder.finish())
+        assert "@!" in text
+        assert "$Lif" in text
+        assert "$Lend" in text
+
+    def test_exit_present(self):
+        assert "exit;" in emit_ptx(build_saxpy())
+
+    def test_deterministic(self):
+        assert emit_ptx(build_tiled_matmul()) == emit_ptx(build_tiled_matmul())

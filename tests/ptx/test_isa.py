@@ -1,0 +1,77 @@
+"""Instruction classification for the PTX-level analyses."""
+
+from repro.arch import MemorySpace
+from repro.ir import (
+    DataType,
+    Instruction,
+    MemRef,
+    Opcode,
+    Param,
+    SharedArray,
+    VirtualRegister,
+    imm,
+)
+from repro.ptx import BLOCKING_CLASSES, InstrClass, classify, mnemonic
+
+F32 = DataType.F32
+REG = VirtualRegister("r", F32)
+GLOBAL = Param("g", F32, is_pointer=True)
+TEXTURE = Param("t", F32, is_pointer=True, space=MemorySpace.TEXTURE)
+CONSTANT = Param("c", F32, is_pointer=True, space=MemorySpace.CONSTANT)
+SHARED = SharedArray("s", F32, (4,))
+
+
+def load(base):
+    return Instruction(Opcode.LD, dest=REG, mem=MemRef(base, imm(0)))
+
+
+class TestClassify:
+    def test_loads_by_space(self):
+        assert classify(load(GLOBAL)) is InstrClass.GLOBAL_LOAD
+        assert classify(load(TEXTURE)) is InstrClass.TEXTURE_LOAD
+        assert classify(load(CONSTANT)) is InstrClass.CONST_LOAD
+        assert classify(load(SHARED)) is InstrClass.SHARED_LOAD
+
+    def test_stores_by_space(self):
+        store = Instruction(Opcode.ST, srcs=(REG,), mem=MemRef(GLOBAL, imm(0)))
+        assert classify(store) is InstrClass.GLOBAL_STORE
+        shared_store = Instruction(Opcode.ST, srcs=(REG,), mem=MemRef(SHARED, imm(0)))
+        assert classify(shared_store) is InstrClass.SHARED_STORE
+
+    def test_barrier(self):
+        assert classify(Instruction(Opcode.BAR)) is InstrClass.BARRIER
+
+    def test_sfu(self):
+        rsqrt = Instruction(Opcode.RSQRT, dest=REG, srcs=(REG,))
+        assert classify(rsqrt) is InstrClass.SFU
+
+    def test_alu_default(self):
+        add = Instruction(Opcode.ADD, dest=REG, srcs=(REG, REG))
+        assert classify(add) is InstrClass.ALU
+
+
+class TestBlockingClasses:
+    def test_long_latency_loads_and_barriers_block(self):
+        assert InstrClass.GLOBAL_LOAD in BLOCKING_CLASSES
+        assert InstrClass.TEXTURE_LOAD in BLOCKING_CLASSES
+        assert InstrClass.LOCAL_LOAD in BLOCKING_CLASSES
+        assert InstrClass.BARRIER in BLOCKING_CLASSES
+
+    def test_stores_and_onchip_do_not_block(self):
+        assert InstrClass.GLOBAL_STORE not in BLOCKING_CLASSES
+        assert InstrClass.SHARED_LOAD not in BLOCKING_CLASSES
+        assert InstrClass.CONST_LOAD not in BLOCKING_CLASSES
+        assert InstrClass.ALU not in BLOCKING_CLASSES
+
+
+class TestMnemonics:
+    def test_memory_mnemonics(self):
+        assert mnemonic(load(GLOBAL)) == "ld.global.f32"
+        assert mnemonic(load(SHARED)) == "ld.shared.f32"
+
+    def test_barrier_mnemonic(self):
+        assert mnemonic(Instruction(Opcode.BAR)) == "bar.sync"
+
+    def test_typed_alu_mnemonic(self):
+        add = Instruction(Opcode.ADD, dest=REG, srcs=(REG, REG))
+        assert mnemonic(add) == "add.f32"

@@ -1,0 +1,92 @@
+"""PTX listing parser: round trips against the emitter."""
+
+import pytest
+
+from repro.ptx import emit_ptx
+from repro.ptx.parse import PtxParseError, parse_ptx
+from repro.transforms import COMPLETE, standard_cleanup, unroll
+from tests.conftest import build_saxpy, build_tiled_matmul
+
+
+class TestRoundTrip:
+    def test_saxpy(self):
+        listing = parse_ptx(emit_ptx(build_saxpy()))
+        assert listing.name == "saxpy"
+        assert listing.params == ("x", "y", "a")
+        assert listing.count("ld") == 2
+        assert listing.count("st") == 1
+        assert listing.count("mad") == 2
+        assert listing.count("exit") == 1
+
+    def test_matmul_structure(self):
+        listing = parse_ptx(emit_ptx(build_tiled_matmul()))
+        assert listing.shared_declarations == (("As", 1024), ("Bs", 1024))
+        assert listing.count("bar") == 2          # static barriers
+        # Two loops -> two back edges.
+        assert len(listing.back_edges()) == 2
+        assert listing.loop_annotations() == [2, 16]
+
+    def test_unrolled_kernel_loses_a_back_edge(self):
+        kernel = standard_cleanup(
+            unroll(build_tiled_matmul(), COMPLETE, label="inner")
+        )
+        listing = parse_ptx(emit_ptx(kernel))
+        assert len(listing.back_edges()) == 1
+        assert listing.loop_annotations() == [2]
+
+    def test_memory_spaces_recovered(self):
+        listing = parse_ptx(emit_ptx(build_tiled_matmul()))
+        spaces = {i.space for i in listing.instructions if i.is_memory}
+        assert spaces == {"global", "shared"}
+
+    def test_instruction_counts_match_across_representations(self):
+        """Static per-iteration counts from the listing agree with the
+        IR-level analysis — the listing carries everything Section 4
+        reads off -ptx."""
+        from repro.ptx import count_instructions
+
+        kernel = build_tiled_matmul()
+        listing = parse_ptx(emit_ptx(kernel))
+        # Expand the listing the way the paper does by hand: walk the
+        # text, multiplying loop bodies by the annotated trip counts.
+        # Here we just check the static totals line up.
+        static_real_ops = [
+            i for i in listing.instructions
+            if i.opcode not in ("exit",)
+        ]
+        total, _ = count_instructions(kernel)
+        assert len(static_real_ops) <= total   # dynamic >= static
+
+
+class TestGuards:
+    def test_guarded_branches(self):
+        from repro.ir import CmpOp, DataType, Dim3, KernelBuilder
+        from repro.ir.builder import TID_X
+
+        builder = KernelBuilder("guard", block_dim=Dim3(32), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", DataType.S32)
+        pred = builder.setp(CmpOp.LT, TID_X, 8)
+        with builder.if_(pred) as branch:
+            builder.st(out, TID_X, 1)
+        with branch.orelse():
+            builder.st(out, TID_X, 2)
+        listing = parse_ptx(emit_ptx(builder.finish()))
+        guarded = [i for i in listing.instructions if i.predicate]
+        assert guarded
+        assert any(i.predicate.startswith("!") for i in guarded)
+
+
+class TestErrors:
+    def test_no_entry(self):
+        with pytest.raises(PtxParseError, match="no .entry"):
+            parse_ptx("add.s32 \t%a, %b, %c;")
+
+    def test_missing_semicolon(self):
+        text = ".entry k ()\n{\n\tadd.s32 \t%a, %b, %c\n}"
+        with pytest.raises(PtxParseError, match="missing ';'"):
+            parse_ptx(text)
+
+    def test_double_entry(self):
+        text = ".entry a ()\n.entry b ()\n\texit;"
+        with pytest.raises(PtxParseError, match="multiple"):
+            parse_ptx(text)

@@ -1,0 +1,125 @@
+"""SM discrete-event model: issue port, latency hiding, barriers."""
+
+import pytest
+
+from repro.sim import WarpTrace, simulate_sm
+from repro.sim.config import DEFAULT_SIM_CONFIG
+from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE
+
+
+def trace(events, issue_slots=0, dram_bytes=0.0):
+    return WarpTrace(events=list(events), issue_slots=issue_slots,
+                     dram_bytes=dram_bytes)
+
+
+def run(events, warps=1, resident=1, blocks=1):
+    return simulate_sm(
+        trace(events), warps_per_block=warps, blocks_resident=resident,
+        total_blocks=blocks, config=DEFAULT_SIM_CONFIG,
+    )
+
+
+class TestIssuePort:
+    def test_compute_only_single_warp(self):
+        result = run([(COMPUTE, 10, 0)])
+        assert result.cycles == 40.0          # 10 instructions x 4 cycles
+        assert result.issue_utilization == 1.0
+
+    def test_warps_serialize_on_the_port(self):
+        result = run([(COMPUTE, 10, 0)], warps=4)
+        assert result.cycles == 160.0
+
+    def test_blocks_processed_in_sequence(self):
+        result = run([(COMPUTE, 10, 0)], warps=1, resident=1, blocks=3)
+        assert result.blocks_completed == 3
+        assert result.cycles == 120.0
+
+
+class TestLatencyHiding:
+    def _load_use(self):
+        return [
+            (LOAD, 0, (128.0, 250.0)),
+            (USE, 0, 0),
+            (COMPUTE, 10, 0),
+        ]
+
+    def test_single_warp_exposes_latency(self):
+        result = run(self._load_use())
+        assert result.cycles > 250.0
+
+    def test_many_warps_hide_latency(self):
+        lone = run(self._load_use()).cycles
+        crowd = simulate_sm(
+            trace(self._load_use()), warps_per_block=8, blocks_resident=2,
+            total_blocks=2, config=DEFAULT_SIM_CONFIG,
+        )
+        # 16 warps' compute keeps the port busy while loads fly.
+        per_warp_crowd = crowd.cycles / 16
+        assert per_warp_crowd < lone
+
+    def test_prefetch_distance_matters(self):
+        near = [
+            (LOAD, 0, (128.0, 250.0)),
+            (USE, 0, 0),
+            (COMPUTE, 100, 0),
+        ]
+        far = [
+            (LOAD, 0, (128.0, 250.0)),
+            (COMPUTE, 100, 0),
+            (USE, 0, 0),
+        ]
+        assert run(far).cycles < run(near).cycles
+
+    def test_sfu_latency_exposed_for_dependent_use(self):
+        dependent = [(SFU, 0, 0), (USE, 0, 0), (COMPUTE, 1, 0)]
+        independent = [(SFU, 0, 0), (COMPUTE, 1, 0)]
+        assert run(dependent).cycles > run(independent).cycles
+
+
+class TestBarriers:
+    def test_barrier_waits_for_slowest_warp(self):
+        events = [
+            (LOAD, 0, (128.0, 250.0)),
+            (USE, 0, 0),
+            (BARRIER, 0, 0),
+            (COMPUTE, 1, 0),
+        ]
+        result = run(events, warps=4)
+        # No warp's post-barrier compute can start before every warp's
+        # load resolved.
+        assert result.cycles > 250.0
+
+    def test_all_warps_released_together(self):
+        events = [(COMPUTE, 5, 0), (BARRIER, 0, 0), (COMPUTE, 5, 0)]
+        result = run(events, warps=4)
+        assert result.blocks_completed == 1
+        # 4 warps x 10 instructions x 4 cycles, barrier adds no cycles
+        # beyond serialization here.
+        assert result.cycles == 160.0
+
+
+class TestBandwidthBound:
+    def test_heavy_traffic_saturates_interface(self):
+        per_warp_bytes = 8192.0
+        events = [(STORE, per_warp_bytes, 0), (COMPUTE, 1, 0)] * 16
+        result = simulate_sm(
+            trace(events, dram_bytes=per_warp_bytes * 16),
+            warps_per_block=8, blocks_resident=2, total_blocks=4,
+            config=DEFAULT_SIM_CONFIG,
+        )
+        share = DEFAULT_SIM_CONFIG.bandwidth_bytes_per_cycle_per_sm
+        total_bytes = per_warp_bytes * 16 * 8 * 4
+        floor = (total_bytes - DEFAULT_SIM_CONFIG.burst_window_bytes) / share
+        assert result.cycles >= floor
+        assert result.bandwidth_utilization > 0.9
+
+
+class TestRefill:
+    def test_finished_block_slot_is_refilled(self):
+        result = run([(COMPUTE, 4, 0)], warps=2, resident=2, blocks=6)
+        assert result.blocks_completed == 6
+
+    def test_result_accounting(self):
+        result = run([(COMPUTE, 10, 0)], warps=2, blocks=2)
+        assert result.cycles_per_block == result.cycles / 2
+        assert result.issue_busy_cycles == 2 * 2 * 40.0

@@ -1,0 +1,107 @@
+"""Property tests on the SM simulator: invariants over random traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import WarpTrace, simulate_sm
+from repro.sim.config import DEFAULT_SIM_CONFIG
+from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE
+
+
+@st.composite
+def traces(draw, allow_barriers=True):
+    """A random but well-formed warp trace."""
+    events = []
+    pending_tags = []
+    next_tag = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        choices = ["compute", "load", "store", "sfu"]
+        if allow_barriers:
+            choices.append("barrier")
+        if pending_tags:
+            choices.append("use")
+        kind = draw(st.sampled_from(choices))
+        if kind == "compute":
+            events.append((COMPUTE, draw(st.integers(1, 20)), 0))
+        elif kind == "load":
+            bytes_ = draw(st.sampled_from([0.0, 128.0, 1024.0]))
+            latency = 120.0 if bytes_ == 0.0 else 250.0
+            events.append((LOAD, next_tag, (bytes_, latency)))
+            pending_tags.append(next_tag)
+            next_tag += 1
+        elif kind == "use":
+            tag = draw(st.sampled_from(pending_tags))
+            pending_tags.remove(tag)
+            events.append((USE, tag, 0))
+        elif kind == "store":
+            events.append((STORE, draw(st.sampled_from([128.0, 512.0])), 0))
+        elif kind == "sfu":
+            events.append((SFU, next_tag, 0))
+            pending_tags.append(next_tag)
+            next_tag += 1
+        else:
+            events.append((BARRIER, 0, 0))
+    issue_slots = sum(e[1] for e in events if e[0] == COMPUTE)
+    dram = sum(e[2][0] for e in events if e[0] == LOAD)
+    dram += sum(e[1] for e in events if e[0] == STORE)
+    return WarpTrace(events=events, issue_slots=issue_slots, dram_bytes=dram)
+
+
+def run(trace, warps=2, resident=2, blocks=2):
+    return simulate_sm(trace, warps_per_block=warps, blocks_resident=resident,
+                       total_blocks=blocks, config=DEFAULT_SIM_CONFIG)
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_deterministic(self, trace):
+        assert run(trace).cycles == run(trace).cycles
+
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_all_blocks_complete(self, trace):
+        result = run(trace, blocks=5)
+        assert result.blocks_completed == 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_cycles_bound_issue_busy(self, trace):
+        result = run(trace)
+        assert result.cycles >= result.issue_busy_cycles - 1e-9
+        assert 0.0 <= result.issue_utilization <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces())
+    def test_more_blocks_take_longer(self, trace):
+        few = run(trace, blocks=2).cycles
+        many = run(trace, blocks=6).cycles
+        assert many >= few - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces(allow_barriers=False))
+    def test_single_warp_lower_bound(self, trace):
+        """One warp alone can never beat the pure issue-time bound."""
+        result = simulate_sm(trace, warps_per_block=1, blocks_resident=1,
+                             total_blocks=1, config=DEFAULT_SIM_CONFIG)
+        port_events = sum(
+            1 for e in trace.events if e[0] in (LOAD, STORE, SFU)
+        )
+        floor = (trace.issue_slots + port_events) * 4
+        assert result.cycles >= floor - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces(), st.integers(min_value=2, max_value=6))
+    def test_extra_compute_never_speeds_up(self, trace, slots):
+        padded = WarpTrace(
+            events=trace.events + [(COMPUTE, slots, 0)],
+            issue_slots=trace.issue_slots + slots,
+            dram_bytes=trace.dram_bytes,
+        )
+        assert run(padded).cycles >= run(trace).cycles - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces())
+    def test_dram_accounting(self, trace):
+        result = run(trace, warps=2, resident=1, blocks=1)
+        assert result.dram_bytes == trace.dram_bytes * 2

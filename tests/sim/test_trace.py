@@ -1,0 +1,150 @@
+"""Warp trace construction."""
+
+import pytest
+
+from repro.sim import BARRIER, COMPUTE, LOAD, SFU, STORE, USE, build_trace
+from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
+from repro.ir import DataType, Dim3, KernelBuilder
+from repro.ir.builder import TID_X
+from tests.conftest import build_saxpy, build_tiled_matmul
+
+F32 = DataType.F32
+
+
+def kinds(trace):
+    return [event[0] for event in trace.events]
+
+
+class TestSaxpyTrace:
+    def test_event_sequence(self):
+        trace = build_trace(build_saxpy())
+        # mad; ld x; ld y; use both at the mad; st.
+        assert kinds(trace) == [COMPUTE, LOAD, LOAD, USE, USE, COMPUTE, STORE]
+
+    def test_issue_slots_count_instructions(self):
+        trace = build_trace(build_saxpy())
+        assert trace.issue_slots == 5
+
+    def test_bytes_per_warp(self):
+        trace = build_trace(build_saxpy())
+        # 2 loads + 1 store of 4B over 32 lanes.
+        assert trace.dram_bytes == 3 * 32 * 4
+
+
+class TestScoreboarding:
+    def test_use_emitted_at_first_read(self):
+        builder = KernelBuilder("pf", block_dim=Dim3(32), grid_dim=Dim3(1))
+        x = builder.param_ptr("x", F32)
+        value = builder.ld(x, TID_X)
+        builder.add(1.0, 2.0)            # independent work
+        builder.add(3.0, 4.0)
+        builder.st(x, TID_X, value)      # first read of the load
+        trace = build_trace(builder.finish())
+        assert kinds(trace) == [LOAD, COMPUTE, USE, STORE]
+        compute = trace.events[1]
+        assert compute[1] == 2           # both adds batched
+
+    def test_sfu_results_scoreboarded(self):
+        builder = KernelBuilder("sfu", block_dim=Dim3(32), grid_dim=Dim3(1))
+        x = builder.param_ptr("x", F32)
+        value = builder.rsqrt(4.0)
+        builder.st(x, TID_X, value)
+        trace = build_trace(builder.finish())
+        assert kinds(trace) == [SFU, USE, STORE]
+
+
+class TestCoalescing:
+    def test_uncoalesced_loads_inflate_traffic(self):
+        def traced(coalesced):
+            builder = KernelBuilder("c", block_dim=Dim3(32), grid_dim=Dim3(1))
+            x = builder.param_ptr("x", F32)
+            value = builder.ld(x, TID_X, coalesced=coalesced)
+            builder.st(x, TID_X, value)
+            return build_trace(builder.finish())
+
+        factor = DEFAULT_SIM_CONFIG.uncoalesced_traffic_factor
+        coalesced_load = traced(True).events[0]
+        uncoalesced_load = traced(False).events[0]
+        assert uncoalesced_load[2][0] == coalesced_load[2][0] * factor
+
+
+class TestSpaces:
+    def test_texture_loads_have_latency_but_no_dram_bytes(self):
+        from repro.arch import MemorySpace
+
+        builder = KernelBuilder("tex", block_dim=Dim3(32), grid_dim=Dim3(1))
+        frame = builder.param_ptr("frame", DataType.S32,
+                                  space=MemorySpace.TEXTURE)
+        out = builder.param_ptr("out", DataType.S32)
+        value = builder.ld(frame, TID_X)
+        builder.st(out, TID_X, value)
+        trace = build_trace(builder.finish())
+        load = trace.events[0]
+        assert load[0] == LOAD
+        assert load[2][0] == 0.0
+        assert load[2][1] == DEFAULT_SIM_CONFIG.texture_latency_cycles
+        assert trace.dram_bytes == 32 * 4     # the store only
+
+    def test_constant_loads_fold_into_compute(self):
+        from repro.arch import MemorySpace
+
+        builder = KernelBuilder("const", block_dim=Dim3(32), grid_dim=Dim3(1))
+        lut = builder.param_ptr("lut", F32, space=MemorySpace.CONSTANT)
+        out = builder.param_ptr("out", F32)
+        value = builder.ld(lut, TID_X)
+        builder.st(out, TID_X, value)
+        trace = build_trace(builder.finish())
+        assert kinds(trace) == [COMPUTE, STORE]
+
+    def test_shared_bank_conflicts_cost_extra_slots(self):
+        import dataclasses
+
+        builder = KernelBuilder("bank", block_dim=Dim3(32), grid_dim=Dim3(1))
+        staging = builder.shared("staging", F32, (32,))
+        out = builder.param_ptr("out", F32)
+        builder.st(staging, TID_X, 1.0)
+        value = builder.ld(staging, TID_X)
+        builder.st(out, TID_X, value)
+        kernel = builder.finish()
+        conflicted = dataclasses.replace(
+            DEFAULT_SIM_CONFIG, shared_bank_conflict_ways=16
+        )
+        base = build_trace(kernel)
+        slow = build_trace(kernel, conflicted)
+        # Two shared accesses, each replayed 16x instead of 1x.
+        assert slow.events[0][1] == base.events[0][1] + 2 * 15
+
+    def test_constant_conflicts_cost_extra_slots(self):
+        import dataclasses
+
+        from repro.arch import MemorySpace
+
+        builder = KernelBuilder("conf", block_dim=Dim3(32), grid_dim=Dim3(1))
+        lut = builder.param_ptr("lut", F32, space=MemorySpace.CONSTANT)
+        out = builder.param_ptr("out", F32)
+        value = builder.ld(lut, TID_X)
+        builder.st(out, TID_X, value)
+        kernel = builder.finish()
+        conflicted = dataclasses.replace(
+            DEFAULT_SIM_CONFIG, constant_conflict_ways=4
+        )
+        base = build_trace(kernel)
+        slow = build_trace(kernel, conflicted)
+        assert slow.events[0][1] == base.events[0][1] + 3
+
+
+class TestBarriersAndLoops:
+    def test_matmul_trace_structure(self):
+        trace = build_trace(build_tiled_matmul())
+        sequence = kinds(trace)
+        assert sequence.count(BARRIER) == 4      # 2 per iteration x 2 trips
+        assert sequence.count(LOAD) == 4         # 2 per iteration
+        assert sequence[-1] == STORE
+
+    def test_partial_warp_charged_as_full(self):
+        builder = KernelBuilder("tiny", block_dim=Dim3(8), grid_dim=Dim3(1))
+        x = builder.param_ptr("x", F32)
+        value = builder.ld(x, TID_X)
+        builder.st(x, TID_X, value)
+        trace = build_trace(builder.finish())
+        assert trace.events[0][2][0] == 8 * 4    # 8 active lanes

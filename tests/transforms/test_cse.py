@@ -1,0 +1,126 @@
+"""Common subexpression elimination."""
+
+import numpy as np
+
+from repro.ir import DataType, Dim3, KernelBuilder, Opcode
+from repro.ir.builder import TID_X
+from repro.ir.statements import instructions
+from repro.transforms import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+)
+
+S32 = DataType.S32
+
+
+def builder():
+    return KernelBuilder("k", block_dim=Dim3(16), grid_dim=Dim3(1))
+
+
+def cse(kernel):
+    return eliminate_dead_code(eliminate_common_subexpressions(kernel))
+
+
+def count(kernel, opcode):
+    return sum(1 for i in instructions(kernel.body) if i.opcode is opcode)
+
+
+class TestSharing:
+    def test_duplicate_expression_collapses(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        first = b.mul(TID_X, 4)
+        second = b.mul(TID_X, 4)
+        b.st(out, first, second)
+        kernel = cse(b.finish())
+        assert count(kernel, Opcode.MUL) == 1
+
+    def test_different_operands_not_shared(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        first = b.mul(TID_X, 4)
+        second = b.mul(TID_X, 8)
+        b.st(out, first, second)
+        kernel = cse(b.finish())
+        assert count(kernel, Opcode.MUL) == 2
+
+    def test_semantics_preserved(self):
+        from repro.interp import launch
+
+        b = builder()
+        out = b.param_ptr("out", S32)
+        first = b.mad(TID_X, 3, 1)
+        second = b.mad(TID_X, 3, 1)
+        total = b.add(first, second)
+        b.st(out, TID_X, total)
+        kernel = cse(b.finish())
+        buffer = np.zeros(16, dtype=np.int32)
+        launch(kernel, {"out": buffer})
+        expected = np.array([2 * (3 * t + 1) for t in range(16)], dtype=np.int32)
+        np.testing.assert_array_equal(buffer, expected)
+
+
+class TestScoping:
+    def test_outer_expression_available_inside_loop(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        outer = b.mul(TID_X, 4)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4):
+            again = b.mul(TID_X, 4)      # same as outer
+            b.add(total, again, dest=total)
+        b.st(out, outer, total)
+        kernel = cse(b.finish())
+        assert count(kernel, Opcode.MUL) == 1
+
+    def test_loop_expression_not_available_after_loop(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4) as i:
+            inside = b.mul(TID_X, 4)
+            b.add(total, inside, dest=total)
+        after = b.mul(TID_X, 4)
+        b.st(out, after, total)
+        kernel = cse(b.finish())
+        # Conservative: the post-loop occurrence is recomputed.
+        assert count(kernel, Opcode.MUL) == 2
+
+    def test_counter_dependent_expressions_not_shared_across_scopes(self):
+        from repro.interp import launch
+
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4) as i:
+            a = b.mul(i, 2)
+            c = b.mul(i, 2)     # same iteration: sharable
+            b.add(total, b.add(a, c), dest=total)
+        b.st(out, TID_X, total)
+        kernel = cse(b.finish())
+        assert count(kernel, Opcode.MUL) == 1
+        buffer = np.zeros(16, dtype=np.int32)
+        launch(kernel, {"out": buffer})
+        np.testing.assert_array_equal(buffer, np.full(16, 24, dtype=np.int32))
+
+
+class TestIneligibility:
+    def test_accumulators_never_shared(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        acc = b.mov(0, dtype=S32)
+        b.add(acc, 1, dest=acc)
+        b.add(acc, 1, dest=acc)          # same key, but multi-def dest
+        b.st(out, TID_X, acc)
+        kernel = cse(b.finish())
+        assert count(kernel, Opcode.ADD) == 2
+
+    def test_loads_never_shared(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        first = b.ld(out, TID_X)
+        b.st(out, TID_X, b.add(first, 1))
+        second = b.ld(out, TID_X)        # memory changed in between
+        b.st(out, TID_X, b.add(second, 1))
+        kernel = cse(b.finish())
+        assert count(kernel, Opcode.LD) == 2

@@ -1,0 +1,98 @@
+"""Dead code elimination."""
+
+from repro.ir import DataType, Dim3, KernelBuilder, Opcode
+from repro.ir.builder import TID_X
+from repro.ir.statements import ForLoop, If, instructions, walk
+from repro.transforms import eliminate_dead_code
+
+F32 = DataType.F32
+S32 = DataType.S32
+
+
+def builder():
+    return KernelBuilder("k", block_dim=Dim3(16), grid_dim=Dim3(1))
+
+
+def ops(kernel):
+    return [i.opcode for i in instructions(kernel.body)]
+
+
+class TestSweeping:
+    def test_unused_pure_instruction_removed(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        b.add(1, 2)                      # dead
+        b.st(out, TID_X, 7)
+        assert ops(eliminate_dead_code(b.finish())) == [Opcode.ST]
+
+    def test_transitive_chains_removed(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        a = b.add(1, 2)
+        c = b.mul(a, 3)                  # only user of a, itself dead
+        b.st(out, TID_X, 7)
+        assert ops(eliminate_dead_code(b.finish())) == [Opcode.ST]
+
+    def test_unread_load_removed(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        b.ld(out, TID_X)                 # result never read
+        b.st(out, TID_X, 7)
+        assert ops(eliminate_dead_code(b.finish())) == [Opcode.ST]
+
+    def test_stores_and_barriers_kept(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        b.bar()
+        b.st(out, TID_X, 7)
+        assert ops(eliminate_dead_code(b.finish())) == [Opcode.BAR, Opcode.ST]
+
+    def test_live_code_untouched(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        value = b.add(TID_X, 1)
+        b.st(out, TID_X, value)
+        assert ops(eliminate_dead_code(b.finish())) == [Opcode.ADD, Opcode.ST]
+
+
+class TestControlFlow:
+    def test_emptied_loop_removed(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        with b.loop(0, 4):
+            b.add(1, 2)                  # dead
+        b.st(out, TID_X, 7)
+        kernel = eliminate_dead_code(b.finish())
+        assert not [s for s in walk(kernel.body) if isinstance(s, ForLoop)]
+
+    def test_loop_with_live_accumulator_kept(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4):
+            b.add(total, 1, dest=total)
+        b.st(out, TID_X, total)
+        kernel = eliminate_dead_code(b.finish())
+        assert [s for s in walk(kernel.body) if isinstance(s, ForLoop)]
+
+    def test_loop_with_store_kept(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        with b.loop(0, 4) as i:
+            b.st(out, i, 1)
+        kernel = eliminate_dead_code(b.finish())
+        assert [s for s in walk(kernel.body) if isinstance(s, ForLoop)]
+
+    def test_emptied_conditional_removed(self):
+        from repro.ir import CmpOp
+
+        b = builder()
+        out = b.param_ptr("out", S32)
+        pred = b.setp(CmpOp.LT, TID_X, 8)
+        with b.if_(pred):
+            b.add(1, 2)                  # dead
+        b.st(out, TID_X, 7)
+        kernel = eliminate_dead_code(b.finish())
+        assert not [s for s in walk(kernel.body) if isinstance(s, If)]
+        # The setp itself dies once the conditional is gone.
+        assert Opcode.SETP not in ops(kernel)

@@ -1,0 +1,112 @@
+"""Loop-invariant code motion."""
+
+import numpy as np
+
+from repro.ir import DataType, Dim3, KernelBuilder, Opcode
+from repro.ir.builder import TID_X
+from repro.ir.statements import ForLoop, instructions, walk
+from repro.transforms import hoist_loop_invariants
+
+S32 = DataType.S32
+
+
+def builder():
+    return KernelBuilder("k", block_dim=Dim3(16), grid_dim=Dim3(1))
+
+
+def in_loop_ops(kernel):
+    result = []
+    for stmt in kernel.body:
+        if isinstance(stmt, ForLoop):
+            result.extend(i.opcode for i in instructions(stmt.body))
+    return result
+
+
+class TestHoisting:
+    def test_invariant_moves_out(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4):
+            invariant = b.mul(TID_X, 3)
+            b.add(total, invariant, dest=total)
+        b.st(out, TID_X, total)
+        kernel = hoist_loop_invariants(b.finish())
+        assert Opcode.MUL not in in_loop_ops(kernel)
+
+    def test_counter_dependent_stays(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4) as i:
+            varying = b.mul(i, 3)
+            b.add(total, varying, dest=total)
+        b.st(out, TID_X, total)
+        kernel = hoist_loop_invariants(b.finish())
+        assert Opcode.MUL in in_loop_ops(kernel)
+
+    def test_chains_hoist_to_fixpoint(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4):
+            first = b.mul(TID_X, 3)
+            second = b.add(first, 7)      # depends on another invariant
+            b.add(total, second, dest=total)
+        b.st(out, TID_X, total)
+        kernel = hoist_loop_invariants(b.finish())
+        assert Opcode.MUL not in in_loop_ops(kernel)
+        assert in_loop_ops(kernel).count(Opcode.ADD) == 1  # only the acc update
+
+    def test_loads_never_hoisted(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4):
+            value = b.ld(out, TID_X)
+            b.add(total, value, dest=total)
+        b.st(out, TID_X, total)
+        kernel = hoist_loop_invariants(b.finish())
+        assert Opcode.LD in in_loop_ops(kernel)
+
+    def test_accumulator_updates_stay(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 4):
+            b.add(total, 1, dest=total)
+        b.st(out, TID_X, total)
+        kernel = hoist_loop_invariants(b.finish())
+        assert Opcode.ADD in in_loop_ops(kernel)
+
+    def test_inner_loop_invariant_escapes_both_loops(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 2):
+            with b.loop(0, 2):
+                deep = b.mul(TID_X, 9)
+                b.add(total, deep, dest=total)
+        b.st(out, TID_X, total)
+        kernel = hoist_loop_invariants(b.finish())
+        loops = [s for s in walk(kernel.body) if isinstance(s, ForLoop)]
+        for loop in loops:
+            assert Opcode.MUL not in [
+                i.opcode for i in instructions(loop.body)
+            ]
+
+    def test_semantics_preserved(self):
+        from repro.interp import launch
+
+        b = builder()
+        out = b.param_ptr("out", S32)
+        total = b.mov(0, dtype=S32)
+        with b.loop(0, 5):
+            invariant = b.mad(TID_X, 2, 1)
+            b.add(total, invariant, dest=total)
+        b.st(out, TID_X, total)
+        kernel = hoist_loop_invariants(b.finish())
+        buffer = np.zeros(16, dtype=np.int32)
+        launch(kernel, {"out": buffer})
+        expected = np.array([5 * (2 * t + 1) for t in range(16)], dtype=np.int32)
+        np.testing.assert_array_equal(buffer, expected)

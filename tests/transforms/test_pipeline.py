@@ -1,0 +1,41 @@
+"""The standard cleanup pipeline."""
+
+import numpy as np
+
+from repro.ptx import count_instructions, emit_ptx
+from repro.transforms import COMPLETE, standard_cleanup, unroll
+from tests.conftest import build_tiled_matmul, run_matmul_kernel
+
+
+class TestStandardCleanup:
+    def test_idempotent(self):
+        once = standard_cleanup(build_tiled_matmul())
+        twice = standard_cleanup(once)
+        assert emit_ptx(once) == emit_ptx(twice)
+
+    def test_never_increases_instructions(self):
+        kernel = unroll(build_tiled_matmul(), COMPLETE, label="inner")
+        before, _ = count_instructions(kernel)
+        after, _ = count_instructions(standard_cleanup(kernel))
+        assert after <= before
+
+    def test_unrolled_addresses_fold_into_offsets(self):
+        text = emit_ptx(standard_cleanup(
+            unroll(build_tiled_matmul(), COMPLETE, label="inner")
+        ))
+        # The paper's observation: unrolled shared loads use constant
+        # offsets from a single base register.
+        assert "+15]" in text
+
+    def test_semantics_preserved(self):
+        kernel = standard_cleanup(
+            unroll(build_tiled_matmul(n=32), 4, label="inner")
+        )
+        result, reference = run_matmul_kernel(kernel, 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+    def test_original_kernel_not_mutated(self):
+        kernel = build_tiled_matmul()
+        fingerprint = emit_ptx(kernel)
+        standard_cleanup(kernel)
+        assert emit_ptx(kernel) == fingerprint

@@ -1,0 +1,121 @@
+"""Global-load prefetching (Figure 2(d))."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Opcode, validate
+from repro.ir.statements import ForLoop, Instruction, instructions
+from repro.ptx import count_regions, profile_kernel
+from repro.transforms import (
+    COMPLETE,
+    PrefetchError,
+    prefetch_global_loads,
+    standard_cleanup,
+    unroll,
+)
+from tests.conftest import build_saxpy, build_tiled_matmul, run_matmul_kernel
+
+
+def tile_loop(kernel):
+    return next(s for s in kernel.body if isinstance(s, ForLoop))
+
+
+class TestStructure:
+    def test_prologue_loads_created(self):
+        kernel = prefetch_global_loads(build_tiled_matmul(), label="ktile")
+        validate(kernel)
+        prologue = [
+            s for s in kernel.body
+            if isinstance(s, Instruction) and s.opcode is Opcode.LD
+        ]
+        assert len(prologue) == 2        # A and B tiles
+
+    def test_loads_move_after_barrier(self):
+        kernel = prefetch_global_loads(build_tiled_matmul(), label="ktile")
+        body = tile_loop(kernel).body
+        first_bar = next(
+            i for i, s in enumerate(body)
+            if isinstance(s, Instruction) and s.opcode is Opcode.BAR
+        )
+        load_positions = [
+            i for i, s in enumerate(body)
+            if isinstance(s, Instruction) and s.opcode is Opcode.LD
+            and s.is_global_access
+        ]
+        assert all(position > first_bar for position in load_positions)
+
+    def test_load_count_preserved_inside_loop(self):
+        base_loads = sum(
+            1 for i in instructions(tile_loop(build_tiled_matmul()).body)
+            if i.opcode is Opcode.LD and i.is_global_access
+        )
+        kernel = prefetch_global_loads(build_tiled_matmul(), label="ktile")
+        prefetched_loads = sum(
+            1 for i in instructions(tile_loop(kernel).body)
+            if i.opcode is Opcode.LD and i.is_global_access
+        )
+        assert prefetched_loads == base_loads
+
+    def test_regions_gain_only_prologue_unit(self):
+        base = count_regions(build_tiled_matmul())
+        prefetched = count_regions(
+            prefetch_global_loads(build_tiled_matmul(), label="ktile")
+        )
+        assert prefetched == base + 1
+
+
+class TestSemantics:
+    def test_matmul_results_unchanged(self):
+        kernel = standard_cleanup(
+            prefetch_global_loads(build_tiled_matmul(n=32), label="ktile")
+        )
+        validate(kernel)
+        result, reference = run_matmul_kernel(kernel, 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+    def test_composes_with_unrolling(self):
+        kernel = standard_cleanup(prefetch_global_loads(
+            unroll(build_tiled_matmul(n=32), COMPLETE, label="inner"),
+            label="ktile",
+        ))
+        validate(kernel)
+        result, reference = run_matmul_kernel(kernel, 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+
+class TestRegisterCost:
+    def test_prefetching_increases_register_usage(self):
+        from repro.cubin import cubin_info
+
+        base = cubin_info(build_tiled_matmul()).registers_per_thread
+        prefetched = cubin_info(
+            prefetch_global_loads(build_tiled_matmul(), label="ktile")
+        ).registers_per_thread
+        assert prefetched > base
+
+
+class TestErrors:
+    def test_missing_label(self):
+        with pytest.raises(PrefetchError, match="no loop labelled"):
+            prefetch_global_loads(build_tiled_matmul(), label="nonexistent")
+
+    def test_pattern_mismatch_reported(self):
+        # saxpy has no loop at all, but targeting a kernel whose loop
+        # has no barrier must fail cleanly too.
+        from repro.ir import DataType, Dim3, KernelBuilder
+        from repro.ir.builder import TID_X
+
+        builder = KernelBuilder("nobar", block_dim=Dim3(32), grid_dim=Dim3(1))
+        x = builder.param_ptr("x", DataType.F32)
+        acc = builder.mov(0.0)
+        with builder.loop(0, 4, label="plain"):
+            value = builder.ld(x, TID_X)
+            builder.add(acc, value, dest=acc)
+        builder.st(x, TID_X, acc)
+        with pytest.raises(PrefetchError, match="does not match"):
+            prefetch_global_loads(builder.finish(), label="plain")
+
+    def test_unlabelled_mode_leaves_nonmatching_loops(self):
+        kernel = prefetch_global_loads(build_saxpy())
+        validate(kernel)
+        assert profile_kernel(kernel).instructions == 5

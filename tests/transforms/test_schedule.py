@@ -1,0 +1,114 @@
+"""List scheduling (the explicit runtime scheduler)."""
+
+import numpy as np
+
+from repro.ir import DataType, Dim3, KernelBuilder, Opcode, validate
+from repro.ir.builder import TID_X
+from repro.ir.statements import instructions
+from repro.sim import simulate_kernel
+from repro.transforms import schedule_loads_early
+from tests.conftest import build_tiled_matmul, run_matmul_kernel
+
+F32 = DataType.F32
+S32 = DataType.S32
+
+
+def builder():
+    return KernelBuilder("k", block_dim=Dim3(32), grid_dim=Dim3(1))
+
+
+def opcodes(kernel):
+    return [i.opcode for i in instructions(kernel.body)]
+
+
+class TestReordering:
+    def test_load_hoists_above_independent_compute(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        a = b.add(1.0, 2.0)
+        c = b.mul(a, 3.0)
+        value = b.ld(x, TID_X)
+        b.st(x, TID_X, b.add(value, c))
+        scheduled = schedule_loads_early(b.finish())
+        assert opcodes(scheduled)[0] is Opcode.LD
+
+    def test_load_cannot_cross_its_address_def(self):
+        b = builder()
+        x = b.param_ptr("x", S32)
+        index = b.add(TID_X, 4)
+        value = b.ld(x, index)
+        b.st(x, TID_X, value)
+        scheduled = schedule_loads_early(b.finish())
+        sequence = opcodes(scheduled)
+        assert sequence.index(Opcode.ADD) < sequence.index(Opcode.LD)
+
+    def test_load_cannot_cross_store_to_same_array(self):
+        b = builder()
+        x = b.param_ptr("x", S32)
+        b.st(x, TID_X, 1)
+        value = b.ld(x, TID_X)          # must see the store
+        b.st(x, b.add(TID_X, 32), value)
+        scheduled = schedule_loads_early(b.finish())
+        sequence = opcodes(scheduled)
+        assert sequence.index(Opcode.ST) < sequence.index(Opcode.LD)
+
+    def test_load_may_cross_store_to_other_array(self):
+        b = builder()
+        x = b.param_ptr("x", S32)
+        y = b.param_ptr("y", S32)
+        b.st(y, TID_X, 1)
+        value = b.ld(x, TID_X)
+        b.st(y, b.add(TID_X, 32), value)
+        scheduled = schedule_loads_early(b.finish())
+        assert opcodes(scheduled)[0] is Opcode.LD
+
+    def test_barrier_fences_scheduling(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        b.shared("s", F32, (32,))
+        b.add(1.0, 2.0)
+        b.bar()
+        value = b.ld(x, TID_X)
+        b.st(x, TID_X, value)
+        scheduled = schedule_loads_early(b.finish())
+        sequence = opcodes(scheduled)
+        assert sequence.index(Opcode.BAR) < sequence.index(Opcode.LD)
+
+    def test_accumulator_order_preserved(self):
+        b = builder()
+        x = b.param_ptr("x", S32)
+        acc = b.mov(1, dtype=S32)
+        b.add(acc, 2, dest=acc)
+        b.mul(acc, 3, dest=acc)
+        b.st(x, TID_X, acc)
+        scheduled = schedule_loads_early(b.finish())
+        assert opcodes(scheduled) == [Opcode.MOV, Opcode.ADD, Opcode.MUL,
+                                      Opcode.ST]
+
+
+class TestSemanticsAndEffect:
+    def test_matmul_semantics_preserved(self):
+        kernel = schedule_loads_early(build_tiled_matmul(n=32))
+        validate(kernel)
+        result, reference = run_matmul_kernel(kernel, 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+    def test_scheduling_never_slows_a_load_use_kernel(self):
+        b = builder()
+        x = b.param_ptr("x", F32)
+        filler = b.add(1.0, 2.0)
+        for _ in range(20):
+            filler = b.mad(filler, 1.0001, 0.5)
+        value = b.ld(x, TID_X)
+        b.st(x, TID_X, b.add(value, filler))
+        kernel = b.finish()
+        baseline = simulate_kernel(kernel).cycles
+        scheduled = simulate_kernel(schedule_loads_early(kernel)).cycles
+        assert scheduled <= baseline
+
+    def test_idempotent(self):
+        from repro.ptx import emit_ptx
+
+        once = schedule_loads_early(build_tiled_matmul())
+        twice = schedule_loads_early(once)
+        assert emit_ptx(once) == emit_ptx(twice)

@@ -1,0 +1,112 @@
+"""Proactive register spilling (resource balancing)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import MemorySpace
+from repro.cubin import cubin_info
+from repro.ir import DataType, Dim3, KernelBuilder, Opcode, validate
+from repro.ir.builder import TID_X
+from repro.ir.statements import instructions
+from repro.transforms import (
+    COMPLETE,
+    SpillError,
+    choose_spill_candidates,
+    spill_registers,
+    standard_cleanup,
+    unroll,
+)
+from tests.conftest import build_tiled_matmul, run_matmul_kernel
+
+S32 = DataType.S32
+
+
+def local_ops(kernel):
+    return [
+        i for i in instructions(kernel.body)
+        if i.mem is not None and i.mem.space is MemorySpace.LOCAL
+    ]
+
+
+class TestMechanics:
+    def test_spill_creates_local_array_and_traffic(self):
+        kernel = spill_registers(build_tiled_matmul(), 1)
+        validate(kernel)
+        assert kernel.local_arrays
+        accesses = local_ops(kernel)
+        assert any(a.opcode is Opcode.ST for a in accesses)
+        assert any(a.opcode is Opcode.LD for a in accesses)
+
+    def test_candidates_are_longest_lived(self):
+        kernel = build_tiled_matmul()
+        candidates = choose_spill_candidates(kernel, 2)
+        assert len(candidates) == 2
+        from repro.cubin import live_intervals
+
+        lengths = {iv.register: iv.length for iv in live_intervals(kernel)}
+        chosen = {lengths[c] for c in candidates}
+        spillable_max = max(
+            length for register, length in lengths.items()
+        )
+        assert max(chosen) <= spillable_max
+
+    def test_loop_counters_never_spilled(self):
+        kernel = build_tiled_matmul()
+        from repro.ir.statements import ForLoop, walk
+
+        counters = {
+            s.counter for s in walk(kernel.body) if isinstance(s, ForLoop)
+        }
+        candidates = choose_spill_candidates(kernel, 10)
+        assert not counters & set(candidates)
+
+    def test_spilling_adds_instructions(self):
+        from repro.ptx import count_instructions
+
+        base, _ = count_instructions(build_tiled_matmul())
+        spilled, _ = count_instructions(spill_registers(build_tiled_matmul(), 2))
+        assert spilled > base
+
+    def test_empty_kernel_raises(self):
+        builder = KernelBuilder("empty", block_dim=Dim3(32), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", S32)
+        builder.st(out, TID_X, 1)
+        with pytest.raises(SpillError):
+            spill_registers(builder.finish(), 1)
+
+
+class TestSemantics:
+    def test_matmul_results_unchanged(self):
+        kernel = spill_registers(build_tiled_matmul(n=32), 2)
+        validate(kernel)
+        result, reference = run_matmul_kernel(kernel, 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+    def test_composes_with_unrolling(self):
+        kernel = spill_registers(
+            standard_cleanup(unroll(build_tiled_matmul(n=32), COMPLETE,
+                                    label="inner")),
+            2,
+        )
+        validate(kernel)
+        result, reference = run_matmul_kernel(kernel, 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+
+class TestResourceEffect:
+    def test_register_pressure_can_drop(self):
+        # Spill the pipelined prefetch kernel: the whole point of the
+        # optimization is to win back a resident block.
+        from repro.apps import MatMul
+        from repro.tuning import Configuration
+
+        app = MatMul()
+        heavy = app.kernel(Configuration({
+            "tile": 16, "rect": 4, "unroll": 1,
+            "prefetch": True, "spill": False,
+        }))
+        spilled = spill_registers(heavy, 2)
+        assert (
+            cubin_info(spilled).registers_per_thread
+            < cubin_info(heavy).registers_per_thread
+        )

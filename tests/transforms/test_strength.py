@@ -1,0 +1,117 @@
+"""Strength reduction."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import DataType, Dim3, KernelBuilder, Opcode
+from repro.ir.builder import TID_X
+from repro.ir.statements import instructions
+from repro.transforms import reduce_strength
+
+S32 = DataType.S32
+U32 = DataType.U32
+
+
+def builder():
+    return KernelBuilder("k", block_dim=Dim3(16), grid_dim=Dim3(1))
+
+
+def opcodes(kernel):
+    return [i.opcode for i in instructions(kernel.body)]
+
+
+class TestRewrites:
+    def test_mul_by_power_of_two_becomes_shift(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        b.st(out, TID_X, b.mul(TID_X, 8))
+        kernel = reduce_strength(b.finish())
+        assert Opcode.SHL in opcodes(kernel)
+        assert Opcode.MUL not in opcodes(kernel)
+
+    def test_mul_commuted_operand(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        value = b.mov(TID_X, dtype=S32)
+        b.st(out, TID_X, b.mul(16, value))
+        kernel = reduce_strength(b.finish())
+        assert Opcode.SHL in opcodes(kernel)
+
+    def test_non_power_untouched(self):
+        b = builder()
+        out = b.param_ptr("out", S32)
+        b.st(out, TID_X, b.mul(TID_X, 6))
+        kernel = reduce_strength(b.finish())
+        assert Opcode.MUL in opcodes(kernel)
+
+    def test_float_untouched(self):
+        b = builder()
+        out = b.param_ptr("out", DataType.F32)
+        b.st(out, TID_X, b.mul(2.0, 4.0))
+        kernel = reduce_strength(b.finish())
+        assert Opcode.MUL in opcodes(kernel)
+
+    def test_unsigned_div_rem(self):
+        b = builder()
+        out = b.param_ptr("out", U32)
+        value = b.cvt(TID_X, U32)
+        b.st(out, TID_X, b.div(value, b.mov(32, dtype=U32)))
+        b.st(out, TID_X, b.rem(value, b.mov(32, dtype=U32)))
+        # Feed immediates directly for the rewrite to see them.
+        from repro.ir import Immediate, Instruction
+
+        b2 = builder()
+        out2 = b2.param_ptr("out", U32)
+        v = b2.cvt(TID_X, U32)
+        q = b2.fresh(U32)
+        r = b2.fresh(U32)
+        b2._emit(Instruction(Opcode.DIV, dest=q, srcs=(v, Immediate(32, U32))))
+        b2._emit(Instruction(Opcode.REM, dest=r, srcs=(v, Immediate(32, U32))))
+        b2.st(out2, TID_X, b2.add(q, r))
+        kernel = reduce_strength(b2.finish())
+        ops = opcodes(kernel)
+        assert Opcode.SHR in ops
+        assert Opcode.AND in ops
+        assert Opcode.DIV not in ops
+
+    def test_signed_div_untouched(self):
+        # Truncating signed division differs from an arithmetic shift
+        # for negative dividends; the pass must leave it alone.
+        b = builder()
+        out = b.param_ptr("out", S32)
+        b.st(out, TID_X, b.div(b.sub(TID_X, 8), 4))
+        kernel = reduce_strength(b.finish())
+        assert Opcode.DIV in opcodes(kernel)
+
+
+class TestSemantics:
+    @given(st.integers(min_value=0, max_value=2 ** 20),
+           st.sampled_from([2, 4, 8, 16, 32, 64]))
+    def test_shift_equivalence(self, value, factor):
+        from repro.ir.semantics import eval_op
+
+        shift = factor.bit_length() - 1
+        assert eval_op(Opcode.MUL, S32, (value, factor)) == eval_op(
+            Opcode.SHL, S32, (value, shift)
+        )
+        assert eval_op(Opcode.DIV, U32, (value, factor)) == eval_op(
+            Opcode.SHR, U32, (value, shift)
+        )
+        assert eval_op(Opcode.REM, U32, (value, factor)) == eval_op(
+            Opcode.AND, U32, (value, factor - 1)
+        )
+
+    def test_kernel_results_unchanged(self):
+        from repro.interp import launch
+
+        b = builder()
+        out = b.param_ptr("out", S32)
+        b.st(out, TID_X, b.mul(b.mad(TID_X, 4, 3), 8))
+        original = b.finish()
+        reduced = reduce_strength(original)
+        first = np.zeros(16, dtype=np.int32)
+        second = np.zeros(16, dtype=np.int32)
+        launch(original, {"out": first})
+        launch(reduced, {"out": second})
+        np.testing.assert_array_equal(first, second)

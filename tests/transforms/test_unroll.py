@@ -1,0 +1,146 @@
+"""Loop unrolling: structure and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ir import DataType, Dim3, KernelBuilder, validate
+from repro.ir.builder import TID_X
+from repro.ir.statements import ForLoop
+from repro.ptx import count_instructions
+from repro.transforms import COMPLETE, UnrollError, standard_cleanup, unroll
+from tests.conftest import build_tiled_matmul, run_matmul_kernel
+
+F32 = DataType.F32
+
+
+def loops_in(kernel):
+    from repro.ir.statements import walk
+
+    return [s for s in walk(kernel.body) if isinstance(s, ForLoop)]
+
+
+def accumulate_kernel(trips=8, step=1):
+    """out[tid] = sum of (tid + i) over the loop."""
+    builder = KernelBuilder("acc", block_dim=Dim3(16), grid_dim=Dim3(1))
+    out = builder.param_ptr("out", DataType.S32)
+    total = builder.mov(0, dtype=DataType.S32)
+    with builder.loop(0, trips * step, step=step, label="main") as i:
+        term = builder.add(TID_X, i)
+        builder.add(total, term, dest=total)
+    builder.st(out, TID_X, total)
+    return builder.finish()
+
+
+def run_accumulate(kernel, trips=8, step=1):
+    from repro.interp import launch
+
+    out = np.zeros(16, dtype=np.int32)
+    launch(kernel, {"out": out})
+    expected = np.array(
+        [sum(t + i for i in range(0, trips * step, step)) for t in range(16)],
+        dtype=np.int32,
+    )
+    np.testing.assert_array_equal(out, expected)
+
+
+class TestCompleteUnroll:
+    def test_loop_disappears(self):
+        kernel = unroll(accumulate_kernel(), COMPLETE)
+        assert not loops_in(kernel)
+        validate(kernel)
+
+    def test_semantics_preserved(self):
+        run_accumulate(unroll(accumulate_kernel(), COMPLETE))
+
+    def test_counter_becomes_immediates(self):
+        from repro.ir import Immediate
+        from repro.ir.statements import instructions
+
+        kernel = unroll(accumulate_kernel(trips=3), COMPLETE)
+        adds = [i for i in instructions(kernel.body) if i.opcode.value == "add"]
+        immediates = [
+            s.value for instr in adds for s in instr.srcs
+            if isinstance(s, Immediate)
+        ]
+        assert set(immediates) >= {0, 1, 2}
+
+    def test_strided_loop(self):
+        kernel = unroll(accumulate_kernel(trips=4, step=3), COMPLETE)
+        run_accumulate(kernel, trips=4, step=3)
+
+    def test_factor_at_least_trips_is_complete(self):
+        kernel = unroll(accumulate_kernel(trips=4), 16)
+        assert not loops_in(kernel)
+        run_accumulate(kernel, trips=4)
+
+
+class TestPartialUnroll:
+    def test_divisible_factor(self):
+        kernel = unroll(accumulate_kernel(trips=8), 4, label="main")
+        loops = loops_in(kernel)
+        assert len(loops) == 1
+        assert loops[0].trip_count == 2
+        run_accumulate(kernel)
+
+    def test_remainder_is_peeled(self):
+        kernel = unroll(accumulate_kernel(trips=10), 4, label="main")
+        loops = loops_in(kernel)
+        assert len(loops) == 1
+        assert loops[0].trip_count == 2   # 8 of 10 trips in the main loop
+        run_accumulate(kernel, trips=10)
+
+    def test_factor_one_is_identity(self):
+        kernel = unroll(accumulate_kernel(), 1)
+        assert loops_in(kernel)[0].trip_count == 8
+        run_accumulate(kernel)
+
+    def test_reduces_dynamic_instructions(self):
+        base, _ = count_instructions(accumulate_kernel(trips=16))
+        unrolled, _ = count_instructions(unroll(accumulate_kernel(trips=16), 4))
+        assert unrolled < base
+
+
+class TestTargeting:
+    def test_label_selects_loop(self):
+        kernel = build_tiled_matmul()
+        unrolled = unroll(kernel, COMPLETE, label="inner")
+        remaining = loops_in(unrolled)
+        assert len(remaining) == 1
+        assert remaining[0].label == "ktile"
+
+    def test_default_targets_innermost(self):
+        kernel = build_tiled_matmul()
+        unrolled = unroll(kernel, COMPLETE)
+        remaining = loops_in(unrolled)
+        assert [l.label for l in remaining] == ["ktile"]
+
+
+class TestMatmulSemantics:
+    @pytest.mark.parametrize("factor", [2, 4, COMPLETE])
+    def test_unrolled_matmul_correct(self, factor):
+        kernel = standard_cleanup(
+            unroll(build_tiled_matmul(n=32), factor, label="inner")
+        )
+        validate(kernel)
+        result, reference = run_matmul_kernel(kernel, 32)
+        np.testing.assert_allclose(result, reference, rtol=1e-4, atol=1e-4)
+
+
+class TestErrors:
+    def test_bad_factor(self):
+        with pytest.raises(UnrollError):
+            unroll(accumulate_kernel(), 0)
+        with pytest.raises(UnrollError):
+            unroll(accumulate_kernel(), "frobnicate")
+
+    def test_dynamic_bounds_rejected(self):
+        builder = KernelBuilder("dyn", block_dim=Dim3(16), grid_dim=Dim3(1))
+        out = builder.param_ptr("out", DataType.S32)
+        n = builder.param_scalar("n", DataType.S32)
+        bound = builder.mov(n, dtype=DataType.S32)
+        total = builder.mov(0, dtype=DataType.S32)
+        with builder.loop(0, bound, trip_count=8, label="dynloop"):
+            builder.add(total, 1, dest=total)
+        builder.st(out, TID_X, total)
+        with pytest.raises(UnrollError, match="dynamic bounds"):
+            unroll(builder.finish(), 2, label="dynloop")

@@ -1,0 +1,68 @@
+"""Metric clustering (the Figure 6(b) groups)."""
+
+from repro.metrics.model import MetricReport
+from repro.tuning import (
+    Configuration,
+    cluster_by_metrics,
+    cluster_representatives,
+)
+from repro.tuning.search import EvaluatedConfig
+
+
+def entry(eff, util, **params):
+    report = MetricReport.__new__(MetricReport)
+    object.__setattr__(report, "efficiency", eff)
+    object.__setattr__(report, "utilization", util)
+    return EvaluatedConfig(config=Configuration(params), metrics=report)
+
+
+class TestClustering:
+    def test_identical_metrics_cluster(self):
+        entries = [entry(1e-9, 100.0, i=i) for i in range(7)]
+        entries.append(entry(2e-9, 50.0, i=99))
+        clusters = cluster_by_metrics(entries)
+        assert sorted(len(c) for c in clusters) == [1, 7]
+
+    def test_near_identical_metrics_cluster_with_tolerance(self):
+        entries = [
+            entry(1e-9, 100.0, i=0),
+            entry(1e-9 * (1 + 1e-12), 100.0, i=1),
+        ]
+        clusters = cluster_by_metrics(entries, relative_tolerance=1e-6)
+        assert len(clusters) == 1
+
+    def test_distinct_metrics_do_not_cluster(self):
+        entries = [entry(1e-9, 100.0, i=0), entry(3e-9, 100.0, i=1)]
+        assert len(cluster_by_metrics(entries)) == 2
+
+    def test_invalid_entries_skipped(self):
+        bad = EvaluatedConfig(config=Configuration({"i": 0}),
+                              invalid_reason="overflow")
+        entries = [bad, entry(1e-9, 100.0, i=1)]
+        clusters = cluster_by_metrics(entries)
+        assert sum(len(c) for c in clusters) == 1
+
+    def test_representatives_one_per_cluster(self):
+        entries = [entry(1e-9, 100.0, i=i) for i in range(7)]
+        entries.extend(entry(2e-9, 50.0, i=10 + i) for i in range(3))
+        representatives = cluster_representatives(entries, seed=0)
+        assert len(representatives) == 2
+
+    def test_representatives_deterministic_per_seed(self):
+        entries = [entry(1e-9, 100.0, i=i) for i in range(7)]
+        first = cluster_representatives(entries, seed=5)
+        second = cluster_representatives(entries, seed=5)
+        assert [e.config for e in first] == [e.config for e in second]
+
+
+class TestMriClusters:
+    def test_mri_space_forms_clusters_of_invocation_splits(self):
+        """Figure 6(b): configurations cluster in groups of seven."""
+        from repro.apps import MriFhd
+        from repro.tuning import evaluate_all
+
+        app = MriFhd()
+        entries = evaluate_all(app.space().configurations(), app.evaluate)
+        clusters = cluster_by_metrics(entries)
+        assert len(clusters) == 25           # 5 blocks x 5 unrolls
+        assert all(len(c) == 7 for c in clusters)

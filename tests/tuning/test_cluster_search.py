@@ -1,0 +1,51 @@
+"""Pareto + cluster-sampling search (Section 5.2's refinement)."""
+
+import pytest
+
+from repro.apps import MriFhd
+from repro.tuning import (
+    full_exploration,
+    pareto_cluster_search,
+    pareto_search,
+)
+
+
+@pytest.fixture(scope="module")
+def mri():
+    return MriFhd()
+
+
+@pytest.fixture(scope="module")
+def configs(mri):
+    return mri.space().configurations()
+
+
+class TestClusterSearch:
+    def test_times_fewer_configs_than_plain_pareto(self, mri, configs):
+        plain = pareto_search(configs, mri.evaluate, mri.simulate)
+        clustered = pareto_cluster_search(configs, mri.evaluate, mri.simulate)
+        assert clustered.timed_count < plain.timed_count
+        # The MRI curve collapses 7-fold.
+        assert clustered.timed_count == plain.timed_count // 7
+
+    def test_stays_near_optimal(self, mri, configs):
+        """Intra-cluster spread is bounded by launch overhead, so the
+        representative's time is within the paper's 7.1% bound."""
+        clustered = pareto_cluster_search(configs, mri.evaluate, mri.simulate,
+                                          seed=3)
+        exhaustive = full_exploration(configs, mri.evaluate, mri.simulate)
+        gap = clustered.best.seconds / exhaustive.best.seconds - 1.0
+        assert gap < 0.075
+
+    def test_strategy_label(self, mri, configs):
+        result = pareto_cluster_search(configs, mri.evaluate, mri.simulate)
+        assert result.strategy == "pareto+cluster"
+
+    def test_deterministic_per_seed(self, mri, configs):
+        first = pareto_cluster_search(configs, mri.evaluate, mri.simulate,
+                                      seed=9)
+        second = pareto_cluster_search(configs, mri.evaluate, mri.simulate,
+                                       seed=9)
+        assert [e.config for e in first.timed] == [
+            e.config for e in second.timed
+        ]

@@ -1,0 +1,99 @@
+"""Pareto-optimal subset selection, with hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tuning import dominates, pareto_front, pareto_indices
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates((2, 2), (1, 1))
+
+    def test_better_on_one_axis(self):
+        assert dominates((2, 1), (1, 1))
+        assert dominates((1, 2), (1, 1))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not dominates((2, 1), (1, 2))
+        assert not dominates((1, 2), (2, 1))
+
+
+class TestParetoIndices:
+    def test_single_point(self):
+        assert pareto_indices([(0.5, 0.5)]) == [0]
+
+    def test_dominated_point_excluded(self):
+        assert pareto_indices([(1, 1), (0.5, 0.5)]) == [0]
+
+    def test_staircase_all_kept(self):
+        points = [(1, 0), (0.5, 0.5), (0, 1)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_ties_all_kept(self):
+        # Identical metric pairs (the MRI clusters) stand together.
+        points = [(1, 1), (1, 1), (0.5, 0.5)]
+        assert pareto_indices(points) == [0, 1]
+
+    def test_same_x_different_y(self):
+        points = [(1, 0.5), (1, 1)]
+        assert pareto_indices(points) == [1]
+
+    def test_same_y_different_x(self):
+        points = [(0.5, 1), (1, 1)]
+        assert pareto_indices(points) == [1]
+
+    def test_matches_paper_visual_rule(self):
+        # "each point in this set has no other point both above and to
+        # the right of it"
+        points = [(0.9, 0.1), (0.1, 0.9), (0.5, 0.5), (0.4, 0.4)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    @given(points_strategy)
+    def test_agrees_with_quadratic_reference(self, points):
+        def reference(pts):
+            kept = []
+            for i, p in enumerate(pts):
+                if not any(dominates(q, p) for q in pts):
+                    kept.append(i)
+            return kept
+
+        assert pareto_indices(points) == reference(points)
+
+    @given(points_strategy)
+    def test_never_empty(self, points):
+        assert pareto_indices(points)
+
+    @given(points_strategy)
+    def test_no_survivor_dominated(self, points):
+        survivors = pareto_indices(points)
+        for index in survivors:
+            assert not any(dominates(q, points[index]) for q in points)
+
+    @given(points_strategy)
+    def test_maxima_always_selected(self, points):
+        survivors = {points[i] for i in pareto_indices(points)}
+        best_x = max(points, key=lambda p: (p[0], p[1]))
+        best_y = max(points, key=lambda p: (p[1], p[0]))
+        assert best_x in survivors
+        assert best_y in survivors
+
+
+class TestParetoFront:
+    def test_sorted_by_first_coordinate(self):
+        points = [(0.1, 0.9), (0.9, 0.1), (0.5, 0.5)]
+        front = pareto_front(points)
+        assert front == sorted(front)

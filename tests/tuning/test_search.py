@@ -1,0 +1,126 @@
+"""Search strategies over a synthetic, fully-controlled space.
+
+Using a synthetic application keeps these tests fast and lets us
+construct spaces where the relationships between metrics and time are
+known exactly.
+"""
+
+import pytest
+
+from repro.arch import LaunchError
+from repro.metrics.model import MetricReport
+from repro.tuning import (
+    Configuration,
+    cartesian,
+    evaluate_all,
+    full_exploration,
+    pareto_search,
+    random_search,
+)
+
+
+class SyntheticApp:
+    """time = 1/(eff + util) + noise; some configs invalid."""
+
+    def __init__(self):
+        self.configs = cartesian({"e": [1, 2, 3, 4], "u": [1, 2, 3, 4]})
+        self.simulated = []
+
+    def evaluate(self, config):
+        if config["e"] == 4 and config["u"] == 4:
+            raise LaunchError("synthetic register overflow")
+        report = MetricReport.__new__(MetricReport)
+        object.__setattr__(report, "efficiency", float(config["e"]))
+        object.__setattr__(report, "utilization", float(config["u"]))
+        return report
+
+    def simulate(self, config):
+        self.simulated.append(config)
+        return 1.0 / (config["e"] + config["u"])
+
+
+@pytest.fixture
+def app():
+    return SyntheticApp()
+
+
+class TestEvaluateAll:
+    def test_invalids_recorded_not_dropped(self, app):
+        entries = evaluate_all(app.configs, app.evaluate)
+        assert len(entries) == 16
+        invalid = [e for e in entries if not e.is_valid]
+        assert len(invalid) == 1
+        assert "register overflow" in invalid[0].invalid_reason
+
+
+class TestFullExploration:
+    def test_times_every_valid_config(self, app):
+        result = full_exploration(app.configs, app.evaluate, app.simulate)
+        assert result.timed_count == 15
+        assert result.space_reduction == 0.0
+        assert len(app.simulated) == 15
+
+    def test_finds_true_optimum(self, app):
+        result = full_exploration(app.configs, app.evaluate, app.simulate)
+        assert dict(result.best.config) in ({"e": 4, "u": 3}, {"e": 3, "u": 4})
+
+    def test_measured_seconds_sums(self, app):
+        result = full_exploration(app.configs, app.evaluate, app.simulate)
+        assert result.measured_seconds == pytest.approx(
+            sum(e.seconds for e in result.timed)
+        )
+
+
+class TestParetoSearch:
+    def test_prunes_dominated_configs(self, app):
+        result = pareto_search(app.configs, app.evaluate, app.simulate)
+        # Surviving points: (4,3) and (3,4) — everything else is
+        # dominated once (4,4) is invalid.
+        assert result.timed_count == 2
+        assert result.space_reduction == pytest.approx(1 - 2 / 15)
+
+    def test_finds_optimum_when_on_curve(self, app):
+        pruned = pareto_search(app.configs, app.evaluate, app.simulate)
+        exhaustive = full_exploration(app.configs, app.evaluate, app.simulate)
+        assert pruned.best.seconds == exhaustive.best.seconds
+
+    def test_only_selected_configs_timed(self, app):
+        pareto_search(app.configs, app.evaluate, app.simulate)
+        assert len(app.simulated) == 2
+
+    def test_bandwidth_screen_flag(self, app):
+        # The synthetic reports carry no bandwidth estimate: screening
+        # must not crash when disabled (the default).
+        result = pareto_search(app.configs, app.evaluate, app.simulate,
+                               screen_bandwidth_bound=False)
+        assert result.strategy == "pareto"
+
+
+class TestRandomSearch:
+    def test_sample_size_respected(self, app):
+        result = random_search(app.configs, app.evaluate, app.simulate,
+                               sample_size=5, seed=1)
+        assert result.timed_count == 5
+
+    def test_deterministic_per_seed(self, app):
+        first = random_search(app.configs, app.evaluate, app.simulate,
+                              sample_size=5, seed=42)
+        app2 = SyntheticApp()
+        second = random_search(app2.configs, app2.evaluate, app2.simulate,
+                               sample_size=5, seed=42)
+        assert [dict(e.config) for e in first.timed] == [
+            dict(e.config) for e in second.timed
+        ]
+
+    def test_oversized_sample_clamped(self, app):
+        result = random_search(app.configs, app.evaluate, app.simulate,
+                               sample_size=999, seed=0)
+        assert result.timed_count == 15
+
+    def test_random_can_miss_optimum(self, app):
+        result = random_search(app.configs, app.evaluate, app.simulate,
+                               sample_size=2, seed=3)
+        exhaustive = full_exploration(
+            SyntheticApp().configs, app.evaluate, app.simulate
+        )
+        assert result.best.seconds >= exhaustive.best.seconds

@@ -1,0 +1,74 @@
+"""Configuration spaces."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tuning import ConfigSpace, Configuration, cartesian
+
+
+class TestConfiguration:
+    def test_mapping_interface(self):
+        config = Configuration({"a": 1, "b": "x"})
+        assert config["a"] == 1
+        assert set(config) == {"a", "b"}
+        assert len(config) == 2
+        assert dict(config) == {"a": 1, "b": "x"}
+
+    def test_hash_and_equality_order_independent(self):
+        first = Configuration({"a": 1, "b": 2})
+        second = Configuration({"b": 2, "a": 1})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            Configuration({"a": 1})["b"]
+
+    def test_replace(self):
+        config = Configuration({"a": 1, "b": 2})
+        updated = config.replace(b=3)
+        assert updated["b"] == 3
+        assert config["b"] == 2
+
+    def test_repr_readable(self):
+        assert "a=1" in repr(Configuration({"a": 1}))
+
+    @given(st.dictionaries(st.sampled_from("abcdef"),
+                           st.integers(), min_size=1))
+    def test_round_trips_dict(self, values):
+        assert dict(Configuration(values)) == values
+
+
+class TestConfigSpace:
+    def test_cross_product(self):
+        space = ConfigSpace({"a": [1, 2], "b": [10, 20, 30]})
+        assert space.raw_size == 6
+        assert len(space) == 6
+        assert len(space.configurations()) == 6
+
+    def test_validity_filter(self):
+        space = ConfigSpace(
+            {"a": [1, 2, 3], "b": [1, 2, 3]},
+            is_valid=lambda c: c["a"] * c["b"] <= 4,
+        )
+        # (1,1) (1,2) (1,3) (2,1) (2,2) (3,1) pass the filter.
+        assert len(space) == 6
+        assert space.raw_size == 9
+        assert all(c["a"] * c["b"] <= 4 for c in space)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace({})
+        with pytest.raises(ValueError):
+            ConfigSpace({"a": []})
+
+    def test_cartesian_helper(self):
+        configs = cartesian({"x": [1, 2]})
+        assert len(configs) == 2
+        assert all(isinstance(c, Configuration) for c in configs)
+
+    def test_iteration_is_deterministic(self):
+        space = ConfigSpace({"a": [2, 1], "b": ["y", "x"]})
+        assert space.configurations() == space.configurations()
