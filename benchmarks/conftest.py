@@ -6,6 +6,12 @@ modules; individual benchmarks then time the searches against the
 warmed caches, which is exactly the comparison the paper makes — the
 static metric evaluation and pruning are cheap, the measurements are
 not.
+
+Each experiment runs on a shared :class:`ExecutionEngine`, so the
+three strategies perform one static pass and one measurement per
+configuration between them.  Set ``REPRO_WORKERS=N`` to fan the
+simulations out across an ``N``-process pool (results are
+bit-identical to a serial run).
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ _SUITE = {}
 def experiment_for(name: str):
     if name not in _SUITE:
         app = next(a for a in all_applications() if a.name == name)
-        _SUITE[name] = run_experiment(app, include_random=True)
+        # workers=None defers to the REPRO_WORKERS environment variable
+        _SUITE[name] = run_experiment(app, include_random=True, workers=None)
     return _SUITE[name]
 
 

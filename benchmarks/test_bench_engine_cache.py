@@ -1,0 +1,71 @@
+"""Execution-engine overhead and payoff on the matmul space.
+
+Not a paper experiment: these benchmarks track the machinery added by
+``repro.tuning.engine`` — the wall-time cost of a full exploration
+through the shared cache, the near-zero cost of re-running a strategy
+against a warmed engine, and (on multi-core hosts) the wall-time
+reduction from fanning the simulations out across a process pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.apps import MatMul
+from repro.tuning import ExecutionEngine, full_exploration, pareto_search
+
+
+def test_full_exploration_cold_engine(benchmark):
+    """Baseline: one static pass + one simulation per valid config."""
+    app = MatMul()
+    configs = app.space().configurations()
+
+    def cold_run():
+        app.clear_caches()
+        with ExecutionEngine.for_app(app) as engine:
+            return full_exploration(configs, engine=engine)
+
+    result = benchmark.pedantic(cold_run, rounds=3, iterations=1)
+    assert result.timed_count == result.valid_count
+
+
+def test_strategies_on_warm_engine(benchmark, matmul_experiment):
+    """The shared-cache payoff: a second strategy costs microseconds.
+
+    After the exhaustive pass, the Pareto search should be pure cache
+    hits — no static evaluation, no simulation.
+    """
+    app = matmul_experiment.app
+    configs = app.space().configurations()
+    with ExecutionEngine.for_app(app) as engine:
+        full_exploration(configs, engine=engine)  # warm it
+        warm_sims = engine.stats.simulations
+
+        result = benchmark.pedantic(
+            lambda: pareto_search(configs, engine=engine),
+            rounds=5, iterations=1,
+        )
+        assert engine.stats.simulations == warm_sims  # zero new measurements
+    assert result.timed_count < result.valid_count
+
+
+def test_parallel_full_exploration_matches_serial(benchmark):
+    """workers=N is bit-identical to serial; on multi-core hosts it is
+    also measurably faster (REPRO_BENCH_WORKERS, default 4)."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4") or "4")
+    serial_app = MatMul()
+    configs = serial_app.space().configurations()
+    with ExecutionEngine.for_app(serial_app, workers=1) as engine:
+        serial = full_exploration(configs, engine=engine)
+
+    def parallel_run():
+        app = MatMul()
+        with ExecutionEngine.for_app(app, workers=workers) as engine:
+            return full_exploration(configs, engine=engine)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=3, iterations=1)
+    assert [e.seconds for e in parallel.timed] == [
+        e.seconds for e in serial.timed
+    ]
+    assert parallel.best.config == serial.best.config
+    assert parallel.measured_seconds == serial.measured_seconds

@@ -10,6 +10,12 @@ ways of spending a measurement budget on it:
   * random sampling with the same budget as Pareto (the paper's
     named future-work comparison).
 
+All three strategies share one ExecutionEngine, so the space is
+evaluated statically once and every configuration is simulated at most
+once — the 20-seed random study below is pure cache hits.  Set
+REPRO_WORKERS=4 to fan the exhaustive pass out across a process pool
+(results are bit-identical).
+
 Run:  python examples/sad_exploration.py      (takes ~30s)
 """
 
@@ -27,31 +33,33 @@ def main() -> None:
           f"{len(configs)} configurations")
     print("running exhaustive search (this is the expensive part)...")
 
-    exhaustive = full_exploration(configs, app.evaluate, app.simulate)
-    print(f"  optimum {dict(exhaustive.best.config)}")
-    print(f"  at {exhaustive.best.seconds * 1e3:.3f} ms; total simulated "
-          f"evaluation time {exhaustive.measured_seconds:.3f} s\n")
+    with app.search_engine(workers=None) as engine:
+        exhaustive = full_exploration(configs, engine=engine)
+        print(f"  optimum {dict(exhaustive.best.config)}")
+        print(f"  at {exhaustive.best.seconds * 1e3:.3f} ms; total simulated "
+              f"evaluation time {exhaustive.measured_seconds:.3f} s\n")
 
-    pruned = pareto_search(configs, app.evaluate, app.simulate)
-    found = pruned.best.config == exhaustive.best.config
-    print(f"Pareto pruning: timed {pruned.timed_count} configurations "
-          f"({pruned.space_reduction * 100:.1f}% reduction)")
-    print(f"  found the optimum: {found}")
-    print(f"  simulated evaluation time {pruned.measured_seconds:.4f} s\n")
+        pruned = pareto_search(configs, engine=engine)
+        found = pruned.best.config == exhaustive.best.config
+        print(f"Pareto pruning: timed {pruned.timed_count} configurations "
+              f"({pruned.space_reduction * 100:.1f}% reduction)")
+        print(f"  found the optimum: {found}")
+        print(f"  simulated evaluation time {pruned.measured_seconds:.4f} s\n")
 
-    budget = pruned.timed_count
-    gaps = []
-    hits = 0
-    for seed in range(20):
-        result = random_search(configs, app.evaluate, app.simulate,
-                               sample_size=budget, seed=seed)
-        gap = result.best.seconds / exhaustive.best.seconds - 1.0
-        gaps.append(gap)
-        hits += gap < 1e-12
-    print(f"random sampling, same budget ({budget}), 20 seeds:")
-    print(f"  found the optimum in {hits}/20 runs")
-    print(f"  mean gap to optimum {statistics.mean(gaps) * 100:.1f}%, "
-          f"worst {max(gaps) * 100:.1f}%")
+        budget = pruned.timed_count
+        gaps = []
+        hits = 0
+        for seed in range(20):
+            result = random_search(configs, sample_size=budget, seed=seed,
+                                   engine=engine)
+            gap = result.best.seconds / exhaustive.best.seconds - 1.0
+            gaps.append(gap)
+            hits += gap < 1e-12
+        print(f"random sampling, same budget ({budget}), 20 seeds:")
+        print(f"  found the optimum in {hits}/20 runs")
+        print(f"  mean gap to optimum {statistics.mean(gaps) * 100:.1f}%, "
+              f"worst {max(gaps) * 100:.1f}%")
+        print(f"\nengine telemetry: {engine.stats.summary()}")
 
 
 if __name__ == "__main__":

@@ -34,6 +34,8 @@ from repro.sim import SimConfig, SimulationResult, simulate_kernel
 from repro.tuning import (
     ConfigSpace,
     Configuration,
+    EngineStats,
+    ExecutionEngine,
     SearchResult,
     full_exploration,
     pareto_search,
@@ -48,6 +50,8 @@ __all__ = [
     "Configuration",
     "DeviceSpec",
     "Dim3",
+    "EngineStats",
+    "ExecutionEngine",
     "Kernel",
     "KernelBuilder",
     "LaunchError",

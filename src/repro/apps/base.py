@@ -21,7 +21,7 @@ import numpy as np
 from repro.ir.kernel import Kernel
 from repro.metrics.model import MetricReport, evaluate_kernel
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
-from repro.sim.gpu import SimulationResult, simulate_kernel
+from repro.sim.gpu import SimulationResult, simulate_kernel, simulate_seconds
 from repro.tuning.space import ConfigSpace, Configuration
 
 Arrays = Dict[str, np.ndarray]
@@ -83,11 +83,28 @@ class Application(abc.ABC):
     def simulate(self, config: Configuration) -> float:
         """Simulated execution time in seconds for the full workload."""
         if config not in self._time_cache:
-            self._time_cache[config] = self.simulate_detailed(config).seconds
+            self._time_cache[config] = simulate_seconds(
+                self.kernel(config), self.sim_config(config)
+            )
         return self._time_cache[config]
 
     def simulate_detailed(self, config: Configuration) -> SimulationResult:
         return simulate_kernel(self.kernel(config), self.sim_config(config))
+
+    def search_engine(self, workers: Optional[int] = 1,
+                      checkpoint_path: Optional[str] = None):
+        """An :class:`~repro.tuning.engine.ExecutionEngine` over this app.
+
+        The engine memoizes ``evaluate``/``simulate`` and (for
+        ``workers > 1``) fans simulations out across a process pool;
+        share one engine across search strategies to avoid re-measuring
+        the same configurations.
+        """
+        from repro.tuning.engine import ExecutionEngine
+
+        return ExecutionEngine.for_app(
+            self, workers=workers, checkpoint_path=checkpoint_path
+        )
 
     # ------------------------------------------------------------------
     # Correctness oracle support (run at reduced problem sizes).
@@ -152,3 +169,12 @@ class Application(abc.ABC):
         self._metric_cache.clear()
         self._kernel_cache.clear()
         self._time_cache.clear()
+
+    def __getstate__(self) -> dict:
+        # Keep pickles (process-pool workers, checkpoint tooling) small
+        # and robust: caches are recomputed on the other side.
+        state = dict(self.__dict__)
+        state["_metric_cache"] = {}
+        state["_kernel_cache"] = {}
+        state["_time_cache"] = {}
+        return state

@@ -1,6 +1,6 @@
 """Experiment harness: regenerates the paper's tables and figures."""
 
-from repro.harness.experiment import AppExperiment, run_experiment
+from repro.harness.experiment import AppExperiment, format_percent, run_experiment
 from repro.harness.figures import (
     Figure6Data,
     ascii_scatter,
@@ -10,16 +10,18 @@ from repro.harness.figures import (
     figure6_data,
 )
 from repro.harness.report import render_report, write_report
-from repro.harness.tables import format_table, table3_rows, table4_rows
+from repro.harness.tables import engine_rows, format_table, table3_rows, table4_rows
 
 __all__ = [
     "AppExperiment",
     "Figure6Data",
     "ascii_scatter",
+    "engine_rows",
     "figure3_series",
     "figure4_series",
     "figure5_series",
     "figure6_data",
+    "format_percent",
     "format_table",
     "render_report",
     "run_experiment",

@@ -4,15 +4,25 @@ For each application the paper (i) explores the full configuration
 space, (ii) prunes it to the Pareto-optimal subset of the metric plot,
 and (iii) compares.  ``run_experiment`` performs both searches and
 collects everything the tables and figures need.
+
+All strategies share one :class:`~repro.tuning.engine.ExecutionEngine`,
+so a multi-strategy experiment performs exactly one static-metric pass
+over the space and never simulates the same configuration twice — the
+Pareto and random searches are served from the exhaustive pass's
+cache.  ``workers`` fans the exhaustive measurement out across a
+process pool; ``checkpoint_path`` lets an interrupted sweep resume.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from typing import List, Optional
 
 from repro.apps.base import Application
+from repro.arch.occupancy import LaunchError
+from repro.tuning.engine import EngineStats, ExecutionEngine
 from repro.tuning.search import (
     EvaluatedConfig,
     SearchResult,
@@ -31,6 +41,8 @@ class AppExperiment:
     pareto: SearchResult
     random: Optional[SearchResult] = None
     wall_seconds: float = 0.0
+    #: engine telemetry: evaluation counts, cache hits, stage wall time
+    engine_stats: Optional[EngineStats] = None
 
     @property
     def name(self) -> str:
@@ -46,7 +58,13 @@ class AppExperiment:
 
     @property
     def space_reduction_percent(self) -> float:
-        return self.pareto.space_reduction * 100.0
+        """NaN when the space had no valid configuration (see
+        ``SearchResult.space_reduction``); render with
+        :func:`format_percent`."""
+        reduction = self.pareto.space_reduction
+        if math.isnan(reduction):
+            return float("nan")
+        return reduction * 100.0
 
     @property
     def pruned_best_gap(self) -> float:
@@ -70,37 +88,77 @@ class AppExperiment:
     @property
     def hand_optimized_over_best(self) -> float:
         """Section 1's motivation: how far a sensible hand-written
-        starting configuration sits from the space's optimum."""
+        starting configuration sits from the space's optimum.
+
+        NaN when the default configuration cannot launch at all (an
+        application whose hand-written starting point is invalid on
+        this device) — rendered as "n/a" in tables rather than
+        crashing the whole experiment.
+        """
         hand = self.app.default_configuration()
         for entry in self.exhaustive.timed:
             if entry.config == hand:
                 return entry.seconds / self.exhaustive.best.seconds
-        return self.app.simulate(hand) / self.exhaustive.best.seconds
+        try:
+            return self.app.simulate(hand) / self.exhaustive.best.seconds
+        except LaunchError:
+            return float("nan")
 
     def timed_entries(self) -> List[EvaluatedConfig]:
         return self.exhaustive.timed
+
+
+def format_percent(value: float, width: int = 5, precision: int = 1) -> str:
+    """Render a percentage, degrading NaN to "n/a" instead of "nan%"."""
+    if math.isnan(value):
+        return "n/a".rjust(width + 1)
+    return f"{value:{width}.{precision}f}%"
 
 
 def run_experiment(
     app: Application,
     include_random: bool = False,
     random_seed: int = 0,
+    workers: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> AppExperiment:
-    """Run exhaustive + Pareto (and optionally random) searches."""
+    """Run exhaustive + Pareto (and optionally random) searches.
+
+    ``workers`` widens the simulation process pool; the default
+    (``None``) defers to the ``REPRO_WORKERS`` environment variable,
+    so a whole suite can be switched to pooled execution without
+    touching call sites (results are bit-identical either way).
+    ``checkpoint_path`` turns on the on-disk resume cache.  Pass an
+    ``engine`` to reuse caches across calls — otherwise one is created
+    (and its pool torn down) per experiment.
+    """
     configs = app.space().configurations()
     started = time.perf_counter()
-    exhaustive = full_exploration(configs, app.evaluate, app.simulate)
-    pareto = pareto_search(configs, app.evaluate, app.simulate)
-    random_result = None
-    if include_random:
-        random_result = random_search(
-            configs, app.evaluate, app.simulate,
-            sample_size=pareto.timed_count, seed=random_seed,
+    owns_engine = engine is None
+    if engine is None:
+        engine = ExecutionEngine.for_app(
+            app, workers=workers, checkpoint_path=checkpoint_path
         )
+    try:
+        exhaustive = full_exploration(configs, engine=engine)
+        pareto = pareto_search(configs, engine=engine)
+        random_result = None
+        if include_random:
+            random_result = random_search(
+                configs,
+                sample_size=pareto.timed_count,
+                seed=random_seed,
+                engine=engine,
+            )
+    finally:
+        if owns_engine:
+            engine.close()
     return AppExperiment(
         app=app,
         exhaustive=exhaustive,
         pareto=pareto,
         random=random_result,
         wall_seconds=time.perf_counter() - started,
+        engine_stats=engine.stats,
     )

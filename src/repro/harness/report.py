@@ -5,7 +5,7 @@ from __future__ import annotations
 import io
 from typing import Dict, Optional, Sequence
 
-from repro.harness.experiment import AppExperiment
+from repro.harness.experiment import AppExperiment, format_percent
 from repro.harness.figures import (
     ascii_scatter,
     figure3_series,
@@ -13,7 +13,12 @@ from repro.harness.figures import (
     figure5_series,
     figure6_data,
 )
-from repro.harness.tables import format_table, table3_rows, table4_rows
+from repro.harness.tables import (
+    engine_rows,
+    format_table,
+    table3_rows,
+    table4_rows,
+)
 
 
 def _fmt_ms(value: Optional[float]) -> str:
@@ -69,8 +74,8 @@ def render_report(
     for experiment in experiments:
         write(
             f"{experiment.name:<11} | "
-            f"{(experiment.hand_optimized_over_best - 1) * 100:14.1f}% | "
-            f"{(experiment.worst_over_best - 1) * 100:15.1f}%\n"
+            f"{format_percent((experiment.hand_optimized_over_best - 1) * 100, 14)} | "
+            f"{format_percent((experiment.worst_over_best - 1) * 100, 15)}\n"
         )
     write("```\n\n")
     write("Our simulated MRI spread is narrower than the paper's — the\n")
@@ -139,6 +144,23 @@ def render_report(
             f"configurations; optimum on curve: "
             f"**{data.optimum_on_curve}**.\n\n"
         )
+
+    # ------------------------------------------------- Engine telemetry
+    telemetry = engine_rows(experiments)
+    if telemetry:
+        write("## Search engine telemetry\n\n")
+        write("One static-metric pass and at most one simulation per\n")
+        write("configuration, shared by every strategy (see\n")
+        write("docs/search_engine.md); cache hits are requests the shared\n")
+        write("evaluation cache absorbed.\n\n")
+        write("```\n")
+        write(format_table(
+            telemetry,
+            ["application", "workers", "static_evals", "simulations",
+             "cache_hits", "checkpoint_hits", "evaluate_wall_s",
+             "simulate_wall_s"],
+        ))
+        write("\n```\n\n")
 
     # ------------------------------------------------------------ Summary
     write("## Headline claim\n\n")

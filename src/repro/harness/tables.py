@@ -7,6 +7,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence
 
 from repro.harness.experiment import AppExperiment
@@ -55,6 +56,26 @@ def table4_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
     return rows
 
 
+def engine_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Search-engine telemetry per application (cache hits, wall time)."""
+    rows = []
+    for experiment in experiments:
+        stats = experiment.engine_stats
+        if stats is None:
+            continue
+        rows.append({
+            "application": experiment.name,
+            "workers": stats.workers,
+            "static_evals": stats.static_evaluations,
+            "simulations": stats.simulations,
+            "cache_hits": stats.cache_hits,
+            "checkpoint_hits": stats.checkpoint_hits,
+            "evaluate_wall_s": stats.evaluate_seconds,
+            "simulate_wall_s": stats.simulate_seconds,
+        })
+    return rows
+
+
 def format_table(rows: List[Dict], columns: Sequence[str]) -> str:
     """Plain-text table rendering for reports and bench output."""
     if not rows:
@@ -63,6 +84,8 @@ def format_table(rows: List[Dict], columns: Sequence[str]) -> str:
     def cell(row: Dict, column: str) -> str:
         value = row.get(column, "")
         if isinstance(value, float):
+            if math.isnan(value):
+                return "n/a"
             return f"{value:.3f}"
         return str(value)
 

@@ -1,7 +1,7 @@
 """Discrete-event timing simulator of the GeForce 8800 (wall-clock substitute)."""
 
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
-from repro.sim.gpu import SimulationResult, simulate_kernel
+from repro.sim.gpu import SimulationResult, simulate_kernel, simulate_seconds
 from repro.sim.memory_system import MemorySystem
 from repro.sim.sm import SimulationDeadlock, SMResult, simulate_sm
 from repro.sim.trace import (
@@ -31,5 +31,6 @@ __all__ = [
     "WarpTrace",
     "build_trace",
     "simulate_kernel",
+    "simulate_seconds",
     "simulate_sm",
 ]

@@ -83,4 +83,18 @@ def simulate_kernel(
     )
 
 
-__all__ = ["LaunchError", "SimulationResult", "simulate_kernel"]
+def simulate_seconds(
+    kernel: Kernel,
+    config: SimConfig = DEFAULT_SIM_CONFIG,
+    resources: Optional[ResourceUsage] = None,
+) -> float:
+    """Scalar timing entry point: estimated seconds for one kernel.
+
+    The measurement the search strategies pay for, reduced to the one
+    float the execution engine caches, checkpoints, and ships across
+    process-pool boundaries (see ``repro.tuning.engine``).
+    """
+    return simulate_kernel(kernel, config, resources).seconds
+
+
+__all__ = ["LaunchError", "SimulationResult", "simulate_kernel", "simulate_seconds"]

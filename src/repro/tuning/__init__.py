@@ -1,6 +1,12 @@
 """Search-space pruning: Pareto subsets and search strategies (Section 5)."""
 
 from repro.tuning.cluster import cluster_by_metrics, cluster_representatives
+from repro.tuning.engine import (
+    EngineStats,
+    ExecutionEngine,
+    config_key,
+    resolve_workers,
+)
 from repro.tuning.pareto import dominates, pareto_front, pareto_indices
 from repro.tuning.search import (
     EvaluatedConfig,
@@ -16,13 +22,17 @@ from repro.tuning.space import ConfigSpace, Configuration, cartesian
 __all__ = [
     "ConfigSpace",
     "Configuration",
+    "EngineStats",
     "EvaluatedConfig",
+    "ExecutionEngine",
     "SearchResult",
     "cartesian",
     "cluster_by_metrics",
     "cluster_representatives",
+    "config_key",
     "dominates",
     "evaluate_all",
+    "resolve_workers",
     "full_exploration",
     "pareto_cluster_search",
     "pareto_front",

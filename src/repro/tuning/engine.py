@@ -1,0 +1,386 @@
+"""Shared evaluation cache and parallel execution engine (the tuner's core).
+
+The paper's contribution is avoiding wasted measurement; the engine
+applies the same discipline to the harness itself.  Every search
+strategy used to walk the configuration space independently: a
+multi-strategy experiment evaluated the static metrics once *per
+strategy* and re-simulated configurations another strategy had already
+timed.  The :class:`ExecutionEngine` owns the space instead:
+
+* static metrics are computed exactly once per configuration and
+  memoized (``Configuration`` is immutable and hashable — the cache is
+  a plain dict keyed by the configuration itself);
+* ``simulate(config)`` results are memoized the same way, so no
+  configuration is ever measured twice, no matter how many strategies
+  ask for it;
+* cache misses can be fanned out across a ``concurrent.futures``
+  process pool (``workers > 1``) with deterministic result ordering —
+  results are keyed by configuration and re-assembled in request
+  order, so ``workers=4`` is bit-identical to ``workers=1``;
+* an opt-in JSON checkpoint persists measured times on disk, so an
+  interrupted sweep resumes without re-simulating anything;
+* telemetry (evaluated counts, cache hits, wall time per stage) is
+  recorded on :class:`EngineStats` and surfaced by the harness report.
+
+The search strategies in :mod:`repro.tuning.search` accept an engine;
+their original ``(configs, evaluate, simulate)`` signatures remain as
+thin wrappers that build a private single-worker engine.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.occupancy import LaunchError
+from repro.metrics.model import MetricReport
+from repro.tuning.space import Configuration
+
+Evaluate = Callable[[Configuration], MetricReport]
+Simulate = Callable[[Configuration], float]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclasses.dataclass
+class EvaluatedConfig:
+    """One configuration's static metrics and (optional) measured time."""
+
+    config: Configuration
+    metrics: Optional[MetricReport] = None
+    seconds: Optional[float] = None
+    invalid_reason: Optional[str] = None
+
+    @property
+    def is_valid(self) -> bool:
+        return self.invalid_reason is None
+
+
+def config_key(config: Configuration) -> str:
+    """Stable string key for a configuration (the checkpoint format).
+
+    Sorted-key JSON of the parameter mapping; values outside the JSON
+    types fall back to ``repr``.  In memory the engine keys caches by
+    the (hashable) configuration itself — this key only exists so
+    checkpoints survive process boundaries.
+    """
+    return json.dumps(dict(config), sort_keys=True, default=repr)
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Telemetry for one engine: counts, cache hits, per-stage wall time."""
+
+    workers: int = 1
+    static_evaluations: int = 0      # underlying evaluate() calls
+    static_cache_hits: int = 0       # evaluate requests served from memory
+    simulations: int = 0             # underlying simulate() calls
+    simulation_cache_hits: int = 0   # simulate requests served from memory
+    checkpoint_hits: int = 0         # configurations restored from disk
+    evaluate_seconds: float = 0.0    # wall time in the static stage
+    simulate_seconds: float = 0.0    # wall time in the measurement stage
+    pool_batches: int = 0            # batches dispatched to the pool
+
+    @property
+    def cache_hits(self) -> int:
+        return self.static_cache_hits + self.simulation_cache_hits
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["cache_hits"] = self.cache_hits
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"workers={self.workers} evals={self.static_evaluations} "
+            f"sims={self.simulations} cache_hits={self.cache_hits} "
+            f"ckpt_hits={self.checkpoint_hits} "
+            f"eval_wall={self.evaluate_seconds:.3f}s "
+            f"sim_wall={self.simulate_seconds:.3f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  The simulate callable reaches workers through
+# the pool initializer (inherited directly under the default ``fork``
+# start method), so per-task payloads are just configurations.
+
+_WORKER_SIMULATE: Optional[Simulate] = None
+
+
+def _pool_initializer(simulate: Simulate) -> None:
+    global _WORKER_SIMULATE
+    _WORKER_SIMULATE = simulate
+
+
+def _pool_simulate(config: Configuration) -> float:
+    assert _WORKER_SIMULATE is not None, "pool worker not initialized"
+    return _WORKER_SIMULATE(config)
+
+
+class ExecutionEngine:
+    """Owns one configuration space's evaluation and measurement.
+
+    Parameters
+    ----------
+    evaluate:
+        ``config -> MetricReport``; may raise :class:`LaunchError` for
+        configurations that cannot launch (recorded, not propagated).
+    simulate:
+        ``config -> seconds``; the expensive measurement.
+    workers:
+        Process-pool width for simulation fan-out.  ``1`` (default)
+        runs everything in-process; ``None`` reads ``REPRO_WORKERS``
+        from the environment (default 1).
+    checkpoint_path:
+        Optional JSON file persisting measured times.  Loaded (if it
+        exists) on construction and rewritten atomically every
+        ``checkpoint_interval`` simulations and at the end of every
+        measurement batch, so an interrupt mid-batch loses at most
+        ``checkpoint_interval`` measurements.
+    checkpoint_interval:
+        How many new measurements may accumulate before the
+        checkpoint is rewritten mid-batch (default 16).
+    label:
+        Optional tag (usually the application name) stored in the
+        checkpoint and validated on resume, so a sweep cannot silently
+        resume from another application's times.
+    """
+
+    def __init__(
+        self,
+        evaluate: Evaluate,
+        simulate: Simulate,
+        workers: Optional[int] = 1,
+        checkpoint_path: Optional[str] = None,
+        label: Optional[str] = None,
+        checkpoint_interval: int = 16,
+    ) -> None:
+        self._evaluate = evaluate
+        self._simulate = simulate
+        self.workers = resolve_workers(workers)
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = max(1, int(checkpoint_interval))
+        self._unsaved_times = 0
+        self.label = label
+        self.stats = EngineStats(workers=self.workers)
+        self._static: Dict[Configuration, Tuple[Optional[MetricReport], Optional[str]]] = {}
+        self._seconds: Dict[Configuration, float] = {}
+        #: times loaded from disk, keyed by config_key, not yet claimed
+        self._checkpoint_times: Dict[str, float] = {}
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_broken = False
+        if checkpoint_path:
+            self._load_checkpoint()
+
+    @classmethod
+    def for_app(
+        cls,
+        app,
+        workers: Optional[int] = 1,
+        checkpoint_path: Optional[str] = None,
+    ) -> "ExecutionEngine":
+        """Engine around an :class:`~repro.apps.base.Application`."""
+        return cls(
+            app.evaluate,
+            app.simulate,
+            workers=workers,
+            checkpoint_path=checkpoint_path,
+            label=app.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    def close(self) -> None:
+        """Shut down the worker pool (caches and stats survive)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Static stage.
+
+    def evaluate_config(self, config: Configuration) -> EvaluatedConfig:
+        """One configuration through the static-metric cache."""
+        cached = self._static.get(config)
+        if cached is None:
+            try:
+                cached = (self._evaluate(config), None)
+            except LaunchError as error:
+                cached = (None, str(error))
+            self._static[config] = cached
+            self.stats.static_evaluations += 1
+        else:
+            self.stats.static_cache_hits += 1
+        metrics, reason = cached
+        return EvaluatedConfig(config=config, metrics=metrics, invalid_reason=reason)
+
+    def evaluate_all(self, configs: Sequence[Configuration]) -> List[EvaluatedConfig]:
+        """Static metrics for every configuration; invalids recorded, kept.
+
+        Each call returns fresh :class:`EvaluatedConfig` wrappers (so
+        strategies can attach measured times independently) backed by
+        the shared metric cache: the underlying ``evaluate`` runs at
+        most once per configuration over the engine's lifetime.
+        """
+        started = time.perf_counter()
+        entries = [self.evaluate_config(config) for config in configs]
+        self.stats.evaluate_seconds += time.perf_counter() - started
+        return entries
+
+    # ------------------------------------------------------------------
+    # Measurement stage.
+
+    def seconds_for(self, configs: Sequence[Configuration]) -> List[float]:
+        """Measured seconds for each configuration, in request order.
+
+        Cache misses are simulated (through the pool when ``workers >
+        1``); hits are returned from memory or the checkpoint.  The
+        returned list always aligns with ``configs``, so callers see
+        deterministic ordering regardless of worker count.
+        """
+        started = time.perf_counter()
+        missing: List[Configuration] = []
+        seen = set()
+        for config in configs:
+            if config in self._seconds:
+                self.stats.simulation_cache_hits += 1
+                continue
+            restored = self._checkpoint_times.pop(config_key(config), None)
+            if restored is not None:
+                self._seconds[config] = restored
+                self.stats.checkpoint_hits += 1
+                continue
+            if config not in seen:
+                seen.add(config)
+                missing.append(config)
+        if missing:
+            self._simulate_missing(missing)
+            self._save_checkpoint()
+        self.stats.simulate_seconds += time.perf_counter() - started
+        return [self._seconds[config] for config in configs]
+
+    def time_entries(self, entries: Sequence[EvaluatedConfig]) -> float:
+        """Fill ``entry.seconds`` for every entry; returns the summed time."""
+        seconds = self.seconds_for([entry.config for entry in entries])
+        total = 0.0
+        for entry, value in zip(entries, seconds):
+            entry.seconds = value
+            total += value
+        return total
+
+    def _simulate_missing(self, configs: List[Configuration]) -> None:
+        """Measure every config, recording (and checkpointing) as results
+        arrive — an interrupt mid-batch loses at most
+        ``checkpoint_interval`` measurements."""
+        remaining = configs
+        if self.workers > 1 and len(remaining) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                chunk = max(1, len(remaining) // (self.workers * 4))
+                self.stats.pool_batches += 1
+                try:
+                    results = pool.map(_pool_simulate, remaining, chunksize=chunk)
+                    for config, seconds in zip(remaining, results):
+                        self._record_time(config, seconds)
+                    return
+                except concurrent.futures.process.BrokenProcessPool:
+                    # A worker died (or the callable cannot cross the
+                    # process boundary on this platform); fall back to
+                    # in-process simulation for whatever is left.
+                    self._pool_broken = True
+                    self._pool = None
+                    remaining = [c for c in remaining if c not in self._seconds]
+        for config in remaining:
+            self._record_time(config, self._simulate(config))
+
+    def _record_time(self, config: Configuration, seconds: float) -> None:
+        self._seconds[config] = seconds
+        self.stats.simulations += 1
+        self._unsaved_times += 1
+        if self.checkpoint_path and self._unsaved_times >= self.checkpoint_interval:
+            self._save_checkpoint()
+
+    def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        if self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_initializer,
+                    initargs=(self._simulate,),
+                )
+            except (OSError, ValueError):
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Checkpointing.
+
+    def _load_checkpoint(self) -> None:
+        path = self.checkpoint_path
+        if not path or not os.path.exists(path):
+            return
+        with open(path) as handle:
+            data = json.load(handle)
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {path!r}: unsupported version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        stored_label = data.get("label")
+        if self.label and stored_label and stored_label != self.label:
+            raise ValueError(
+                f"checkpoint {path!r} belongs to {stored_label!r}, "
+                f"not {self.label!r}; refusing to resume from it"
+            )
+        times = data.get("times", {})
+        if not isinstance(times, dict):
+            raise ValueError(f"checkpoint {path!r}: malformed 'times' table")
+        self._checkpoint_times = {str(key): float(value) for key, value in times.items()}
+
+    def _save_checkpoint(self) -> None:
+        path = self.checkpoint_path
+        if not path:
+            return
+        times = dict(self._checkpoint_times)  # unclaimed entries survive
+        times.update({config_key(c): s for c, s in self._seconds.items()})
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "label": self.label,
+            "times": times,
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        self._unsaved_times = 0
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker count; ``None`` defers to ``REPRO_WORKERS``."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    return max(1, int(workers))

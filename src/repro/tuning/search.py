@@ -11,35 +11,42 @@ The strategies are decoupled from applications through two callables:
 
     evaluate(config) -> MetricReport      (static; cheap; may raise LaunchError)
     simulate(config) -> float seconds     (the expensive measurement)
+
+Every strategy runs on an :class:`~repro.tuning.engine.ExecutionEngine`
+which memoizes both callables, so running several strategies over the
+same space performs one static pass and never measures a configuration
+twice.  Pass ``engine=`` to share one engine across strategies (what
+``run_experiment`` does); without it each call builds a private
+single-worker engine, preserving the original free-function behavior.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import logging
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.arch.occupancy import LaunchError
-from repro.metrics.model import MetricReport
+from repro.tuning.engine import (
+    Evaluate,
+    EvaluatedConfig,
+    ExecutionEngine,
+    Simulate,
+)
 from repro.tuning.pareto import pareto_indices
 from repro.tuning.space import Configuration
 
-Evaluate = Callable[[Configuration], MetricReport]
-Simulate = Callable[[Configuration], float]
+__all__ = [
+    "EvaluatedConfig",
+    "SearchResult",
+    "evaluate_all",
+    "full_exploration",
+    "pareto_cluster_search",
+    "pareto_search",
+    "random_search",
+]
 
-
-@dataclasses.dataclass
-class EvaluatedConfig:
-    """One configuration's static metrics and (optional) measured time."""
-
-    config: Configuration
-    metrics: Optional[MetricReport] = None
-    seconds: Optional[float] = None
-    invalid_reason: Optional[str] = None
-
-    @property
-    def is_valid(self) -> bool:
-        return self.invalid_reason is None
+logger = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass
@@ -51,6 +58,10 @@ class SearchResult:
     timed: List[EvaluatedConfig]            # the subset actually measured
     best: EvaluatedConfig                   # fastest measured configuration
     measured_seconds: float                 # sum of measured kernel times
+    #: for sampling strategies: the caller-requested sample size, which
+    #: may exceed what the valid space could provide (see timed_count
+    #: for what was actually measured)
+    requested_sample_size: Optional[int] = None
 
     @property
     def space_size(self) -> int:
@@ -65,39 +76,49 @@ class SearchResult:
         return len(self.timed)
 
     @property
+    def sample_shortfall(self) -> int:
+        """How many requested samples the valid space could not supply."""
+        if self.requested_sample_size is None:
+            return 0
+        return max(0, self.requested_sample_size - self.timed_count)
+
+    @property
     def space_reduction(self) -> float:
-        """Fraction of the valid space the strategy avoided timing."""
+        """Fraction of the valid space the strategy avoided timing.
+
+        NaN when the space has no valid configuration at all — there
+        was nothing to prune, which is not the same as pruning nothing.
+        """
         valid = self.valid_count
         if valid == 0:
-            return 0.0
+            return float("nan")
         return 1.0 - self.timed_count / valid
+
+
+def _resolve_engine(
+    engine: Optional[ExecutionEngine],
+    evaluate: Optional[Evaluate],
+    simulate: Optional[Simulate],
+) -> ExecutionEngine:
+    if engine is not None:
+        return engine
+    if evaluate is None or simulate is None:
+        raise TypeError(
+            "search strategies need either an engine= or both "
+            "evaluate and simulate callables"
+        )
+    return ExecutionEngine(evaluate, simulate)
 
 
 def evaluate_all(
     configs: Sequence[Configuration],
-    evaluate: Evaluate,
+    evaluate: Optional[Evaluate] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[EvaluatedConfig]:
     """Static metrics for every configuration; invalids recorded, kept."""
-    evaluated = []
-    for config in configs:
-        entry = EvaluatedConfig(config=config)
-        try:
-            entry.metrics = evaluate(config)
-        except LaunchError as error:
-            entry.invalid_reason = str(error)
-        evaluated.append(entry)
-    return evaluated
-
-
-def _time_subset(
-    entries: List[EvaluatedConfig],
-    simulate: Simulate,
-) -> float:
-    total = 0.0
-    for entry in entries:
-        entry.seconds = simulate(entry.config)
-        total += entry.seconds
-    return total
+    if engine is None:
+        engine = ExecutionEngine(evaluate, lambda config: 0.0)
+    return engine.evaluate_all(configs)
 
 
 def _best(timed: List[EvaluatedConfig], strategy: str) -> EvaluatedConfig:
@@ -108,13 +129,15 @@ def _best(timed: List[EvaluatedConfig], strategy: str) -> EvaluatedConfig:
 
 def full_exploration(
     configs: Sequence[Configuration],
-    evaluate: Evaluate,
-    simulate: Simulate,
+    evaluate: Optional[Evaluate] = None,
+    simulate: Optional[Simulate] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SearchResult:
     """Measure every valid configuration."""
-    evaluated = evaluate_all(configs, evaluate)
+    engine = _resolve_engine(engine, evaluate, simulate)
+    evaluated = engine.evaluate_all(configs)
     timed = [e for e in evaluated if e.is_valid]
-    total = _time_subset(timed, simulate)
+    total = engine.time_entries(timed)
     return SearchResult(
         strategy="exhaustive",
         evaluated=evaluated,
@@ -126,9 +149,10 @@ def full_exploration(
 
 def pareto_search(
     configs: Sequence[Configuration],
-    evaluate: Evaluate,
-    simulate: Simulate,
+    evaluate: Optional[Evaluate] = None,
+    simulate: Optional[Simulate] = None,
     screen_bandwidth_bound: bool = False,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SearchResult:
     """Measure only the Pareto-optimal subset of the metric plot.
 
@@ -137,7 +161,8 @@ def pareto_search(
     curve ("One should screen away such points prior to defining the
     curve").
     """
-    evaluated = evaluate_all(configs, evaluate)
+    engine = _resolve_engine(engine, evaluate, simulate)
+    evaluated = engine.evaluate_all(configs)
     candidates = [e for e in evaluated if e.is_valid]
     pool = candidates
     if screen_bandwidth_bound:
@@ -149,7 +174,7 @@ def pareto_search(
             pool = unscreened
     points = [(e.metrics.efficiency, e.metrics.utilization) for e in pool]
     selected = [pool[i] for i in pareto_indices(points)]
-    total = _time_subset(selected, simulate)
+    total = engine.time_entries(selected)
     return SearchResult(
         strategy="pareto",
         evaluated=evaluated,
@@ -161,10 +186,11 @@ def pareto_search(
 
 def pareto_cluster_search(
     configs: Sequence[Configuration],
-    evaluate: Evaluate,
-    simulate: Simulate,
+    evaluate: Optional[Evaluate] = None,
+    simulate: Optional[Simulate] = None,
     relative_tolerance: float = 1e-9,
     seed: int = 0,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SearchResult:
     """Pareto pruning plus cluster sampling (Section 5.2's refinement).
 
@@ -176,14 +202,15 @@ def pareto_cluster_search(
     """
     from repro.tuning.cluster import cluster_by_metrics
 
-    evaluated = evaluate_all(configs, evaluate)
+    engine = _resolve_engine(engine, evaluate, simulate)
+    evaluated = engine.evaluate_all(configs)
     candidates = [e for e in evaluated if e.is_valid]
     points = [(e.metrics.efficiency, e.metrics.utilization) for e in candidates]
     selected = [candidates[i] for i in pareto_indices(points)]
     clusters = cluster_by_metrics(selected, relative_tolerance)
     rng = random.Random(seed)
     representatives = [rng.choice(cluster) for cluster in clusters]
-    total = _time_subset(representatives, simulate)
+    total = engine.time_entries(representatives)
     return SearchResult(
         strategy="pareto+cluster",
         evaluated=evaluated,
@@ -195,21 +222,38 @@ def pareto_cluster_search(
 
 def random_search(
     configs: Sequence[Configuration],
-    evaluate: Evaluate,
-    simulate: Simulate,
-    sample_size: int,
+    evaluate: Optional[Evaluate] = None,
+    simulate: Optional[Simulate] = None,
+    sample_size: int = 0,
     seed: int = 0,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SearchResult:
-    """Measure a uniform random sample of the valid space."""
-    evaluated = evaluate_all(configs, evaluate)
+    """Measure a uniform random sample of the valid space.
+
+    When ``sample_size`` exceeds the valid space the sample is clamped
+    — loudly: the shortfall is logged and the originally requested size
+    is recorded on the result (``requested_sample_size``), so
+    Table 4-style comparisons against another strategy's budget are not
+    silently skewed.
+    """
+    engine = _resolve_engine(engine, evaluate, simulate)
+    evaluated = engine.evaluate_all(configs)
     valid = [e for e in evaluated if e.is_valid]
+    actual_size = min(sample_size, len(valid))
+    if actual_size < sample_size:
+        logger.warning(
+            "random_search: sample_size %d exceeds the valid space (%d "
+            "configurations); timing all %d",
+            sample_size, len(valid), actual_size,
+        )
     rng = random.Random(seed)
-    sample = rng.sample(valid, min(sample_size, len(valid)))
-    total = _time_subset(sample, simulate)
+    sample = rng.sample(valid, actual_size)
+    total = engine.time_entries(sample)
     return SearchResult(
         strategy="random",
         evaluated=evaluated,
         timed=sample,
         best=_best(sample, "random"),
         measured_seconds=total,
+        requested_sample_size=sample_size,
     )

@@ -2,8 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+#: test directories cheap enough for the CI smoke job (synthetic
+#: spaces, no full-application sweeps) — everything inside is
+#: automatically tagged with the ``fast`` marker
+_FAST_DIRS = (
+    os.path.join("tests", "tuning"),
+    os.path.join("tests", "ptx"),
+    os.path.join("tests", "arch"),
+    os.path.join("tests", "ir"),
+)
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = str(item.fspath)
+        if any(directory in path for directory in _FAST_DIRS):
+            item.add_marker(pytest.mark.fast)
 
 from repro.ir import DataType, Dim3, KernelBuilder
 from repro.ir.builder import CTAID_X, CTAID_Y, TID_X, TID_Y

@@ -1,0 +1,130 @@
+"""run_experiment through the shared engine: the no-wasted-work contract.
+
+The acceptance criterion for the engine refactor: a multi-strategy
+experiment performs exactly one static-metric pass and zero duplicate
+simulations, asserted with spy callables wrapped around a real
+application.
+"""
+
+import math
+
+import pytest
+
+from repro.apps import CoulombicPotential
+from repro.arch import LaunchError
+from repro.harness import format_percent, run_experiment
+from repro.harness.tables import format_table
+from repro.tuning import Configuration, EvaluatedConfig, SearchResult
+
+
+class SpiedApp:
+    """Wraps an Application, counting evaluate/simulate calls."""
+
+    def __init__(self, app):
+        self.app = app
+        self.evaluate_calls = []
+        self.simulate_calls = []
+        # run_experiment reads these through the app protocol
+        self.name = app.name
+        self.space = app.space
+        self.default_configuration = app.default_configuration
+        self.cpu_time_model_seconds = app.cpu_time_model_seconds
+
+    def evaluate(self, config):
+        self.evaluate_calls.append(config)
+        return self.app.evaluate(config)
+
+    def simulate(self, config):
+        self.simulate_calls.append(config)
+        return self.app.simulate(config)
+
+
+@pytest.fixture(scope="module")
+def spied_experiment():
+    spy = SpiedApp(CoulombicPotential())
+    experiment = run_experiment(spy, include_random=True, random_seed=7,
+                                workers=1)
+    return spy, experiment
+
+
+class TestNoWastedWork:
+    def test_one_static_pass(self, spied_experiment):
+        spy, experiment = spied_experiment
+        configs = spy.space().configurations()
+        # exactly once per configuration, across three strategies
+        assert len(spy.evaluate_calls) == len(configs)
+        assert len(set(spy.evaluate_calls)) == len(configs)
+
+    def test_zero_duplicate_simulations(self, spied_experiment):
+        spy, experiment = spied_experiment
+        assert len(spy.simulate_calls) == len(set(spy.simulate_calls))
+        # pareto and random are served entirely from the exhaustive pass
+        assert len(spy.simulate_calls) == experiment.exhaustive.valid_count
+
+    def test_strategies_still_complete(self, spied_experiment):
+        _, experiment = spied_experiment
+        assert experiment.exhaustive.strategy == "exhaustive"
+        assert experiment.pareto.strategy == "pareto"
+        assert experiment.random.strategy == "random"
+        assert experiment.optimum_on_curve
+
+    def test_stats_surface_the_sharing(self, spied_experiment):
+        _, experiment = spied_experiment
+        stats = experiment.engine_stats
+        assert stats is not None
+        assert stats.simulations == experiment.exhaustive.valid_count
+        assert stats.simulation_cache_hits >= (
+            experiment.pareto.timed_count + experiment.random.timed_count
+        )
+        assert stats.static_cache_hits >= 2 * experiment.exhaustive.space_size
+
+    def test_random_sample_size_recorded(self, spied_experiment):
+        _, experiment = spied_experiment
+        assert (experiment.random.requested_sample_size
+                == experiment.pareto.timed_count)
+        assert experiment.random.sample_shortfall == 0
+
+
+# ----------------------------------------------------------------------
+# Satellite bug guards (synthetic AppExperiments; no simulation).
+
+
+def _entry(seconds, **params):
+    return EvaluatedConfig(config=Configuration(params), seconds=seconds)
+
+
+def _result(strategy, timed):
+    return SearchResult(strategy=strategy, evaluated=list(timed),
+                        timed=list(timed), best=min(timed, key=lambda e: e.seconds),
+                        measured_seconds=sum(e.seconds for e in timed))
+
+
+class _DefaultInvalidApp:
+    """default_configuration() is outside the timed set and cannot launch."""
+
+    name = "stub"
+
+    def default_configuration(self):
+        return Configuration({"tile": 99})
+
+    def simulate(self, config):
+        raise LaunchError("stub: default configuration does not fit")
+
+
+class TestHandOptimizedGuard:
+    def test_invalid_default_yields_nan_not_crash(self):
+        from repro.harness import AppExperiment
+
+        timed = [_entry(2.0, tile=8), _entry(1.0, tile=16)]
+        experiment = AppExperiment(
+            app=_DefaultInvalidApp(),
+            exhaustive=_result("exhaustive", timed),
+            pareto=_result("pareto", timed[1:]),
+        )
+        assert math.isnan(experiment.hand_optimized_over_best)
+
+    def test_nan_renders_as_na(self):
+        assert format_percent(float("nan")).strip() == "n/a"
+        assert format_percent(17.25).strip() == "17.2%"
+        table = format_table([{"x": float("nan"), "y": 1.5}], ["x", "y"])
+        assert "n/a" in table and "nan" not in table

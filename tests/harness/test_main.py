@@ -19,6 +19,17 @@ class TestParseArgs:
         assert options.apps == "cp,matmul"
         assert options.no_random
 
+    def test_engine_flags_default_off(self):
+        options = parse_args(["prog"])
+        assert options.workers is None
+        assert options.resume is None
+
+    def test_engine_flags(self):
+        options = parse_args(["prog", "--workers", "4",
+                              "--resume", "ckpt_dir"])
+        assert options.workers == 4
+        assert options.resume == "ckpt_dir"
+
 
 class TestMain:
     def test_subset_run_writes_report(self, tmp_path, capsys):
@@ -32,3 +43,24 @@ class TestMain:
     def test_unknown_app_rejected(self, tmp_path):
         code = main(["prog", str(tmp_path / "x.md"), "--apps", "nonesuch"])
         assert code == 2
+
+    def test_resume_writes_then_reuses_checkpoint(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        resume = tmp_path / "ckpt"
+        args = ["prog", str(output), "--apps", "cp", "--no-random",
+                "--resume", str(resume)]
+        assert main(args) == 0
+        checkpoint = resume / "cp.json"
+        assert checkpoint.exists()
+        # measured numbers are deterministic; only the telemetry
+        # section carries run-dependent wall times
+        def measured(text):
+            return text.split("## Search engine telemetry")[0]
+
+        first_report = output.read_text()
+        capsys.readouterr()
+        # second run resumes: no new simulations, identical measurements
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "sims=0" in out
+        assert measured(output.read_text()) == measured(first_report)
