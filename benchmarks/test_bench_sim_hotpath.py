@@ -1,0 +1,121 @@
+"""Simulator hot-path benchmark: optimized pipeline versus reference.
+
+Times the full matmul configuration space through two pipelines:
+
+* **reference** — the straightforward path: per-configuration kernel
+  build, compile pass, flat O(dynamic-instructions) trace build, and
+  the simple heap-driven replay of :mod:`repro.sim.reference` (the
+  shape of the original implementation);
+* **optimized** — ``Application.simulate``: loop-compressed segment
+  walking, the rewritten SM event loop, and the content-addressed
+  compile/trace/SM cache.
+
+Both pipelines must produce bit-identical per-configuration seconds
+(the replays are differentially tested; this re-checks end to end),
+so the comparison is pure wall clock.
+
+The *speedup ratio* is gated against ``baselines/sim_hotpath.json``:
+because both pipelines run in the same process on the same machine,
+the ratio is largely machine-independent, making it a meaningful CI
+regression gate where absolute seconds are not.  A run whose speedup
+falls below ``allowed_fraction`` of the committed baseline fails.
+
+Results are also written to ``BENCH_sim_hotpath.json`` at the repo
+root for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from repro.apps import MatMul
+from repro.cubin.resources import cubin_info
+from repro.sim.reference import build_trace_reference, simulate_sm_reference
+
+HERE = os.path.dirname(__file__)
+BASELINE_PATH = os.path.join(HERE, "baselines", "sim_hotpath.json")
+RESULT_PATH = os.path.join(HERE, os.pardir, "BENCH_sim_hotpath.json")
+
+
+def _reference_sweep(app):
+    """The pre-optimization pipeline, one configuration at a time."""
+    times = {}
+    for config in app.space():
+        try:
+            kernel = app.build_kernel(config)
+            resources = cubin_info(kernel)
+            sim_config = app.sim_config(config)
+            occupancy = resources.occupancy(sim_config.device)
+            trace = build_trace_reference(kernel, sim_config)
+            blocks_per_sm_total = math.ceil(
+                kernel.num_blocks / sim_config.device.num_sms
+            )
+            blocks_to_sample = min(
+                blocks_per_sm_total,
+                occupancy.blocks_per_sm * sim_config.simulated_waves,
+            )
+            sm = simulate_sm_reference(
+                trace,
+                warps_per_block=occupancy.warps_per_block,
+                blocks_resident=occupancy.blocks_per_sm,
+                total_blocks=blocks_to_sample,
+                config=sim_config,
+            )
+            cycles = sm.cycles_per_block * blocks_per_sm_total
+            times[config] = sim_config.device.cycles_to_seconds(cycles)
+        except Exception:
+            times[config] = None
+    return times
+
+
+def _optimized_sweep(app):
+    times = {}
+    for config in app.space():
+        try:
+            times[config] = app.simulate(config)
+        except Exception:
+            times[config] = None
+    return times
+
+
+def test_matmul_full_space_speedup_vs_baseline():
+    started = time.perf_counter()
+    reference_app = MatMul()
+    reference_times = _reference_sweep(reference_app)
+    reference_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    optimized_app = MatMul()
+    optimized_times = _optimized_sweep(optimized_app)
+    optimized_seconds = time.perf_counter() - started
+
+    # Identical semantics, end to end.
+    assert optimized_times == reference_times
+
+    speedup = reference_seconds / optimized_seconds
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    expected = baseline["matmul_full_space"]["speedup_vs_reference"]
+    allowed_fraction = baseline["allowed_fraction"]
+
+    payload = {
+        "benchmark": "sim_hotpath",
+        "space": "matmul full (96 configurations)",
+        "reference_sweep_seconds": round(reference_seconds, 3),
+        "optimized_sweep_seconds": round(optimized_seconds, 3),
+        "speedup_vs_reference": round(speedup, 2),
+        "baseline_speedup": expected,
+        "gate": f"speedup >= {allowed_fraction} * baseline",
+        "fingerprint_cache": optimized_app.sim_cache.counters(),
+    }
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    assert speedup >= allowed_fraction * expected, (
+        f"simulator hot path regressed: {speedup:.2f}x vs "
+        f"baseline {expected}x (allowed fraction {allowed_fraction})"
+    )

@@ -18,10 +18,12 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.cubin.resources import ResourceUsage
 from repro.ir.kernel import Kernel
 from repro.metrics.model import MetricReport, evaluate_kernel
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
-from repro.sim.gpu import SimulationResult, simulate_kernel, simulate_seconds
+from repro.sim.fingerprint import SimulationCache
+from repro.sim.gpu import SimulationResult, simulate_kernel
 from repro.tuning.space import ConfigSpace, Configuration
 
 Arrays = Dict[str, np.ndarray]
@@ -48,6 +50,7 @@ class Application(abc.ABC):
         self._metric_cache: Dict[Configuration, MetricReport] = {}
         self._kernel_cache: Dict[Configuration, Kernel] = {}
         self._time_cache: Dict[Configuration, float] = {}
+        self._sim_cache = SimulationCache()
 
     # ------------------------------------------------------------------
     # Space and kernel generation.
@@ -80,16 +83,51 @@ class Application(abc.ABC):
             self._metric_cache[config] = evaluate_kernel(self.kernel(config))
         return self._metric_cache[config]
 
+    @property
+    def sim_cache(self) -> SimulationCache:
+        """Content-addressed simulator cache shared across this app's space."""
+        return self._sim_cache
+
+    def _resources_for(self, config: Configuration) -> Optional[ResourceUsage]:
+        """Compile results the static stage already produced, if any."""
+        report = self._metric_cache.get(config)
+        return report.resources if report is not None else None
+
+    def _total_seconds(
+        self, config: Configuration, result: SimulationResult
+    ) -> float:
+        """Whole-workload seconds from one launch's simulation.
+
+        The default workload is a single launch; applications that run
+        the kernel repeatedly (MRI-FHD's invocation split) override
+        this to aggregate.
+        """
+        del config
+        return result.seconds
+
     def simulate(self, config: Configuration) -> float:
         """Simulated execution time in seconds for the full workload."""
         if config not in self._time_cache:
-            self._time_cache[config] = simulate_seconds(
-                self.kernel(config), self.sim_config(config)
-            )
+            self.simulate_detailed(config)
         return self._time_cache[config]
 
     def simulate_detailed(self, config: Configuration) -> SimulationResult:
-        return simulate_kernel(self.kernel(config), self.sim_config(config))
+        """Full simulation evidence for one launch of one configuration.
+
+        Shares every cache ``simulate`` uses: compile results are
+        threaded in from the static stage, the fingerprint cache reuses
+        traces and SM replays across configurations, and the scalar
+        time derived from the result lands in ``_time_cache`` so a
+        later ``simulate`` call does no work at all.
+        """
+        result = simulate_kernel(
+            self.kernel(config),
+            self.sim_config(config),
+            resources=self._resources_for(config),
+            cache=self._sim_cache,
+        )
+        self._time_cache.setdefault(config, self._total_seconds(config, result))
+        return result
 
     def search_engine(self, workers: Optional[int] = 1,
                       checkpoint_path: Optional[str] = None):
@@ -169,6 +207,7 @@ class Application(abc.ABC):
         self._metric_cache.clear()
         self._kernel_cache.clear()
         self._time_cache.clear()
+        self._sim_cache.clear()
 
     def __getstate__(self) -> dict:
         # Keep pickles (process-pool workers, checkpoint tooling) small
@@ -177,4 +216,5 @@ class Application(abc.ABC):
         state["_metric_cache"] = {}
         state["_kernel_cache"] = {}
         state["_time_cache"] = {}
+        state["_sim_cache"] = SimulationCache()
         return state

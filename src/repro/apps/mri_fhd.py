@@ -32,7 +32,6 @@ from repro.ir.kernel import Dim3, Kernel
 from repro.ir.types import DataType
 from repro.metrics.model import MetricReport, evaluate_kernel
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
-from repro.sim.gpu import simulate_kernel
 from repro.transforms.pipeline import standard_cleanup
 from repro.transforms.unroll import unroll
 from repro.tuning.space import ConfigSpace, Configuration
@@ -186,20 +185,15 @@ class MriFhd(Application):
             DEFAULT_SIM_CONFIG, constant_conflict_ways=ways
         )
 
-    def simulate(self, config: Configuration) -> float:
+    def _total_seconds(self, config: Configuration, result) -> float:
         """Whole-computation time: per-launch simulation times the
         invocation count, plus launch overhead.  (``simulate_detailed``
         still reports a single launch.)"""
-        if config not in self._time_cache:
-            per_launch = simulate_kernel(
-                self.kernel(config), self.sim_config(config)
-            ).seconds
-            invocations = config["invocations"]
-            self._time_cache[config] = (
-                per_launch * invocations
-                + LAUNCH_OVERHEAD_SECONDS * invocations
-            )
-        return self._time_cache[config]
+        invocations = config["invocations"]
+        return (
+            result.seconds * invocations
+            + LAUNCH_OVERHEAD_SECONDS * invocations
+        )
 
     def run_config(self, config, arrays, scalars=None, engine="scalar"):
         """Execute every invocation so all voxels are covered."""

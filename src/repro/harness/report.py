@@ -16,6 +16,7 @@ from repro.harness.figures import (
 from repro.harness.tables import (
     engine_rows,
     format_table,
+    simulator_rows,
     table3_rows,
     table4_rows,
 )
@@ -159,6 +160,23 @@ def render_report(
             ["application", "workers", "static_evals", "simulations",
              "cache_hits", "checkpoint_hits", "evaluate_wall_s",
              "simulate_wall_s"],
+        ))
+        write("\n```\n\n")
+
+    # ---------------------------------------------- Simulator telemetry
+    sim_telemetry = simulator_rows(experiments)
+    if sim_telemetry:
+        write("## Simulator cache telemetry\n\n")
+        write("Content-addressed sharing inside the simulator (see\n")
+        write("docs/simulator.md): hits are compile passes, warp traces and\n")
+        write("SM replays reused across configurations whose post-transform\n")
+        write("kernels are identical; wave/event counts are the replay work\n")
+        write("actually performed.\n\n")
+        write("```\n")
+        write(format_table(
+            sim_telemetry,
+            ["application", "resource_hits", "trace_hits", "sm_hits",
+             "waves_simulated", "waves_extrapolated", "events_replayed"],
         ))
         write("\n```\n\n")
 

@@ -76,6 +76,31 @@ def engine_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
     return rows
 
 
+def simulator_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Simulator-cache telemetry per application.
+
+    Fingerprint hits are compile passes / warp traces / SM replays
+    reused across *different* configurations whose post-transform
+    kernels are identical (see repro.sim.fingerprint); wave and event
+    counts measure the replay work actually performed.
+    """
+    rows = []
+    for experiment in experiments:
+        stats = experiment.engine_stats
+        if stats is None or not hasattr(stats, "fingerprint_hits"):
+            continue
+        rows.append({
+            "application": experiment.name,
+            "resource_hits": stats.fingerprint_resource_hits,
+            "trace_hits": stats.fingerprint_trace_hits,
+            "sm_hits": stats.fingerprint_sm_hits,
+            "waves_simulated": stats.waves_simulated,
+            "waves_extrapolated": stats.waves_extrapolated,
+            "events_replayed": stats.events_replayed,
+        })
+    return rows
+
+
 def format_table(rows: List[Dict], columns: Sequence[str]) -> str:
     """Plain-text table rendering for reports and bench output."""
     if not rows:

@@ -64,6 +64,15 @@ class SimConfig:
     # steady-state throughput to the whole grid.
     simulated_waves: int = 2
 
+    # Relative tolerance for steady-state wave convergence: when the
+    # cycles-per-block of two successive waves agree within this
+    # fraction, the simulator stops refilling block slots and
+    # extrapolates the remaining blocks at the converged rate.  0.0
+    # (the default) disables extrapolation — exact mode, used for all
+    # paper figures.  Only kicks in when more than two waves are
+    # simulated (``simulated_waves`` caps sampling first).
+    wave_convergence_rtol: float = 0.0
+
     def __post_init__(self) -> None:
         if self.constant_conflict_ways < 1:
             raise ValueError("constant_conflict_ways must be >= 1")
@@ -71,6 +80,8 @@ class SimConfig:
             raise ValueError("shared_bank_conflict_ways must be >= 1")
         if self.simulated_waves < 1:
             raise ValueError("simulated_waves must be >= 1")
+        if self.wave_convergence_rtol < 0.0:
+            raise ValueError("wave_convergence_rtol must be >= 0")
 
     @property
     def global_latency_cycles(self) -> int:

@@ -1,0 +1,286 @@
+"""Content-addressed caching for the timing simulator.
+
+Configuration spaces routinely contain distinct configurations whose
+*post-transform* kernels are identical where the simulator is
+concerned: MRI-FHD's seven invocation splits share one per-launch
+kernel body, and SAD's search-geometry parameters leave many code
+shapes untouched.  The engine already memoizes per-configuration, but
+that cannot see across configurations.
+
+:func:`kernel_fingerprint` hashes everything the compile pipeline and
+the trace builder actually consume — the structured body with
+registers renamed canonically, the launch *block* geometry, the
+declared arrays, the parameter signature, and the simulator cost
+model — and deliberately excludes the kernel name and the grid
+dimensions.  Grid size only enters the timing estimate through
+``blocks_per_sm_total``, which :func:`repro.sim.gpu.simulate_kernel`
+recomputes per call, so two kernels with equal fingerprints yield
+byte-identical resources, traces, and (for equal block samples)
+SM results.
+
+:class:`SimulationCache` is the fingerprint-keyed store threaded
+through :func:`repro.sim.gpu.simulate_kernel`; one instance per
+application shares work across its whole configuration space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.ir.instructions import Instruction, MemRef
+from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.values import (
+    Immediate,
+    Param,
+    SpecialRegister,
+    VirtualRegister,
+)
+from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.cubin.resources import ResourceUsage
+    from repro.sim.sm import SMResult
+    from repro.sim.trace import WarpTrace
+
+
+class _Canonicalizer:
+    """Serializes a kernel into a stream of unambiguous tokens.
+
+    Virtual registers are renamed by first occurrence, parameters and
+    arrays are referred to by position, so two kernels that differ only
+    in naming (or in grid size) produce the same stream.
+    """
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.tokens: List[str] = []
+        self._regs: Dict[VirtualRegister, int] = {}
+        self._params = {p: i for i, p in enumerate(kernel.params)}
+        self._shared = {a: i for i, a in enumerate(kernel.shared_arrays)}
+        self._local = {a: i for i, a in enumerate(kernel.local_arrays)}
+
+    # -- operand encoding ------------------------------------------------
+
+    def _reg(self, reg: VirtualRegister) -> str:
+        slot = self._regs.get(reg)
+        if slot is None:
+            slot = self._regs[reg] = len(self._regs)
+        return f"r{slot}"
+
+    def _value(self, value) -> str:
+        if isinstance(value, VirtualRegister):
+            return self._reg(value)
+        if isinstance(value, Immediate):
+            return f"i:{value.value!r}:{value.dtype.value}"
+        if isinstance(value, SpecialRegister):
+            return f"s:{value.value}"
+        if isinstance(value, Param):
+            return f"p:{self._params[value]}"
+        raise TypeError(f"unserializable operand {value!r}")
+
+    def _base(self, base) -> str:
+        index = self._params.get(base)
+        if index is not None:
+            return f"p:{index}"
+        index = self._shared.get(base)
+        if index is not None:
+            return f"sh:{index}"
+        return f"lo:{self._local[base]}"
+
+    def _mem(self, mem: Optional[MemRef]) -> str:
+        if mem is None:
+            return ""
+        return "@".join(
+            (
+                self._base(mem.base),
+                self._value(mem.index),
+                str(mem.offset),
+                mem.space.value,
+                mem.dtype.value,
+            )
+        )
+
+    # -- statement encoding ----------------------------------------------
+
+    def _instruction(self, instr: Instruction) -> None:
+        self.tokens.append(
+            "|".join(
+                (
+                    "I",
+                    instr.opcode.value,
+                    instr.cmp.value if instr.cmp is not None else "",
+                    self._reg(instr.dest) if instr.dest is not None else "",
+                    ",".join(self._value(s) for s in instr.srcs),
+                    self._mem(instr.mem),
+                    "c" if instr.coalesced else "u",
+                )
+            )
+        )
+
+    def body(self, statements: List[Statement]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Instruction):
+                self._instruction(stmt)
+            elif isinstance(stmt, ForLoop):
+                trips = "?" if stmt.trip_count is None else str(stmt.trip_count)
+                self.tokens.append(
+                    "|".join(
+                        (
+                            "F",
+                            trips,
+                            self._reg(stmt.counter),
+                            self._value(stmt.start),
+                            self._value(stmt.stop),
+                            self._value(stmt.step),
+                        )
+                    )
+                )
+                self.body(stmt.body)
+                self.tokens.append("EndF")
+            elif isinstance(stmt, If):
+                self.tokens.append(
+                    f"C|{self._value(stmt.cond)}|{stmt.taken_fraction!r}"
+                )
+                self.body(stmt.then_body)
+                self.tokens.append("Else")
+                self.body(stmt.else_body)
+                self.tokens.append("EndC")
+            else:
+                raise TypeError(f"unserializable statement {stmt!r}")
+
+
+def kernel_fingerprint(
+    kernel: Kernel, config: SimConfig = DEFAULT_SIM_CONFIG
+) -> str:
+    """Content hash of everything the simulation pipeline consumes.
+
+    Two kernels with equal fingerprints are guaranteed identical
+    resource usage, warp traces, and per-sample SM behaviour under
+    ``config``.  The kernel *name* and the *grid* dimensions are
+    deliberately excluded (see module docstring).
+    """
+    canon = _Canonicalizer(kernel)
+    header = [
+        f"blk|{kernel.block_dim.x}|{kernel.block_dim.y}|{kernel.block_dim.z}",
+    ]
+    header.extend(
+        f"P|{p.dtype.value}|{int(p.is_pointer)}|{p.space.value}"
+        for p in kernel.params
+    )
+    header.extend(
+        f"S|{a.dtype.value}|{'x'.join(str(d) for d in a.shape)}"
+        for a in kernel.shared_arrays
+    )
+    header.extend(
+        f"L|{a.dtype.value}|{a.length}" for a in kernel.local_arrays
+    )
+    header.append(f"cfg|{config!r}")
+    canon.tokens.extend(header)
+    canon.body(kernel.body)
+    digest = hashlib.sha256("\n".join(canon.tokens).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class SimulationCache:
+    """Fingerprint-keyed store for compile and simulation artifacts.
+
+    One instance is shared across every configuration of an
+    application (see :attr:`repro.apps.base.Application.sim_cache`):
+
+    * ``resources`` — the static compile pass (register allocation,
+      shared-memory accounting), keyed by fingerprint;
+    * ``traces`` — loop-compressed warp traces, keyed by fingerprint;
+    * ``sm`` — :class:`~repro.sim.sm.SMResult`, keyed by
+      ``(fingerprint, blocks_sampled)`` because the sampled block
+      count is the only grid-derived input of the SM replay.  The
+      caller rescales cycles by its own ``blocks_per_sm_total``.
+
+    Hit counters and replay telemetry (waves simulated/extrapolated,
+    events replayed — accumulated on *misses* only, so they count real
+    work) feed :class:`repro.tuning.engine.EngineStats`.
+    """
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, "ResourceUsage"] = {}
+        self._traces: Dict[str, "WarpTrace"] = {}
+        self._sm: Dict[Tuple[str, int], "SMResult"] = {}
+        self.resource_hits = 0
+        self.trace_hits = 0
+        self.sm_hits = 0
+        self.waves_simulated = 0
+        self.waves_extrapolated = 0.0
+        self.events_replayed = 0
+
+    # -- resources -------------------------------------------------------
+
+    def lookup_resources(self, fingerprint: str) -> Optional["ResourceUsage"]:
+        found = self._resources.get(fingerprint)
+        if found is not None:
+            self.resource_hits += 1
+        return found
+
+    def store_resources(
+        self, fingerprint: str, resources: "ResourceUsage"
+    ) -> None:
+        self._resources[fingerprint] = resources
+
+    # -- traces ----------------------------------------------------------
+
+    def lookup_trace(self, fingerprint: str) -> Optional["WarpTrace"]:
+        found = self._traces.get(fingerprint)
+        if found is not None:
+            self.trace_hits += 1
+        return found
+
+    def store_trace(self, fingerprint: str, trace: "WarpTrace") -> None:
+        self._traces[fingerprint] = trace
+
+    # -- SM results ------------------------------------------------------
+
+    def lookup_sm(
+        self, fingerprint: str, blocks_sampled: int
+    ) -> Optional["SMResult"]:
+        found = self._sm.get((fingerprint, blocks_sampled))
+        if found is not None:
+            self.sm_hits += 1
+        return found
+
+    def store_sm(
+        self, fingerprint: str, blocks_sampled: int, result: "SMResult"
+    ) -> None:
+        self._sm[(fingerprint, blocks_sampled)] = result
+        self.waves_simulated += result.waves_simulated
+        self.waves_extrapolated += result.waves_extrapolated
+        self.events_replayed += result.events_replayed
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.resource_hits + self.trace_hits + self.sm_hits
+
+    def counters(self) -> Dict[str, float]:
+        """Telemetry snapshot (the EngineStats / report payload)."""
+        return {
+            "fingerprint_resource_hits": self.resource_hits,
+            "fingerprint_trace_hits": self.trace_hits,
+            "fingerprint_sm_hits": self.sm_hits,
+            "waves_simulated": self.waves_simulated,
+            "waves_extrapolated": self.waves_extrapolated,
+            "events_replayed": self.events_replayed,
+        }
+
+    def clear(self) -> None:
+        self._resources.clear()
+        self._traces.clear()
+        self._sm.clear()
+        self.resource_hits = 0
+        self.trace_hits = 0
+        self.sm_hits = 0
+        self.waves_simulated = 0
+        self.waves_extrapolated = 0.0
+        self.events_replayed = 0
+
+
+__all__ = ["SimulationCache", "kernel_fingerprint"]

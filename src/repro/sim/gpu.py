@@ -19,6 +19,7 @@ from repro.arch.occupancy import LaunchError, Occupancy
 from repro.cubin.resources import ResourceUsage, cubin_info
 from repro.ir.kernel import Kernel
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
+from repro.sim.fingerprint import SimulationCache, kernel_fingerprint
 from repro.sim.sm import SMResult, simulate_sm
 from repro.sim.trace import build_trace
 
@@ -46,29 +47,62 @@ def simulate_kernel(
     kernel: Kernel,
     config: SimConfig = DEFAULT_SIM_CONFIG,
     resources: Optional[ResourceUsage] = None,
+    cache: Optional[SimulationCache] = None,
 ) -> SimulationResult:
     """Estimate a kernel's execution time on the device.
 
     Raises LaunchError for configurations that do not fit on an SM —
     the paper's "invalid executable" points.
+
+    ``resources`` threads in the compile pass a caller (the static
+    metric stage) has already run for this kernel.  ``cache`` enables
+    content-addressed sharing: the kernel is fingerprinted (see
+    :mod:`repro.sim.fingerprint`) and the compile pass, the warp
+    trace, and the SM replay are each reused whenever another kernel
+    with the same post-transform code shape was simulated before.
+    Only ``blocks_per_sm_total`` — the single grid-dependent factor —
+    is recomputed per call, so cache hits are exact, not approximate.
     """
+    fingerprint = None
+    if cache is not None:
+        fingerprint = kernel_fingerprint(kernel, config)
     if resources is None:
-        resources = cubin_info(kernel)
+        if fingerprint is not None:
+            resources = cache.lookup_resources(fingerprint)
+        if resources is None:
+            resources = cubin_info(kernel)
+            if fingerprint is not None:
+                cache.store_resources(fingerprint, resources)
+    elif fingerprint is not None:
+        # Threaded-in compile results seed the cache for siblings.
+        cache.store_resources(fingerprint, resources)
     occupancy = resources.occupancy(config.device)
 
-    trace = build_trace(kernel, config)
+    trace = None
+    if fingerprint is not None:
+        trace = cache.lookup_trace(fingerprint)
+    if trace is None:
+        trace = build_trace(kernel, config)
+        if fingerprint is not None:
+            cache.store_trace(fingerprint, trace)
     blocks_per_sm_total = math.ceil(kernel.num_blocks / config.device.num_sms)
     blocks_to_sample = min(
         blocks_per_sm_total,
         occupancy.blocks_per_sm * config.simulated_waves,
     )
-    sm_result = simulate_sm(
-        trace=trace,
-        warps_per_block=occupancy.warps_per_block,
-        blocks_resident=occupancy.blocks_per_sm,
-        total_blocks=blocks_to_sample,
-        config=config,
-    )
+    sm_result = None
+    if fingerprint is not None:
+        sm_result = cache.lookup_sm(fingerprint, blocks_to_sample)
+    if sm_result is None:
+        sm_result = simulate_sm(
+            trace=trace,
+            warps_per_block=occupancy.warps_per_block,
+            blocks_resident=occupancy.blocks_per_sm,
+            total_blocks=blocks_to_sample,
+            config=config,
+        )
+        if fingerprint is not None:
+            cache.store_sm(fingerprint, blocks_to_sample, sm_result)
     cycles = sm_result.cycles_per_block * blocks_per_sm_total
     return SimulationResult(
         kernel_name=kernel.name,
@@ -87,6 +121,7 @@ def simulate_seconds(
     kernel: Kernel,
     config: SimConfig = DEFAULT_SIM_CONFIG,
     resources: Optional[ResourceUsage] = None,
+    cache: Optional[SimulationCache] = None,
 ) -> float:
     """Scalar timing entry point: estimated seconds for one kernel.
 
@@ -94,7 +129,14 @@ def simulate_seconds(
     float the execution engine caches, checkpoints, and ships across
     process-pool boundaries (see ``repro.tuning.engine``).
     """
-    return simulate_kernel(kernel, config, resources).seconds
+    return simulate_kernel(kernel, config, resources, cache).seconds
 
 
-__all__ = ["LaunchError", "SimulationResult", "simulate_kernel", "simulate_seconds"]
+__all__ = [
+    "LaunchError",
+    "SimulationCache",
+    "SimulationResult",
+    "kernel_fingerprint",
+    "simulate_kernel",
+    "simulate_seconds",
+]

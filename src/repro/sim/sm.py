@@ -7,16 +7,43 @@ switching (any ready warp may issue; the SM stalls only when no warp
 has ready operands), scoreboarded global loads that block at first
 use, block-wide barriers, SFU throughput, and queueing on the DRAM
 interface.
+
+The replay loop is the hot path of every configuration sweep, so it is
+written for speed without changing the model (the straightforward
+heap-loop form lives in ``repro.sim.reference``, and a differential
+test pins the equivalence):
+
+* compressed traces are replayed by segment index, never materialized;
+* a warp's replay position travels inside its scheduler entry, so the
+  steady state runs on tuple unpacking instead of attribute access;
+* the scheduler is a FIFO plus a small heap: a warp re-queued after
+  issuing carries a key no smaller than any earlier one (the port-free
+  time never decreases), so those entries form a monotone queue, and
+  only barrier releases and block refills need true heap inserts.
+  Popping the smaller head of the two gives exactly the global
+  ``(ready_at, arrival)`` order of the single-heap loop — ties between
+  warps ready at the same cycle always go to the warp queued first;
+* the DRAM token bucket is inlined (same arithmetic, same order, as
+  :class:`~repro.sim.memory_system.MemorySystem`);
+* a warp that is strictly the earliest runnable keeps the issue port
+  with no queue round-trip at all.
+
+When ``SimConfig.wave_convergence_rtol`` is positive, the simulator
+additionally watches the cycles-per-block of successive *waves* (one
+refill generation of resident blocks) and, once two waves agree within
+the tolerance, stops refilling and extrapolates the remaining blocks
+at the converged rate.  The default (0.0) disables this: paper figures
+are produced in exact mode.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, List
+from collections import deque
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.config import SimConfig
-from repro.sim.memory_system import MemorySystem
 from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE, WarpTrace
 
 
@@ -25,20 +52,23 @@ class SimulationDeadlock(RuntimeError):
 
 
 class _Warp:
-    __slots__ = ("index", "block", "pos", "ready_at", "pending", "done",
-                 "at_barrier")
+    """Out-of-band warp state; the replay position rides in the
+    scheduler entry while the warp is queued, and in loop locals while
+    it holds the port.  The attribute copies are only maintained at
+    barriers, where the releasing warp re-queues its siblings."""
 
-    def __init__(self, index: int, block: "_Block") -> None:
-        self.index = index
+    __slots__ = ("block", "ri", "rem", "ei", "seg", "seg_len", "ready_at",
+                 "pending")
+
+    def __init__(self, block: "_Block", seg: Optional[Tuple], rem: int) -> None:
         self.block = block
-        self.reset(0.0)
-
-    def reset(self, start_time: float) -> None:
-        self.pos = 0
-        self.ready_at = start_time
+        self.ri = 0          # program record index
+        self.rem = rem       # repeats left of the current record
+        self.ei = 0          # event index within the current segment
+        self.seg = seg       # cached segment tuple (None = end of trace)
+        self.seg_len = len(seg) if seg is not None else 0
+        self.ready_at = 0.0
         self.pending: Dict[int, float] = {}
-        self.done = False
-        self.at_barrier = False
 
 
 class _Block:
@@ -61,6 +91,12 @@ class SMResult:
     issue_busy_cycles: float
     dram_bytes: float
     dram_busy_cycles: float
+    #: Telemetry: full refill generations observed by the event loop,
+    #: generations projected analytically after wave convergence, and
+    #: trace events actually replayed (extrapolated blocks replay none).
+    waves_simulated: int = 0
+    waves_extrapolated: float = 0.0
+    events_replayed: int = 0
 
     @property
     def cycles_per_block(self) -> float:
@@ -89,19 +125,45 @@ def simulate_sm(
     """
     if total_blocks < blocks_resident:
         blocks_resident = total_blocks
-    memory = MemorySystem(config)
-    events = trace.events
+
+    segments = trace.segments
+    prog = [(segments[i], r, len(segments[i])) for i, r in trace.program]
+    nrecords = len(prog)
+    if nrecords:
+        first_seg, first_rem, first_len = prog[0]
+    else:
+        first_seg, first_rem, first_len = None, 0, 0
+
     issue_cost = config.issue_cycles_per_instruction
     sfu_cost = config.sfu_cycles_per_instruction
+    sfu_latency = config.sfu_result_latency
+    rtol = config.wave_convergence_rtol
 
-    blocks = [_Block() for _ in range(blocks_resident)]
+    # DRAM token bucket, inlined (MemorySystem.request verbatim).
+    share = config.bandwidth_bytes_per_cycle_per_sm
+    burst_rate = share * config.bandwidth_burst_factor
+    window_cycles = config.burst_window_bytes / share
+    mem_burst_free = 0.0
+    mem_sustained_end = 0.0
+    mem_total_bytes = 0.0
+    mem_busy = 0.0
+
+    # Scheduler entries: (ready_at, arrival_seq, warp, ri, rem, ei, seg,
+    # seg_len).  ``fifo`` receives only monotone pushes (initial seeding
+    # and post-issue re-queues at the nondecreasing port-free time);
+    # barrier releases and refills go through ``heap``.
+    fifo: deque = deque()
     heap: List[tuple] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
     sequence = 0
+    blocks = [_Block() for _ in range(blocks_resident)]
     for block in blocks:
         for _ in range(warps_per_block):
-            warp = _Warp(sequence, block)
-            block.warps.append(warp)
-            heapq.heappush(heap, (0.0, sequence, warp))
+            w = _Warp(block, first_seg, first_rem)
+            block.warps.append(w)
+            fifo.append((0.0, sequence, w, 0, first_rem, 0, first_seg,
+                         first_len))
             sequence += 1
 
     port_free = 0.0
@@ -111,100 +173,255 @@ def simulate_sm(
     blocks_started = blocks_resident
     finish_time = 0.0
 
-    def settle(warp: _Warp) -> bool:
-        """Advance through non-port events; True if warp can issue."""
-        nonlocal finished_blocks, blocks_started, finish_time, sequence
-        while True:
-            if warp.pos >= len(events):
-                warp.done = True
-                block = warp.block
-                block.done_count += 1
-                block.finish_time = max(block.finish_time, warp.ready_at)
-                if block.done_count == len(block.warps):
-                    finished_blocks += 1
-                    finish_time = max(finish_time, block.finish_time)
-                    if blocks_started < total_blocks:
-                        blocks_started += 1
-                        restart = block.finish_time
-                        block.done_count = 0
-                        block.arrived = 0
-                        block.barrier_time = 0.0
-                        block.finish_time = 0.0
-                        for w in block.warps:
-                            w.reset(restart)
-                            sequence += 1
-                            heapq.heappush(heap, (restart, sequence, w))
-                return False
-            kind, a, b = events[warp.pos]
-            if kind == USE:
-                warp.ready_at = max(warp.ready_at, warp.pending.pop(a, 0.0))
-                warp.pos += 1
-                continue
-            if kind == BARRIER:
-                block = warp.block
-                block.arrived += 1
-                block.barrier_time = max(block.barrier_time, warp.ready_at)
-                warp.at_barrier = True
-                warp.pos += 1
-                if block.arrived == len(block.warps):
-                    release = block.barrier_time
+    # Wave-convergence state (inactive in exact mode).
+    converged = False
+    prev_cpb = -1.0
+    prev_backlog = -1.0
+    last_cpb = 0.0
+    wave_prev_finish = 0.0
+    wave_prev_issue = 0.0
+    wave_prev_busy = 0.0
+    wave_prev_bytes = 0.0
+    wave_issue_pb = 0.0
+    wave_busy_pb = 0.0
+    wave_bytes_pb = 0.0
+
+    # Current-warp state in locals; ``warp is None`` means "pop next".
+    warp: Optional[_Warp] = None
+    seg: Optional[Tuple] = None
+    seg_len = 0
+    ri = 0
+    rem = 0
+    ei = 0
+    ready = 0.0
+
+    while True:
+        if warp is None:
+            if fifo:
+                if heap and heap[0] < fifo[0]:
+                    entry = heappop(heap)
+                else:
+                    entry = fifo.popleft()
+            elif heap:
+                entry = heappop(heap)
+            else:
+                break
+            ready, _, warp, ri, rem, ei, seg, seg_len = entry
+
+        if seg is None:
+            # End of trace: the warp (and possibly its block) is done.
+            block = warp.block
+            block.done_count += 1
+            if ready > block.finish_time:
+                block.finish_time = ready
+            if block.done_count == warps_per_block:
+                finished_blocks += 1
+                if block.finish_time > finish_time:
+                    finish_time = block.finish_time
+                if (rtol > 0.0 and not converged
+                        and finished_blocks % blocks_resident == 0):
+                    cpb = (finish_time - wave_prev_finish) / blocks_resident
+                    wave_issue_pb = (issue_busy - wave_prev_issue) / blocks_resident
+                    wave_busy_pb = (mem_busy - wave_prev_busy) / blocks_resident
+                    wave_bytes_pb = (mem_total_bytes - wave_prev_bytes) / blocks_resident
+                    # The DRAM sustained-budget backlog must also be
+                    # stable: while the burst window drains, early waves
+                    # replay identically at the burst rate even though
+                    # the long-run rate is the (slower) fair share —
+                    # matching cycles-per-block alone would converge to
+                    # the transient rate.  Backlog growth per wave is
+                    # measured against the wave period.
+                    backlog = mem_sustained_end - finish_time
+                    if backlog < 0.0:
+                        backlog = 0.0
+                    if (prev_cpb >= 0.0
+                            and abs(cpb - prev_cpb) <= rtol * cpb
+                            and abs(backlog - prev_backlog)
+                            <= rtol * cpb * blocks_resident):
+                        converged = True
+                        last_cpb = cpb
+                    prev_cpb = cpb
+                    prev_backlog = backlog
+                    wave_prev_finish = finish_time
+                    wave_prev_issue = issue_busy
+                    wave_prev_busy = mem_busy
+                    wave_prev_bytes = mem_total_bytes
+                if blocks_started < total_blocks and not converged:
+                    blocks_started += 1
+                    restart = block.finish_time
+                    block.done_count = 0
                     block.arrived = 0
                     block.barrier_time = 0.0
+                    block.finish_time = 0.0
                     for w in block.warps:
-                        w.at_barrier = False
-                        w.ready_at = max(w.ready_at, release)
+                        w.ready_at = restart
+                        w.pending = {}
+                        heappush(heap, (restart, sequence, w,
+                                        0, first_rem, 0, first_seg, first_len))
                         sequence += 1
-                        heapq.heappush(heap, (w.ready_at, sequence, w))
-                return False
-            return True
-
-    while heap:
-        _, _, warp = heapq.heappop(heap)
-        if warp.done or warp.at_barrier:
+            warp = None
             continue
-        if not settle(warp):
-            continue
-        kind, a, b = events[warp.pos]
-        start = max(port_free, warp.ready_at)
-        if kind == COMPUTE:
-            duration = a * issue_cost
-            warp.ready_at = start + duration
-        elif kind == SFU:
-            # Issue occupies the port briefly; the SFU pipeline is a
-            # separate throughput-limited resource, and the result is
-            # scoreboarded until its latency elapses.
-            duration = issue_cost
-            sfu_free = max(sfu_free, start + duration) + sfu_cost
-            warp.pending[a] = sfu_free + config.sfu_result_latency
-            warp.ready_at = start + duration
-        elif kind == LOAD:
-            duration = issue_cost
-            bytes_, latency = b
-            completion = memory.request(start + duration, bytes_, latency)
-            warp.pending[a] = completion
-            warp.ready_at = start + duration
-        elif kind == STORE:
-            duration = issue_cost
-            memory.request(start + duration, a, 0.0)
-            warp.ready_at = start + duration
-        else:
-            raise SimulationDeadlock(f"unexpected event kind {kind}")
-        port_free = start + duration
-        issue_busy += duration
-        warp.pos += 1
-        sequence += 1
-        heapq.heappush(heap, (warp.ready_at, sequence, warp))
 
-    if finished_blocks < total_blocks:
+        event = seg[ei]
+        kind = event[0]
+
+        if kind < 4:
+            # Port-consuming event (COMPUTE/LOAD/STORE/SFU): issue it.
+            start = port_free if port_free > ready else ready
+            if kind == 0:        # COMPUTE
+                duration = event[1] * issue_cost
+            elif kind == 1:      # LOAD
+                duration = issue_cost
+                bytes_, latency = event[2]
+                now = start + duration
+                if bytes_ <= 0.0:
+                    warp.pending[event[1]] = now + latency
+                else:
+                    burst_start = mem_burst_free if mem_burst_free > now else now
+                    burst_end = burst_start + bytes_ / burst_rate
+                    mem_sustained_end = (
+                        (mem_sustained_end if mem_sustained_end > now else now)
+                        + bytes_ / share
+                    )
+                    throttled = mem_sustained_end - window_cycles
+                    service_end = burst_end if burst_end > throttled else throttled
+                    mem_total_bytes += bytes_
+                    mem_busy += service_end - burst_start
+                    mem_burst_free = service_end
+                    warp.pending[event[1]] = service_end + latency
+            elif kind == 2:      # STORE
+                duration = issue_cost
+                bytes_ = event[2]
+                if bytes_ > 0.0:
+                    now = start + duration
+                    burst_start = mem_burst_free if mem_burst_free > now else now
+                    burst_end = burst_start + bytes_ / burst_rate
+                    mem_sustained_end = (
+                        (mem_sustained_end if mem_sustained_end > now else now)
+                        + bytes_ / share
+                    )
+                    throttled = mem_sustained_end - window_cycles
+                    service_end = burst_end if burst_end > throttled else throttled
+                    mem_total_bytes += bytes_
+                    mem_busy += service_end - burst_start
+                    mem_burst_free = service_end
+            else:                # SFU
+                # Issue occupies the port briefly; the SFU pipeline is
+                # a separate throughput-limited resource, and the
+                # result is scoreboarded until its latency elapses.
+                duration = issue_cost
+                t = start + duration
+                sfu_free = (sfu_free if sfu_free > t else t) + sfu_cost
+                warp.pending[event[1]] = sfu_free + sfu_latency
+
+            ready = start + duration
+            port_free = ready
+            issue_busy += duration
+            ei += 1
+            if ei == seg_len:
+                ei = 0
+                rem -= 1
+                if rem == 0:
+                    ri += 1
+                    if ri == nrecords:
+                        seg = None
+                    else:
+                        seg, rem, seg_len = prog[ri]
+            # Keep the port only when strictly earliest; a tie goes to
+            # the warp queued first, exactly as the scheduler orders it.
+            if fifo:
+                head = fifo[0][0]
+                if heap:
+                    t = heap[0][0]
+                    if t < head:
+                        head = t
+            elif heap:
+                head = heap[0][0]
+            else:
+                continue
+            if head <= ready:
+                fifo.append((ready, sequence, warp, ri, rem, ei, seg, seg_len))
+                sequence += 1
+                warp = None
+            continue
+
+        if kind == 4:            # USE
+            t = warp.pending.pop(event[1], 0.0)
+            if t > ready:
+                ready = t
+            ei += 1
+            if ei == seg_len:
+                ei = 0
+                rem -= 1
+                if rem == 0:
+                    ri += 1
+                    if ri == nrecords:
+                        seg = None
+                    else:
+                        seg, rem, seg_len = prog[ri]
+            continue
+
+        if kind == 5:            # BARRIER
+            ei += 1
+            if ei == seg_len:
+                ei = 0
+                rem -= 1
+                if rem == 0:
+                    ri += 1
+                    if ri == nrecords:
+                        seg = None
+                    else:
+                        seg, rem, seg_len = prog[ri]
+            warp.ri = ri
+            warp.rem = rem
+            warp.ei = ei
+            warp.seg = seg
+            warp.seg_len = seg_len
+            warp.ready_at = ready
+            block = warp.block
+            block.arrived += 1
+            if ready > block.barrier_time:
+                block.barrier_time = ready
+            if block.arrived == warps_per_block:
+                release = block.barrier_time
+                block.arrived = 0
+                block.barrier_time = 0.0
+                for w in block.warps:
+                    if release > w.ready_at:
+                        w.ready_at = release
+                    heappush(heap, (w.ready_at, sequence, w,
+                                    w.ri, w.rem, w.ei, w.seg, w.seg_len))
+                    sequence += 1
+            warp = None
+            continue
+
+        raise SimulationDeadlock(f"unexpected event kind {kind}")
+
+    extrapolated_blocks = total_blocks - finished_blocks
+    if extrapolated_blocks and not converged:
         raise SimulationDeadlock(
             f"completed {finished_blocks}/{total_blocks} blocks"
         )
+    # A block is not done until its outstanding stores drain; the
+    # pipe term is what makes store-bound kernels bandwidth-bound.
+    cycles = finish_time
+    if port_free > cycles:
+        cycles = port_free
+    if mem_burst_free > cycles:
+        cycles = mem_burst_free
+    if extrapolated_blocks:
+        cycles += extrapolated_blocks * last_cpb
+        issue_busy += extrapolated_blocks * wave_issue_pb
+        mem_busy += extrapolated_blocks * wave_busy_pb
+        mem_total_bytes += extrapolated_blocks * wave_bytes_pb
     return SMResult(
-        # A block is not done until its outstanding stores drain; the
-        # pipe term is what makes store-bound kernels bandwidth-bound.
-        cycles=max(finish_time, port_free, memory.pipe_free_at),
-        blocks_completed=finished_blocks,
+        cycles=cycles,
+        blocks_completed=finished_blocks + extrapolated_blocks,
         issue_busy_cycles=issue_busy,
-        dram_bytes=memory.total_bytes,
-        dram_busy_cycles=memory.busy_cycles,
+        dram_bytes=mem_total_bytes,
+        dram_busy_cycles=mem_busy,
+        waves_simulated=finished_blocks // blocks_resident if blocks_resident else 0,
+        waves_extrapolated=(extrapolated_blocks / blocks_resident
+                            if blocks_resident else 0.0),
+        events_replayed=len(trace) * warps_per_block * finished_blocks,
     )

@@ -1,4 +1,4 @@
-"""Warp-level execution traces.
+"""Warp-level execution traces, loop-compressed.
 
 The timing simulator does not interpret instructions; it replays a
 *trace* — the per-warp sequence of issue-port work, memory requests,
@@ -11,41 +11,101 @@ immediately and do not block execution until a use of the destination
 operand is encountered" (Section 4).  The trace records the load at
 its issue point and a USE event at the first read of its destination,
 which is precisely what makes prefetching profitable in the simulator.
+
+Compression
+-----------
+
+A trace is stored as a small set of *segments* (tuples of events) plus
+a *program* of ``(segment_index, repeat)`` records.  Loops do not
+materialize ``trip_count`` copies of their body: the builder walks the
+statement tree once, emits the first iteration literally (its
+scoreboard state differs — prefetched loads from the preamble resolve
+here), then captures the second and third iterations and proves they
+are identical.  Steady-state iterations collapse into one record, so
+trace size is O(static instructions) instead of O(dynamic
+instructions) while decompressing to the *byte-identical* event stream
+the uncompressed builder produced.
+
+The scoreboard tags in LOAD/SFU/USE events are *slots* — stable ids
+per destination register — rather than one-shot serial tags, so a
+repeated segment replays correctly: a later load to the same register
+simply overwrites the slot's completion time, exactly matching the
+old tag semantics where a USE always referenced the latest tag.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.ir.instructions import Instruction
 from repro.ir.kernel import Kernel
+from repro.ir.statements import ForLoop, If, Statement
 from repro.ir.values import VirtualRegister
-from repro.ptx.analysis import ControlOp, expand_dynamic
+from repro.ptx.analysis import LOOP_OVERHEAD_PER_TRIP, LOOP_OVERHEAD_SETUP
 from repro.ptx.isa import InstrClass, classify
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
 
-# Event kinds (tuple-encoded for speed: (kind, a, b)).
+# Event kinds (tuple-encoded for speed: (kind, a, b)).  Port-consuming
+# kinds are numbered below the settle-only kinds so the replay loop
+# splits on a single compare (kind < 4 issues; kind >= 4 settles).
 COMPUTE = 0   # a = issue slots (ALU instructions)
-SFU = 1       # a = tag; result is scoreboarded like a load
-LOAD = 2      # a = tag, b = (DRAM bytes for the warp, latency)
-USE = 3       # a = tag
-STORE = 4     # a = DRAM bytes for the warp
+LOAD = 1      # a = scoreboard slot, b = (DRAM bytes for the warp, latency)
+STORE = 2     # a = 0, b = DRAM bytes for the warp
+SFU = 3       # a = scoreboard slot; result is scoreboarded like a load
+USE = 4       # a = scoreboard slot
 BARRIER = 5
 
 Event = Tuple
 
+#: Upper bound on materializing a repeated loop body into one flat
+#: segment.  Bodies below the cap (the common case — even a fully
+#: unrolled matmul tile is a few hundred events) become a single
+#: segment replayed by index; larger bodies fall back to repeating
+#: their record sequence, which still shares the underlying segments.
+MAX_MATERIALIZED_SEGMENT = 65_536
+
 
 @dataclasses.dataclass(frozen=True)
 class WarpTrace:
-    """The replayable event stream of one warp."""
+    """The replayable event stream of one warp, loop-compressed.
 
-    events: List[Event]
+    ``segments`` holds each distinct run of events exactly once;
+    ``program`` replays them in order as ``(segment_index, repeat)``
+    records.  ``len(trace)`` is the dynamic event count; ``events``
+    materializes the flat stream (tests, the reference replayer).
+    """
+
+    segments: Tuple[Tuple[Event, ...], ...]
+    program: Tuple[Tuple[int, int], ...]
     issue_slots: int          # total port-consuming instructions
     dram_bytes: float         # per-warp DRAM traffic (loads + stores)
 
+    @classmethod
+    def from_events(
+        cls,
+        events: List[Event],
+        issue_slots: int = 0,
+        dram_bytes: float = 0.0,
+    ) -> "WarpTrace":
+        """Wrap a flat event list as a single-segment trace."""
+        events = tuple(events)
+        if not events:
+            return cls(segments=(), program=(), issue_slots=issue_slots,
+                       dram_bytes=dram_bytes)
+        return cls(segments=(events,), program=((0, 1),),
+                   issue_slots=issue_slots, dram_bytes=dram_bytes)
+
+    @property
+    def events(self) -> List[Event]:
+        """The decompressed event stream (O(dynamic) — not the hot path)."""
+        out: List[Event] = []
+        for index, repeat in self.program:
+            out.extend(self.segments[index] * repeat)
+        return out
+
     def __len__(self) -> int:
-        return len(self.events)
+        return sum(len(self.segments[i]) * r for i, r in self.program)
 
 
 def _warp_bytes(instr: Instruction, threads: int, config: SimConfig) -> float:
@@ -56,80 +116,256 @@ def _warp_bytes(instr: Instruction, threads: int, config: SimConfig) -> float:
     return total
 
 
-def build_trace(kernel: Kernel, config: SimConfig = DEFAULT_SIM_CONFIG) -> WarpTrace:
-    """Compile a kernel into its warp trace.
+@dataclasses.dataclass
+class _IterationDelta:
+    """Accounting advance of one captured loop iteration."""
 
-    The final (possibly partial) warp is modeled like a full one: the
-    SIMD pipeline charges a full warp's issue slots regardless of how
-    many lanes are active.
+    records: List[Tuple[int, int]]
+    issue_slots: int
+    dram_bytes: float
+    compute_run: int          # compute_run *after* the iteration
+
+
+class _TraceBuilder:
+    """Single-pass statement-tree walk producing a compressed trace.
+
+    Mirrors the event-emission rules of the original flat builder
+    exactly (instruction classes, scoreboard USE points, loop-control
+    overhead of ``LOOP_OVERHEAD_SETUP``/``LOOP_OVERHEAD_PER_TRIP``
+    synthetic ops); the only difference is that steady-state loop
+    iterations are stored once and replayed by repeat count.
     """
-    threads = min(kernel.threads_per_block, config.device.warp_size)
-    events: List[Event] = []
-    pending: dict = {}          # dest register -> tag
-    compute_run = 0
-    issue_slots = 0
-    dram_bytes = 0.0
-    next_tag = 0
 
-    def flush_compute() -> None:
-        nonlocal compute_run
-        if compute_run:
-            events.append((COMPUTE, compute_run, 0))
-            compute_run = 0
+    def __init__(self, kernel: Kernel, config: SimConfig) -> None:
+        self.config = config
+        self.threads = min(kernel.threads_per_block, config.device.warp_size)
+        self.segments: List[Tuple[Event, ...]] = []
+        self._segment_ids: Dict[Tuple[Event, ...], int] = {}
+        #: stack of record streams; captures push a scratch stream
+        self._records: List[List[Tuple[int, int]]] = [[]]
+        self._events: List[Event] = []      # open (unsealed) event run
+        self.pending: Dict[VirtualRegister, int] = {}   # reg -> slot
+        self._slots: Dict[VirtualRegister, int] = {}
+        self.compute_run = 0
+        self.issue_slots = 0
+        self.dram_bytes = 0.0
 
-    def note_uses(instr: Instruction) -> None:
+    # ------------------------------------------------------------------
+    # Event plumbing.
+
+    def _emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    def _flush_compute(self) -> None:
+        if self.compute_run:
+            self._events.append((COMPUTE, self.compute_run, 0))
+            self.compute_run = 0
+
+    def _seal(self) -> None:
+        """Close the open event run into a program record.
+
+        Does *not* flush ``compute_run``: a pending compute run merges
+        across loop boundaries into whichever segment finally flushes
+        it, exactly as the flat builder batched it.
+        """
+        if not self._events:
+            return
+        self._records[-1].append((self._intern(tuple(self._events)), 1))
+        self._events = []
+
+    def _intern(self, events: Tuple[Event, ...]) -> int:
+        index = self._segment_ids.get(events)
+        if index is None:
+            index = len(self.segments)
+            self.segments.append(events)
+            self._segment_ids[events] = index
+        return index
+
+    def _slot(self, reg: VirtualRegister) -> int:
+        slot = self._slots.get(reg)
+        if slot is None:
+            slot = self._slots[reg] = len(self._slots)
+        return slot
+
+    def _control(self, count: int) -> None:
+        """Synthetic loop/branch overhead ops (PTX add/setp/bra)."""
+        self.compute_run += count
+        self.issue_slots += count
+
+    # ------------------------------------------------------------------
+    # Statement dispatch (same rules as the flat builder).
+
+    def _note_uses(self, instr: Instruction) -> None:
         for value in instr.reads:
-            if isinstance(value, VirtualRegister) and value in pending:
-                flush_compute()
-                events.append((USE, pending.pop(value), 0))
+            if isinstance(value, VirtualRegister) and value in self.pending:
+                self._flush_compute()
+                self._emit((USE, self.pending.pop(value), 0))
 
-    for op in expand_dynamic(kernel):
-        if isinstance(op, ControlOp):
-            compute_run += 1
-            issue_slots += 1
-            continue
+    def _instruction(self, op: Instruction) -> None:
+        config = self.config
         cls = classify(op)
-        note_uses(op)
-        issue_slots += 1
+        self._note_uses(op)
+        self.issue_slots += 1
         if cls in (InstrClass.GLOBAL_LOAD, InstrClass.LOCAL_LOAD,
                    InstrClass.TEXTURE_LOAD):
-            flush_compute()
+            self._flush_compute()
             if cls is InstrClass.TEXTURE_LOAD:
                 bytes_ = 0.0
                 latency = config.texture_latency_cycles
             else:
-                bytes_ = _warp_bytes(op, threads, config)
+                bytes_ = _warp_bytes(op, self.threads, config)
                 latency = config.global_latency_cycles
-                dram_bytes += bytes_
-            tag = next_tag
-            next_tag += 1
+                self.dram_bytes += bytes_
+            slot = self._slot(op.dest)
             if op.dest is not None:
-                pending[op.dest] = tag
-            events.append((LOAD, tag, (bytes_, latency)))
+                self.pending[op.dest] = slot
+            self._emit((LOAD, slot, (bytes_, latency)))
         elif cls in (InstrClass.GLOBAL_STORE, InstrClass.LOCAL_STORE):
-            flush_compute()
-            bytes_ = _warp_bytes(op, threads, config)
-            dram_bytes += bytes_
-            events.append((STORE, bytes_, 0))
+            self._flush_compute()
+            bytes_ = _warp_bytes(op, self.threads, config)
+            self.dram_bytes += bytes_
+            self._emit((STORE, 0, bytes_))
         elif cls is InstrClass.BARRIER:
-            flush_compute()
-            events.append((BARRIER, 0, 0))
+            self._flush_compute()
+            self._emit((BARRIER, 0, 0))
         elif cls is InstrClass.SFU:
-            flush_compute()
-            tag = next_tag
-            next_tag += 1
+            self._flush_compute()
+            slot = self._slot(op.dest)
             if op.dest is not None:
-                pending[op.dest] = tag
-            events.append((SFU, tag, 0))
+                self.pending[op.dest] = slot
+            self._emit((SFU, slot, 0))
         elif cls is InstrClass.CONST_LOAD:
             # Constant-cache hits cost like ALU ops unless conflicted.
-            compute_run += config.constant_conflict_ways
+            self.compute_run += config.constant_conflict_ways
         elif cls in (InstrClass.SHARED_LOAD, InstrClass.SHARED_STORE):
             # Bank-conflict-free by default (Table 1); serialized
             # accesses replay the instruction per conflicting bank.
-            compute_run += config.shared_bank_conflict_ways
+            self.compute_run += config.shared_bank_conflict_ways
         else:
             # Remaining ALU work: one issue slot.
-            compute_run += 1
-    flush_compute()
-    return WarpTrace(events=events, issue_slots=issue_slots, dram_bytes=dram_bytes)
+            self.compute_run += 1
+
+    def _body(self, body: List[Statement]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Instruction):
+                self._instruction(stmt)
+            elif isinstance(stmt, ForLoop):
+                self._loop(stmt)
+            elif isinstance(stmt, If):
+                self._control(1)          # guarding branch
+                if stmt.taken_fraction >= 1.0:
+                    self._body(stmt.then_body)
+                elif stmt.taken_fraction <= 0.0:
+                    self._body(stmt.else_body)
+                else:
+                    # Divergent warps serialize both sides.
+                    self._body(stmt.then_body)
+                    self._body(stmt.else_body)
+
+    def _iteration(self, loop: ForLoop) -> None:
+        self._body(loop.body)
+        self._control(LOOP_OVERHEAD_PER_TRIP)   # add + setp + bra
+
+    # ------------------------------------------------------------------
+    # Loop compression.
+
+    def _capture_iteration(self, loop: ForLoop) -> _IterationDelta:
+        """Run one iteration with its records diverted to a scratch
+        stream, returning the emitted records and accounting deltas."""
+        self._seal()
+        self._records.append([])
+        issue_before = self.issue_slots
+        dram_before = self.dram_bytes
+        self._iteration(loop)
+        self._seal()
+        records = self._records.pop()
+        return _IterationDelta(
+            records=records,
+            issue_slots=self.issue_slots - issue_before,
+            dram_bytes=self.dram_bytes - dram_before,
+            compute_run=self.compute_run,
+        )
+
+    def _append_records(self, records: List[Tuple[int, int]]) -> None:
+        self._records[-1].extend(records)
+
+    def _repeat_records(self, records: List[Tuple[int, int]], count: int) -> None:
+        """Append ``count`` replays of a record sequence, as one
+        materialized segment when small enough."""
+        if not records or count <= 0:
+            return
+        if len(records) == 1:
+            index, repeat = records[0]
+            self._records[-1].append((index, repeat * count))
+            return
+        size = sum(len(self.segments[i]) * r for i, r in records)
+        if size <= MAX_MATERIALIZED_SEGMENT:
+            flat: List[Event] = []
+            for index, repeat in records:
+                flat.extend(self.segments[index] * repeat)
+            self._records[-1].append((self._intern(tuple(flat)), count))
+        else:
+            for _ in range(count):
+                self._records[-1].extend(records)
+
+    def _loop(self, loop: ForLoop) -> None:
+        trips = loop.annotated_trips
+        self._control(LOOP_OVERHEAD_SETUP)       # init mov
+        if trips == 0:
+            return
+        # First iteration inline: its scoreboard interactions (preamble
+        # loads resolving, first-touch USE points) are unique.
+        self._iteration(loop)
+        if trips == 1:
+            return
+        # Second iteration: the candidate steady state.
+        second = self._capture_iteration(loop)
+        pending_after_second = dict(self.pending)
+        self._append_records(second.records)
+        if trips == 2:
+            return
+        # Third iteration proves the steady state: the scoreboard
+        # reaches its fixed point after one body execution, so if the
+        # third iteration replays the second exactly, so do all later
+        # ones (the state transition is deterministic and idempotent).
+        third = self._capture_iteration(loop)
+        if (third.records == second.records
+                and self.pending == pending_after_second):
+            self._repeat_records(third.records, trips - 2)
+            remaining = trips - 3
+            self.issue_slots += remaining * third.issue_slots
+            self.dram_bytes += remaining * third.dram_bytes
+            self.compute_run += remaining * (third.compute_run - second.compute_run)
+        else:
+            # No steady state (never observed in practice — kept as an
+            # exactness safety net): expand the remaining trips.
+            self._append_records(third.records)
+            for _ in range(trips - 3):
+                self._iteration(loop)
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> WarpTrace:
+        self._flush_compute()
+        self._seal()
+        assert len(self._records) == 1, "unbalanced capture stack"
+        return WarpTrace(
+            segments=tuple(self.segments),
+            program=tuple(self._records[0]),
+            issue_slots=self.issue_slots,
+            dram_bytes=self.dram_bytes,
+        )
+
+
+def build_trace(kernel: Kernel, config: SimConfig = DEFAULT_SIM_CONFIG) -> WarpTrace:
+    """Compile a kernel into its (loop-compressed) warp trace.
+
+    The final (possibly partial) warp is modeled like a full one: the
+    SIMD pipeline charges a full warp's issue slots regardless of how
+    many lanes are active.  Build time and trace memory are O(static
+    instructions): steady-state loop iterations are stored once and
+    replayed by repeat count (see :class:`WarpTrace`).
+    """
+    builder = _TraceBuilder(kernel, config)
+    builder._body(kernel.body)
+    return builder.finish()

@@ -86,19 +86,41 @@ class EngineStats:
     simulate_seconds: float = 0.0    # wall time in the measurement stage
     pool_batches: int = 0            # batches dispatched to the pool
 
+    # Content-addressed simulator cache telemetry (absolute snapshots
+    # of the app's SimulationCache counters, synced after each
+    # measurement batch; see repro.sim.fingerprint).  With workers > 1
+    # the pool's forked processes keep their own caches, so these
+    # reflect only in-process work.
+    fingerprint_resource_hits: int = 0   # compile passes reused across configs
+    fingerprint_trace_hits: int = 0      # warp traces reused across configs
+    fingerprint_sm_hits: int = 0         # SM replays reused across configs
+    waves_simulated: int = 0             # full SM waves actually replayed
+    waves_extrapolated: float = 0.0      # waves covered by convergence instead
+    events_replayed: int = 0             # dynamic trace events replayed
+
     @property
     def cache_hits(self) -> int:
         return self.static_cache_hits + self.simulation_cache_hits
 
+    @property
+    def fingerprint_hits(self) -> int:
+        return (
+            self.fingerprint_resource_hits
+            + self.fingerprint_trace_hits
+            + self.fingerprint_sm_hits
+        )
+
     def as_dict(self) -> Dict[str, Any]:
         out = dataclasses.asdict(self)
         out["cache_hits"] = self.cache_hits
+        out["fingerprint_hits"] = self.fingerprint_hits
         return out
 
     def summary(self) -> str:
         return (
             f"workers={self.workers} evals={self.static_evaluations} "
             f"sims={self.simulations} cache_hits={self.cache_hits} "
+            f"fp_hits={self.fingerprint_hits} "
             f"ckpt_hits={self.checkpoint_hits} "
             f"eval_wall={self.evaluate_seconds:.3f}s "
             f"sim_wall={self.simulate_seconds:.3f}s"
@@ -150,6 +172,12 @@ class ExecutionEngine:
         Optional tag (usually the application name) stored in the
         checkpoint and validated on resume, so a sweep cannot silently
         resume from another application's times.
+    sim_cache:
+        Optional :class:`repro.sim.fingerprint.SimulationCache` whose
+        counters are mirrored into :attr:`stats` after every
+        measurement batch (``for_app`` wires up the application's
+        cache automatically).  The engine never reads or writes the
+        cache itself — the simulate callable owns it.
     """
 
     def __init__(
@@ -160,9 +188,11 @@ class ExecutionEngine:
         checkpoint_path: Optional[str] = None,
         label: Optional[str] = None,
         checkpoint_interval: int = 16,
+        sim_cache=None,
     ) -> None:
         self._evaluate = evaluate
         self._simulate = simulate
+        self._sim_cache = sim_cache
         self.workers = resolve_workers(workers)
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = max(1, int(checkpoint_interval))
@@ -192,6 +222,7 @@ class ExecutionEngine:
             workers=workers,
             checkpoint_path=checkpoint_path,
             label=app.name,
+            sim_cache=getattr(app, "sim_cache", None),
         )
 
     # ------------------------------------------------------------------
@@ -270,6 +301,7 @@ class ExecutionEngine:
             self._simulate_missing(missing)
             self._save_checkpoint()
         self.stats.simulate_seconds += time.perf_counter() - started
+        self._sync_sim_stats()
         return [self._seconds[config] for config in configs]
 
     def time_entries(self, entries: Sequence[EvaluatedConfig]) -> float:
@@ -305,6 +337,20 @@ class ExecutionEngine:
                     remaining = [c for c in remaining if c not in self._seconds]
         for config in remaining:
             self._record_time(config, self._simulate(config))
+
+    def _sync_sim_stats(self) -> None:
+        """Mirror the simulator cache's counters into the stats.
+
+        Counters are absolute snapshots (the cache accumulates over
+        its lifetime), so syncing is idempotent.  When simulations run
+        in a process pool the workers' forked caches are not visible
+        here; the stats then cover only in-process simulations.
+        """
+        cache = self._sim_cache
+        if cache is None:
+            return
+        for name, value in cache.counters().items():
+            setattr(self.stats, name, value)
 
     def _record_time(self, config: Configuration, seconds: float) -> None:
         self._seconds[config] = seconds

@@ -1,0 +1,45 @@
+"""Golden regression: per-configuration simulated times are pinned.
+
+``tests/sim/golden_seed_times.json`` records ``app.simulate(config)``
+for every configuration of each application's test instance, captured
+from the original straightforward simulator implementation.  The
+optimized pipeline (loop-compressed traces, the rewritten SM event
+loop, the content-addressed cache) must reproduce every value
+bit-for-bit in exact mode — any drift here means the hot-path work
+changed semantics, not just speed.
+
+Configurations that raise (invalid executables) are recorded as null.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps import all_applications
+from repro.tuning import config_key
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_seed_times.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", ["matmul", "cp", "sad", "mri-fhd"])
+def test_test_instance_times_match_golden(golden, name):
+    app = {a.name: a for a in all_applications()}[name].test_instance()
+    expected = golden[f"{name}:test_instance"]
+    checked = 0
+    for config in app.space():
+        key = config_key(config)
+        assert key in expected, f"config {key} missing from golden file"
+        try:
+            got = app.simulate(config)
+        except Exception:
+            got = None
+        assert got == expected[key], key
+        checked += 1
+    assert checked == len(expected)

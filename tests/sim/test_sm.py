@@ -8,8 +8,8 @@ from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE
 
 
 def trace(events, issue_slots=0, dram_bytes=0.0):
-    return WarpTrace(events=list(events), issue_slots=issue_slots,
-                     dram_bytes=dram_bytes)
+    return WarpTrace.from_events(list(events), issue_slots=issue_slots,
+                                 dram_bytes=dram_bytes)
 
 
 def run(events, warps=1, resident=1, blocks=1):
@@ -101,7 +101,7 @@ class TestBarriers:
 class TestBandwidthBound:
     def test_heavy_traffic_saturates_interface(self):
         per_warp_bytes = 8192.0
-        events = [(STORE, per_warp_bytes, 0), (COMPUTE, 1, 0)] * 16
+        events = [(STORE, 0, per_warp_bytes), (COMPUTE, 1, 0)] * 16
         result = simulate_sm(
             trace(events, dram_bytes=per_warp_bytes * 16),
             warps_per_block=8, blocks_resident=2, total_blocks=4,

@@ -34,7 +34,7 @@ def traces(draw, allow_barriers=True):
             pending_tags.remove(tag)
             events.append((USE, tag, 0))
         elif kind == "store":
-            events.append((STORE, draw(st.sampled_from([128.0, 512.0])), 0))
+            events.append((STORE, 0, draw(st.sampled_from([128.0, 512.0]))))
         elif kind == "sfu":
             events.append((SFU, next_tag, 0))
             pending_tags.append(next_tag)
@@ -43,8 +43,8 @@ def traces(draw, allow_barriers=True):
             events.append((BARRIER, 0, 0))
     issue_slots = sum(e[1] for e in events if e[0] == COMPUTE)
     dram = sum(e[2][0] for e in events if e[0] == LOAD)
-    dram += sum(e[1] for e in events if e[0] == STORE)
-    return WarpTrace(events=events, issue_slots=issue_slots, dram_bytes=dram)
+    dram += sum(e[2] for e in events if e[0] == STORE)
+    return WarpTrace.from_events(events, issue_slots=issue_slots, dram_bytes=dram)
 
 
 def run(trace, warps=2, resident=2, blocks=2):
@@ -93,8 +93,8 @@ class TestInvariants:
     @settings(max_examples=40, deadline=None)
     @given(traces(), st.integers(min_value=2, max_value=6))
     def test_extra_compute_never_speeds_up(self, trace, slots):
-        padded = WarpTrace(
-            events=trace.events + [(COMPUTE, slots, 0)],
+        padded = WarpTrace.from_events(
+            trace.events + [(COMPUTE, slots, 0)],
             issue_slots=trace.issue_slots + slots,
             dram_bytes=trace.dram_bytes,
         )
