@@ -21,6 +21,7 @@ import numpy as np
 from repro.cubin.resources import ResourceUsage
 from repro.ir.kernel import Kernel
 from repro.metrics.model import MetricReport, evaluate_kernel
+from repro.obs.trace import span
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
 from repro.sim.fingerprint import SimulationCache
 from repro.sim.gpu import SimulationResult, simulate_kernel
@@ -120,12 +121,14 @@ class Application(abc.ABC):
         time derived from the result lands in ``_time_cache`` so a
         later ``simulate`` call does no work at all.
         """
-        result = simulate_kernel(
-            self.kernel(config),
-            self.sim_config(config),
-            resources=self._resources_for(config),
-            cache=self._sim_cache,
-        )
+        with span("app.simulate", cat="app", app=self.name,
+                  config=dict(config)):
+            result = simulate_kernel(
+                self.kernel(config),
+                self.sim_config(config),
+                resources=self._resources_for(config),
+                cache=self._sim_cache,
+            )
         self._time_cache.setdefault(config, self._total_seconds(config, result))
         return result
 

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.apps.base import Application
 from repro.arch.occupancy import LaunchError
+from repro.obs.trace import span
 from repro.tuning.engine import EngineStats, ExecutionEngine
 from repro.tuning.search import (
     EvaluatedConfig,
@@ -141,16 +142,18 @@ def run_experiment(
             app, workers=workers, checkpoint_path=checkpoint_path
         )
     try:
-        exhaustive = full_exploration(configs, engine=engine)
-        pareto = pareto_search(configs, engine=engine)
-        random_result = None
-        if include_random:
-            random_result = random_search(
-                configs,
-                sample_size=pareto.timed_count,
-                seed=random_seed,
-                engine=engine,
-            )
+        with span("harness.experiment", cat="harness", app=app.name,
+                  configs=len(configs)):
+            exhaustive = full_exploration(configs, engine=engine)
+            pareto = pareto_search(configs, engine=engine)
+            random_result = None
+            if include_random:
+                random_result = random_search(
+                    configs,
+                    sample_size=pareto.timed_count,
+                    seed=random_seed,
+                    engine=engine,
+                )
     finally:
         if owns_engine:
             engine.close()

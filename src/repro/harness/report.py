@@ -17,6 +17,7 @@ from repro.harness.tables import (
     engine_rows,
     format_table,
     simulator_rows,
+    span_rows,
     table3_rows,
     table4_rows,
 )
@@ -29,8 +30,14 @@ def _fmt_ms(value: Optional[float]) -> str:
 def render_report(
     experiments: Sequence[AppExperiment],
     preamble: str = "",
+    spans: Optional[Sequence[Dict]] = None,
 ) -> str:
-    """Render the full paper-vs-measured report as markdown."""
+    """Render the full paper-vs-measured report as markdown.
+
+    ``spans`` — Chrome-trace events recorded during the run (see
+    ``repro.obs.trace``); when provided, a per-stage wall-time
+    breakdown table is appended.
+    """
     by_name: Dict[str, AppExperiment] = {e.name: e for e in experiments}
     out = io.StringIO()
     write = out.write
@@ -159,9 +166,13 @@ def render_report(
             telemetry,
             ["application", "workers", "static_evals", "simulations",
              "cache_hits", "checkpoint_hits", "evaluate_wall_s",
-             "simulate_wall_s"],
+             "simulate_wall_s", "pool_fallbacks"],
         ))
         write("\n```\n\n")
+        if any(row["pool_fallbacks"] for row in telemetry):
+            write("**Warning:** at least one run degraded from the worker\n")
+            write("pool to in-process simulation (see the harness log for\n")
+            write("the reason); wall times above are not pooled times.\n\n")
 
     # ---------------------------------------------- Simulator telemetry
     sim_telemetry = simulator_rows(experiments)
@@ -171,7 +182,9 @@ def render_report(
         write("docs/simulator.md): hits are compile passes, warp traces and\n")
         write("SM replays reused across configurations whose post-transform\n")
         write("kernels are identical; wave/event counts are the replay work\n")
-        write("actually performed.\n\n")
+        write("actually performed.  Pool workers report per-task counter\n")
+        write("deltas, so these totals are exact for any worker count (see\n")
+        write("docs/observability.md).\n\n")
         write("```\n")
         write(format_table(
             sim_telemetry,
@@ -179,6 +192,20 @@ def render_report(
              "waves_simulated", "waves_extrapolated", "events_replayed"],
         ))
         write("\n```\n\n")
+
+    # ------------------------------------------------ Per-stage timing
+    if spans:
+        stage_rows = span_rows(spans)
+        if stage_rows:
+            write("## Per-stage timing (trace spans)\n\n")
+            write("Wall time by span name, aggregated from the Chrome trace\n")
+            write("recorded with `--trace` (nested spans overlap — outer\n")
+            write("totals include the stages underneath them).\n\n")
+            write("```\n")
+            write(format_table(
+                stage_rows, ["span", "count", "total_ms", "mean_us"],
+            ))
+            write("\n```\n\n")
 
     # ------------------------------------------------------------ Summary
     write("## Headline claim\n\n")
@@ -195,6 +222,7 @@ def write_report(
     path: str,
     experiments: Sequence[AppExperiment],
     preamble: str = "",
+    spans: Optional[Sequence[Dict]] = None,
 ) -> None:
     with open(path, "w") as handle:
-        handle.write(render_report(experiments, preamble))
+        handle.write(render_report(experiments, preamble, spans=spans))

@@ -72,6 +72,7 @@ def engine_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
             "checkpoint_hits": stats.checkpoint_hits,
             "evaluate_wall_s": stats.evaluate_seconds,
             "simulate_wall_s": stats.simulate_seconds,
+            "pool_fallbacks": getattr(stats, "pool_fallbacks", 0),
         })
     return rows
 
@@ -97,6 +98,36 @@ def simulator_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
             "waves_simulated": stats.waves_simulated,
             "waves_extrapolated": stats.waves_extrapolated,
             "events_replayed": stats.events_replayed,
+        })
+    return rows
+
+
+def span_rows(events: Sequence[Dict]) -> List[Dict]:
+    """Per-stage wall-time breakdown from Chrome-trace span events.
+
+    Aggregates complete (``ph == "X"``) events by span name: how often
+    each stage ran and how much wall time it took.  Nested spans are
+    reported as recorded — an ``engine.simulate_batch`` total includes
+    the ``sim.*`` stages underneath it, so the table reads as a
+    drill-down, not a partition.
+    """
+    totals: Dict[str, Dict] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        entry = totals.setdefault(
+            event["name"], {"count": 0, "total_us": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_us"] += event.get("dur", 0.0)
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n]["total_us"]):
+        entry = totals[name]
+        rows.append({
+            "span": name,
+            "count": entry["count"],
+            "total_ms": entry["total_us"] / 1e3,
+            "mean_us": entry["total_us"] / entry["count"],
         })
     return rows
 

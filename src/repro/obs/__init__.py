@@ -1,0 +1,38 @@
+"""Observability: mergeable counters and lightweight tracing spans.
+
+The subsystem exists to make the harness's self-reported numbers
+*true* rather than approximately true:
+
+* :mod:`repro.obs.metrics` — a picklable, mergeable counter registry.
+  Process-pool workers measure their own work as counter *deltas* and
+  ship them back with each result, so the parent can aggregate exact
+  totals instead of losing everything that happened in a forked
+  process (see :mod:`repro.tuning.engine`).
+* :mod:`repro.obs.trace` — spans (engine batches, simulator stages,
+  SM replays) recorded against a global tracer and exported as a
+  Chrome-trace JSON (``chrome://tracing`` / Perfetto).  Disabled by
+  default with near-zero overhead: the hot paths pay one flag check.
+"""
+
+from repro.obs.metrics import Counters, counter_delta
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counters",
+    "Tracer",
+    "counter_delta",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "span",
+    "tracing_enabled",
+]

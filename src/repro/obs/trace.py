@@ -1,0 +1,252 @@
+"""Lightweight tracing spans with a Chrome-trace exporter.
+
+A *span* is a named interval (an engine batch, a compile pass, one SM
+replay) recorded against a :class:`Tracer` and exported in the Chrome
+trace-event format, so a whole sweep can be opened in
+``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_ and
+inspected stage by stage.
+
+Overhead discipline
+-------------------
+
+Tracing is **off by default** and the hot paths are written so the
+disabled case costs one flag check:
+
+* :func:`span` returns a shared no-op context manager when the global
+  tracer is disabled — no object allocation, no clock read;
+* inner loops (the SM replay) call :func:`current_tracer` once per
+  call, get ``None`` when disabled, and skip all bookkeeping;
+* nothing here imports anything heavier than ``json``/``time``.
+
+The exporter emits the JSON-object form of the trace-event format
+(``{"traceEvents": [...]}``) with ``X`` (complete), ``i`` (instant)
+and ``C`` (counter) phases — the subset every viewer understands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class _Span:
+    """Context manager recording one complete ("X") event."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._started = 0.0
+
+    def add_args(self, **extra: Any) -> None:
+        """Attach outcome details discovered while the span was open."""
+        if self.args is None:
+            self.args = {}
+        self.args.update(extra)
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.complete_event(
+            self.name, self._started, cat=self.cat, args=self.args
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def add_args(self, **extra: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Event sink: spans, instants and counter samples.
+
+    Timestamps are microseconds relative to the tracer's construction
+    (Chrome-trace convention); ``pid``/``tid`` come from the recording
+    process and thread, so pool-worker tracers — if ever enabled there
+    — would interleave cleanly in the viewer.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = enabled
+        self._epoch = time.perf_counter()
+        self._events: List[Dict[str, Any]] = []
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        return self._events
+
+    def clear(self) -> None:
+        self._events = []
+
+    # -- recording -------------------------------------------------------
+
+    def now(self) -> float:
+        """Clock used by manual begin/complete pairs (seconds)."""
+        return time.perf_counter()
+
+    def span(self, name: str, cat: str = "repro",
+             args: Optional[Dict[str, Any]] = None) -> _Span:
+        if not self._enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def complete_event(self, name: str, started: float, cat: str = "repro",
+                       args: Optional[Dict[str, Any]] = None,
+                       ended: Optional[float] = None) -> None:
+        """Record an interval from a :meth:`now` timestamp to now."""
+        if not self._enabled:
+            return
+        if ended is None:
+            ended = time.perf_counter()
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": (started - self._epoch) * 1e6,
+            "dur": (ended - started) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(self, name: str, cat: str = "repro",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        if not self._enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "ts": (time.perf_counter() - self._epoch) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(self, name: str, values: Dict[str, float],
+                cat: str = "repro") -> None:
+        if not self._enabled:
+            return
+        self._events.append({
+            "name": name,
+            "cat": cat,
+            "ph": "C",
+            "ts": (time.perf_counter() - self._epoch) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": dict(values),
+        })
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome-trace JSON object."""
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+        }
+
+    def export(self, path: str) -> None:
+        """Write the trace to ``path`` (loadable in Perfetto as-is)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle, indent=1, default=repr)
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Global tracer: one per process, disabled until someone opts in
+# (``python -m repro.harness --trace out.json`` does).
+
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (enabled or not)."""
+    return _TRACER
+
+
+def tracing_enabled() -> bool:
+    return _TRACER._enabled
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The global tracer when enabled, else ``None`` (hot-path form)."""
+    tracer = _TRACER
+    return tracer if tracer._enabled else None
+
+
+def enable_tracing(fresh: bool = True) -> Tracer:
+    """Turn the global tracer on (optionally clearing prior events)."""
+    if fresh:
+        _TRACER.clear()
+    _TRACER.enable()
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    _TRACER.disable()
+
+
+def span(name: str, cat: str = "repro", **args: Any):
+    """Record a span against the global tracer; no-op when disabled.
+
+    Usage::
+
+        with span("engine.simulate_batch", configs=len(configs)) as sp:
+            ...
+            sp.add_args(missing=len(missing))
+    """
+    tracer = _TRACER
+    if not tracer._enabled:
+        return _NULL_SPAN
+    return _Span(tracer, name, cat, args or None)
+
+
+__all__ = [
+    "Tracer",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "span",
+    "tracing_enabled",
+]

@@ -198,7 +198,11 @@ class SimulationCache:
 
     Hit counters and replay telemetry (waves simulated/extrapolated,
     events replayed — accumulated on *misses* only, so they count real
-    work) feed :class:`repro.tuning.engine.EngineStats`.
+    work) feed :class:`repro.tuning.engine.EngineStats`.  In a process
+    pool each worker owns a private cache; :meth:`counters` snapshots
+    and :meth:`delta_since` let the engine ship per-task deltas back
+    to the parent (see :func:`repro.tuning.engine._pool_simulate`), so
+    the aggregated telemetry stays exact under any worker count.
     """
 
     def __init__(self) -> None:
@@ -270,6 +274,16 @@ class SimulationCache:
             "waves_extrapolated": self.waves_extrapolated,
             "events_replayed": self.events_replayed,
         }
+
+    def delta_since(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Counter changes since a previous :meth:`counters` snapshot.
+
+        The per-task payload a pool worker returns to the parent
+        engine; only changed names are included.
+        """
+        from repro.obs.metrics import counter_delta
+
+        return counter_delta(self.counters(), before)
 
     def clear(self) -> None:
         self._resources.clear()

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.arch.occupancy import LaunchError, Occupancy
 from repro.cubin.resources import ResourceUsage, cubin_info
 from repro.ir.kernel import Kernel
+from repro.obs.trace import span
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
 from repro.sim.fingerprint import SimulationCache, kernel_fingerprint
 from repro.sim.sm import SMResult, simulate_sm
@@ -70,7 +71,8 @@ def simulate_kernel(
         if fingerprint is not None:
             resources = cache.lookup_resources(fingerprint)
         if resources is None:
-            resources = cubin_info(kernel)
+            with span("sim.compile", cat="sim", kernel=kernel.name):
+                resources = cubin_info(kernel)
             if fingerprint is not None:
                 cache.store_resources(fingerprint, resources)
     elif fingerprint is not None:
@@ -82,7 +84,8 @@ def simulate_kernel(
     if fingerprint is not None:
         trace = cache.lookup_trace(fingerprint)
     if trace is None:
-        trace = build_trace(kernel, config)
+        with span("sim.trace_build", cat="sim", kernel=kernel.name):
+            trace = build_trace(kernel, config)
         if fingerprint is not None:
             cache.store_trace(fingerprint, trace)
     blocks_per_sm_total = math.ceil(kernel.num_blocks / config.device.num_sms)

@@ -43,6 +43,7 @@ import heapq
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.trace import current_tracer
 from repro.sim.config import SimConfig
 from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE, WarpTrace
 
@@ -125,6 +126,11 @@ def simulate_sm(
     """
     if total_blocks < blocks_resident:
         blocks_resident = total_blocks
+
+    # Tracing costs one flag check when disabled; the replay loop
+    # itself is never instrumented (see repro.obs.trace).
+    tracer = current_tracer()
+    span_started = tracer.now() if tracer is not None else 0.0
 
     segments = trace.segments
     prog = [(segments[i], r, len(segments[i])) for i, r in trace.program]
@@ -240,6 +246,14 @@ def simulate_sm(
                             <= rtol * cpb * blocks_resident):
                         converged = True
                         last_cpb = cpb
+                        if tracer is not None:
+                            tracer.instant(
+                                "sm.wave_converged", cat="sim",
+                                args={
+                                    "wave": finished_blocks // blocks_resident,
+                                    "cycles_per_block": cpb,
+                                },
+                            )
                     prev_cpb = cpb
                     prev_backlog = backlog
                     wave_prev_finish = finish_time
@@ -414,6 +428,18 @@ def simulate_sm(
         issue_busy += extrapolated_blocks * wave_issue_pb
         mem_busy += extrapolated_blocks * wave_busy_pb
         mem_total_bytes += extrapolated_blocks * wave_bytes_pb
+    if tracer is not None:
+        tracer.complete_event(
+            "sm.replay", span_started, cat="sim",
+            args={
+                "blocks": total_blocks,
+                "waves_simulated": (finished_blocks // blocks_resident
+                                    if blocks_resident else 0),
+                "waves_extrapolated": (extrapolated_blocks / blocks_resident
+                                       if blocks_resident else 0.0),
+                "events_replayed": len(trace) * warps_per_block * finished_blocks,
+            },
+        )
     return SMResult(
         cycles=cycles,
         blocks_completed=finished_blocks + extrapolated_blocks,

@@ -21,6 +21,13 @@ timed.  The :class:`ExecutionEngine` owns the space instead:
   interrupted sweep resumes without re-simulating anything;
 * telemetry (evaluated counts, cache hits, wall time per stage) is
   recorded on :class:`EngineStats` and surfaced by the harness report.
+  Pool workers return a counter *delta* with every result (see
+  :func:`_pool_simulate`), so simulator-cache telemetry is exact for
+  any worker count — not just in serial mode;
+* a pool that cannot be created or breaks mid-batch degrades to
+  in-process simulation *loudly*: the dead executor is shut down, the
+  degradation is counted (``EngineStats.pool_fallbacks``) with its
+  reason, and a warning is logged.
 
 The search strategies in :mod:`repro.tuning.search` accept an engine;
 their original ``(configs, evaluate, simulate)`` signatures remain as
@@ -32,6 +39,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import json
+import logging
 import os
 import tempfile
 import time
@@ -39,7 +47,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.occupancy import LaunchError
 from repro.metrics.model import MetricReport
+from repro.obs.metrics import Counters, counter_delta
+from repro.obs.trace import span
 from repro.tuning.space import Configuration
+
+logger = logging.getLogger(__name__)
 
 Evaluate = Callable[[Configuration], MetricReport]
 Simulate = Callable[[Configuration], float]
@@ -85,12 +97,14 @@ class EngineStats:
     evaluate_seconds: float = 0.0    # wall time in the static stage
     simulate_seconds: float = 0.0    # wall time in the measurement stage
     pool_batches: int = 0            # batches dispatched to the pool
+    pool_fallbacks: int = 0          # pool -> serial degradations
+    pool_fallback_reason: Optional[str] = None  # why the last one happened
 
-    # Content-addressed simulator cache telemetry (absolute snapshots
-    # of the app's SimulationCache counters, synced after each
-    # measurement batch; see repro.sim.fingerprint).  With workers > 1
-    # the pool's forked processes keep their own caches, so these
-    # reflect only in-process work.
+    # Content-addressed simulator cache telemetry (see
+    # repro.sim.fingerprint).  In-process work is mirrored from the
+    # app's SimulationCache after each measurement batch; pool workers
+    # return a per-task counter delta with every result (see
+    # _pool_simulate), so these totals are exact for any worker count.
     fingerprint_resource_hits: int = 0   # compile passes reused across configs
     fingerprint_trace_hits: int = 0      # warp traces reused across configs
     fingerprint_sm_hits: int = 0         # SM replays reused across configs
@@ -117,7 +131,7 @@ class EngineStats:
         return out
 
     def summary(self) -> str:
-        return (
+        text = (
             f"workers={self.workers} evals={self.static_evaluations} "
             f"sims={self.simulations} cache_hits={self.cache_hits} "
             f"fp_hits={self.fingerprint_hits} "
@@ -125,6 +139,9 @@ class EngineStats:
             f"eval_wall={self.evaluate_seconds:.3f}s "
             f"sim_wall={self.simulate_seconds:.3f}s"
         )
+        if self.pool_fallbacks:
+            text += f" pool_fallbacks={self.pool_fallbacks}"
+        return text
 
 
 # ----------------------------------------------------------------------
@@ -133,16 +150,38 @@ class EngineStats:
 # start method), so per-task payloads are just configurations.
 
 _WORKER_SIMULATE: Optional[Simulate] = None
+_WORKER_SIM_CACHE = None
 
 
 def _pool_initializer(simulate: Simulate) -> None:
-    global _WORKER_SIMULATE
+    global _WORKER_SIMULATE, _WORKER_SIM_CACHE
     _WORKER_SIMULATE = simulate
+    # When the callable is an Application bound method, the worker's
+    # copy of the app carries its own SimulationCache; per-task deltas
+    # of its counters ride back to the parent with each result.
+    _WORKER_SIM_CACHE = getattr(
+        getattr(simulate, "__self__", None), "sim_cache", None
+    )
 
 
-def _pool_simulate(config: Configuration) -> float:
+def _pool_simulate(
+    config: Configuration,
+) -> Tuple[float, Optional[Dict[str, float]]]:
+    """Simulate one configuration in a pool worker.
+
+    Returns ``(seconds, counter_delta)``: the change in the worker's
+    simulator-cache counters across this task (``None`` when the
+    callable has no cache).  The parent engine aggregates the deltas,
+    so :class:`EngineStats` stays exact however the batch was
+    partitioned across workers.
+    """
     assert _WORKER_SIMULATE is not None, "pool worker not initialized"
-    return _WORKER_SIMULATE(config)
+    cache = _WORKER_SIM_CACHE
+    if cache is None:
+        return _WORKER_SIMULATE(config), None
+    before = cache.counters()
+    seconds = _WORKER_SIMULATE(config)
+    return seconds, counter_delta(cache.counters(), before)
 
 
 class ExecutionEngine:
@@ -205,6 +244,9 @@ class ExecutionEngine:
         self._checkpoint_times: Dict[str, float] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_broken = False
+        #: simulator-cache counter deltas returned by pool workers,
+        #: merged into ``stats`` alongside the in-process counters
+        self._pool_counters = Counters()
         if checkpoint_path:
             self._load_checkpoint()
 
@@ -267,7 +309,8 @@ class ExecutionEngine:
         most once per configuration over the engine's lifetime.
         """
         started = time.perf_counter()
-        entries = [self.evaluate_config(config) for config in configs]
+        with span("engine.evaluate_batch", cat="engine", configs=len(configs)):
+            entries = [self.evaluate_config(config) for config in configs]
         self.stats.evaluate_seconds += time.perf_counter() - started
         return entries
 
@@ -283,23 +326,26 @@ class ExecutionEngine:
         deterministic ordering regardless of worker count.
         """
         started = time.perf_counter()
-        missing: List[Configuration] = []
-        seen = set()
-        for config in configs:
-            if config in self._seconds:
-                self.stats.simulation_cache_hits += 1
-                continue
-            restored = self._checkpoint_times.pop(config_key(config), None)
-            if restored is not None:
-                self._seconds[config] = restored
-                self.stats.checkpoint_hits += 1
-                continue
-            if config not in seen:
-                seen.add(config)
-                missing.append(config)
-        if missing:
-            self._simulate_missing(missing)
-            self._save_checkpoint()
+        with span("engine.simulate_batch", cat="engine",
+                  requested=len(configs)) as batch_span:
+            missing: List[Configuration] = []
+            seen = set()
+            for config in configs:
+                if config in self._seconds:
+                    self.stats.simulation_cache_hits += 1
+                    continue
+                restored = self._checkpoint_times.pop(config_key(config), None)
+                if restored is not None:
+                    self._seconds[config] = restored
+                    self.stats.checkpoint_hits += 1
+                    continue
+                if config not in seen:
+                    seen.add(config)
+                    missing.append(config)
+            batch_span.add_args(missing=len(missing))
+            if missing:
+                self._simulate_missing(missing)
+                self._save_checkpoint()
         self.stats.simulate_seconds += time.perf_counter() - started
         self._sync_sim_stats()
         return [self._seconds[config] for config in configs]
@@ -323,34 +369,71 @@ class ExecutionEngine:
             if pool is not None:
                 chunk = max(1, len(remaining) // (self.workers * 4))
                 self.stats.pool_batches += 1
-                try:
-                    results = pool.map(_pool_simulate, remaining, chunksize=chunk)
-                    for config, seconds in zip(remaining, results):
-                        self._record_time(config, seconds)
-                    return
-                except concurrent.futures.process.BrokenProcessPool:
-                    # A worker died (or the callable cannot cross the
-                    # process boundary on this platform); fall back to
-                    # in-process simulation for whatever is left.
-                    self._pool_broken = True
-                    self._pool = None
-                    remaining = [c for c in remaining if c not in self._seconds]
+                with span("engine.pool_dispatch", cat="engine",
+                          configs=len(remaining), workers=self.workers,
+                          chunksize=chunk):
+                    try:
+                        results = pool.map(
+                            _pool_simulate, remaining, chunksize=chunk
+                        )
+                        for config, (seconds, delta) in zip(remaining, results):
+                            if delta:
+                                self._pool_counters.merge(delta)
+                            self._record_time(config, seconds)
+                        return
+                    except concurrent.futures.process.BrokenProcessPool as error:
+                        # A worker died (or the callable cannot cross
+                        # the process boundary on this platform); reap
+                        # the dead executor, record the degradation,
+                        # and finish in-process.  Results recorded
+                        # before the break are kept, not re-simulated.
+                        self._pool_failure(
+                            f"process pool broke mid-batch: {error}"
+                        )
+                        remaining = [
+                            c for c in remaining if c not in self._seconds
+                        ]
         for config in remaining:
-            self._record_time(config, self._simulate(config))
+            with span("engine.simulate", cat="engine", config=dict(config)):
+                self._record_time(config, self._simulate(config))
+
+    def _pool_failure(self, reason: str) -> None:
+        """Record a pool→serial degradation and reap the dead executor.
+
+        The executor (if any) is shut down without waiting — its
+        processes are dead or dying, and leaking it keeps their queues
+        and management thread alive for the rest of the run.
+        """
+        pool, self._pool = self._pool, None
+        self._pool_broken = True
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.stats.pool_fallbacks += 1
+        self.stats.pool_fallback_reason = reason
+        logger.warning(
+            "worker pool disabled, falling back to in-process "
+            "simulation: %s", reason,
+        )
 
     def _sync_sim_stats(self) -> None:
-        """Mirror the simulator cache's counters into the stats.
+        """Fold simulator-cache telemetry into the stats.
 
-        Counters are absolute snapshots (the cache accumulates over
-        its lifetime), so syncing is idempotent.  When simulations run
-        in a process pool the workers' forked caches are not visible
-        here; the stats then cover only in-process simulations.
+        In-process counters are absolute snapshots of the app's
+        SimulationCache (idempotent to re-sync); pool workers return
+        per-task deltas that accumulate in ``_pool_counters``.  Their
+        sum is exact for any worker count — pinned by
+        tests/tuning/test_pool_telemetry.py.
         """
         cache = self._sim_cache
-        if cache is None:
+        pooled = self._pool_counters
+        if cache is None and not pooled:
             return
-        for name, value in cache.counters().items():
-            setattr(self.stats, name, value)
+        local = cache.counters() if cache is not None else {}
+        for name in set(local) | set(pooled):
+            if hasattr(self.stats, name):
+                setattr(
+                    self.stats, name, local.get(name, 0) + pooled.get(name, 0)
+                )
 
     def _record_time(self, config: Configuration, seconds: float) -> None:
         self._seconds[config] = seconds
@@ -369,8 +452,13 @@ class ExecutionEngine:
                     initializer=_pool_initializer,
                     initargs=(self._simulate,),
                 )
-            except (OSError, ValueError):
-                self._pool_broken = True
+            except (OSError, ValueError) as error:
+                # Pool creation can fail on fork-restricted platforms
+                # or resource exhaustion; degrade loudly, not silently.
+                self._pool_failure(
+                    f"could not create a {self.workers}-worker "
+                    f"process pool: {error}"
+                )
                 return None
         return self._pool
 
@@ -426,7 +514,29 @@ class ExecutionEngine:
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a worker count; ``None`` defers to ``REPRO_WORKERS``."""
+    """Normalize a worker count; ``None`` defers to ``REPRO_WORKERS``.
+
+    A malformed ``REPRO_WORKERS`` raises :class:`ValueError` naming
+    the variable and the offending value (a bare ``int()`` traceback
+    gives an operator nothing to act on); negative counts are clamped
+    to 1 with a warning rather than silently running serial.
+    """
+    from_env = None
     if workers is None:
-        workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
-    return max(1, int(workers))
+        from_env = os.environ.get("REPRO_WORKERS", "1") or "1"
+        try:
+            workers = int(from_env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS={from_env!r} is not a valid worker "
+                "count (expected an integer)"
+            ) from None
+    workers = int(workers)
+    if workers < 0:
+        logger.warning(
+            "negative worker count %d%s; clamping to 1 (serial)",
+            workers,
+            " from REPRO_WORKERS" if from_env is not None else "",
+        )
+        return 1
+    return max(1, workers)

@@ -15,6 +15,7 @@ _FAST_DIRS = (
     os.path.join("tests", "ptx"),
     os.path.join("tests", "arch"),
     os.path.join("tests", "ir"),
+    os.path.join("tests", "obs"),
 )
 
 

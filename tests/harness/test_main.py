@@ -1,5 +1,7 @@
 """The ``python -m repro.harness`` entry point."""
 
+import json
+
 import pytest
 
 from repro.harness.__main__ import main, parse_args
@@ -23,6 +25,7 @@ class TestParseArgs:
         options = parse_args(["prog"])
         assert options.workers is None
         assert options.resume is None
+        assert options.trace is None
 
     def test_engine_flags(self):
         options = parse_args(["prog", "--workers", "4",
@@ -43,6 +46,31 @@ class TestMain:
     def test_unknown_app_rejected(self, tmp_path):
         code = main(["prog", str(tmp_path / "x.md"), "--apps", "nonesuch"])
         assert code == 2
+
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        trace = tmp_path / "trace.json"
+        code = main(["prog", str(output), "--apps", "cp", "--no-random",
+                     "--trace", str(trace)])
+        assert code == 0
+        # the tracer is global state; main() must turn it back off
+        from repro.obs import tracing_enabled
+
+        assert not tracing_enabled()
+
+        data = json.loads(trace.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        events = data["traceEvents"]
+        assert events
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+        names = {event["name"] for event in events}
+        assert "harness.experiment" in names
+        assert "engine.simulate_batch" in names
+        assert "sm.replay" in names
+        # the report gains the per-stage breakdown table
+        assert "Per-stage timing" in output.read_text()
+        assert str(trace) in capsys.readouterr().out
 
     def test_resume_writes_then_reuses_checkpoint(self, tmp_path, capsys):
         output = tmp_path / "report.md"

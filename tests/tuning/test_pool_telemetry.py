@@ -1,0 +1,258 @@
+"""Pool-worker telemetry: exact aggregation and loud degradation.
+
+PR 2 left a documented hole: with ``workers > 1`` the pool's forked
+processes kept their simulator-cache counters to themselves, so
+``EngineStats`` silently undercounted (usually to ~0) in exactly the
+pooled configuration CI runs.  Workers now return a counter *delta*
+with every result and the engine aggregates them — these tests pin:
+
+* pooled-vs-serial equivalence — same workload, ``workers=1`` versus
+  ``workers=2``, identical fingerprint/wave/event counters;
+* partial-batch ``BrokenProcessPool`` recovery — results recorded
+  before the break are kept (never re-simulated), the dead executor
+  is shut down instead of leaked, and the degradation is counted and
+  logged;
+* pool-creation failure — loud fallback, not a silent serial run;
+* ``resolve_workers`` — actionable errors for malformed
+  ``REPRO_WORKERS``.
+"""
+
+import concurrent.futures
+import logging
+import multiprocessing
+import os
+
+import pytest
+
+from repro.tuning import ExecutionEngine, cartesian, resolve_workers
+
+pytestmark = pytest.mark.fast
+
+#: the EngineStats fields mirrored from simulator-cache counters
+COUNTER_FIELDS = (
+    "fingerprint_resource_hits",
+    "fingerprint_trace_hits",
+    "fingerprint_sm_hits",
+    "waves_simulated",
+    "waves_extrapolated",
+    "events_replayed",
+)
+
+
+def _counter_stats(stats):
+    return {name: getattr(stats, name) for name in COUNTER_FIELDS}
+
+
+class FakeSimCache:
+    """Counter-only stand-in for ``repro.sim.fingerprint.SimulationCache``."""
+
+    def __init__(self):
+        self.values = {name: 0 for name in COUNTER_FIELDS}
+        self.values["waves_extrapolated"] = 0.0
+
+    def counters(self):
+        return dict(self.values)
+
+    def add(self, name, amount):
+        self.values[name] += amount
+
+
+class CountingApp:
+    """Synthetic app whose simulate records config-deterministic work
+    on a fake simulator cache — the work each config contributes is
+    independent of which process (or cache state) runs it, so the
+    aggregated totals must be identical for any worker partition.
+
+    Module-level class so instances survive pickling into pool workers.
+    """
+
+    def __init__(self):
+        self.configs = cartesian({"e": [1, 2, 3, 4], "u": [1, 2, 3, 4]})
+        self.sim_cache = FakeSimCache()
+
+    def expected_counters(self, configs):
+        totals = {name: 0 for name in COUNTER_FIELDS}
+        totals["waves_extrapolated"] = 0.0
+        for config in configs:
+            e, u = config["e"], config["u"]
+            totals["waves_simulated"] += e
+            totals["waves_extrapolated"] += u / 2.0
+            totals["events_replayed"] += e * u * 10
+            if e == 1:
+                totals["fingerprint_trace_hits"] += 1
+        return totals
+
+    def evaluate(self, config):
+        return None
+
+    def simulate(self, config):
+        e, u = config["e"], config["u"]
+        self.sim_cache.add("waves_simulated", e)
+        self.sim_cache.add("waves_extrapolated", u / 2.0)
+        self.sim_cache.add("events_replayed", e * u * 10)
+        if e == 1:
+            self.sim_cache.add("fingerprint_trace_hits", 1)
+        return 1.0 / (e + u)
+
+
+class PoisonApp(CountingApp):
+    """Kills its pool worker on the last configuration; harmless when
+    the same configuration is simulated in the parent process."""
+
+    def simulate(self, config):
+        if (config["e"] == 4 and config["u"] == 4
+                and multiprocessing.parent_process() is not None):
+            os._exit(1)
+        return super().simulate(config)
+
+
+class TestPooledTelemetryEquivalence:
+    def test_synthetic_workload_counters_bit_identical(self):
+        serial_app = CountingApp()
+        with ExecutionEngine(serial_app.evaluate, serial_app.simulate,
+                             workers=1, sim_cache=serial_app.sim_cache) as serial:
+            serial_seconds = serial.seconds_for(serial_app.configs)
+
+        pooled_app = CountingApp()
+        with ExecutionEngine(pooled_app.evaluate, pooled_app.simulate,
+                             workers=2, sim_cache=pooled_app.sim_cache) as pooled:
+            pooled_seconds = pooled.seconds_for(pooled_app.configs)
+
+        assert pooled_seconds == serial_seconds
+        expected = serial_app.expected_counters(serial_app.configs)
+        assert _counter_stats(serial.stats) == expected
+        assert _counter_stats(pooled.stats) == expected
+        # The parent-process cache saw none of the pooled work — the
+        # exact totals above came entirely from worker deltas.
+        assert pooled_app.sim_cache.counters()["events_replayed"] == 0
+        assert pooled.stats.pool_batches == 1
+        assert pooled.stats.pool_fallbacks == 0
+
+    def test_real_app_counters_bit_identical(self):
+        """MatMul test instance, configs chosen (self-validatingly) to
+        have pairwise-distinct fingerprints, so per-config simulator
+        work is partition-independent and the pooled counters must
+        equal the serial ones exactly."""
+        from repro.apps import MatMul
+        from repro.arch import LaunchError
+        from repro.sim.fingerprint import kernel_fingerprint
+
+        scout = MatMul().test_instance()
+        chosen, seen = [], set()
+        for config in scout.space():
+            try:
+                scout.evaluate(config)
+            except LaunchError:
+                continue
+            fingerprint = kernel_fingerprint(
+                scout.kernel(config), scout.sim_config(config)
+            )
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            chosen.append(config)
+            if len(chosen) == 6:
+                break
+        assert len(chosen) > 1
+
+        serial_app = MatMul().test_instance()
+        with serial_app.search_engine(workers=1) as serial:
+            serial_seconds = serial.seconds_for(chosen)
+
+        pooled_app = MatMul().test_instance()
+        with pooled_app.search_engine(workers=2) as pooled:
+            pooled_seconds = pooled.seconds_for(chosen)
+
+        assert pooled_seconds == serial_seconds
+        assert _counter_stats(pooled.stats) == _counter_stats(serial.stats)
+        assert pooled.stats.events_replayed > 0
+        assert pooled.stats.waves_simulated > 0
+        # ...and again: the parent cache did none of that work.
+        assert pooled_app.sim_cache.counters()["events_replayed"] == 0
+
+
+class TestBrokenPoolRecovery:
+    def test_partial_batch_recovery_is_exact_and_loud(self, caplog):
+        app = PoisonApp()
+        with caplog.at_level(logging.WARNING, logger="repro.tuning.engine"):
+            with ExecutionEngine(app.evaluate, app.simulate, workers=2,
+                                 sim_cache=app.sim_cache) as engine:
+                pool = engine._ensure_pool()
+                assert pool is not None
+                seconds = engine.seconds_for(app.configs)
+
+                # The dead executor was shut down, not leaked.
+                assert engine._pool is None
+                assert engine._pool_broken
+                assert pool._shutdown_thread
+
+        # Every configuration still got measured, and the degradation
+        # is visible instead of silent.
+        assert seconds == [1.0 / (c["e"] + c["u"]) for c in app.configs]
+        assert engine.stats.pool_fallbacks == 1
+        assert "broke mid-batch" in engine.stats.pool_fallback_reason
+        assert "pool_fallbacks=1" in engine.stats.summary()
+        assert any("falling back" in r.getMessage() for r in caplog.records)
+
+        # Results recorded before the break were not re-simulated:
+        # each config was recorded exactly once across pool + fallback.
+        assert engine.stats.simulations == len(app.configs)
+
+        # Telemetry stays exact through the recovery: deltas from
+        # results that arrived before the break, parent-cache counters
+        # for the in-process remainder.
+        assert _counter_stats(engine.stats) == app.expected_counters(app.configs)
+
+    def test_pool_stays_disabled_after_break(self):
+        app = PoisonApp()
+        with ExecutionEngine(app.evaluate, app.simulate, workers=2) as engine:
+            engine.seconds_for(app.configs)
+            assert engine.stats.pool_fallbacks == 1
+            # A later batch must not try (and fail) to rebuild a pool.
+            fresh = PoisonApp()
+            engine._simulate = fresh.simulate
+            engine._seconds.clear()
+            engine.seconds_for(app.configs[:4])
+            assert engine.stats.pool_fallbacks == 1
+            assert engine._pool is None
+
+
+class TestPoolCreationFailure:
+    def test_creation_failure_is_loud_and_counted(self, monkeypatch, caplog):
+        def refuse(*args, **kwargs):
+            raise OSError("no forks today")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", refuse
+        )
+        app = CountingApp()
+        with caplog.at_level(logging.WARNING, logger="repro.tuning.engine"):
+            with ExecutionEngine(app.evaluate, app.simulate, workers=4,
+                                 sim_cache=app.sim_cache) as engine:
+                seconds = engine.seconds_for(app.configs)
+
+        assert len(seconds) == len(app.configs)
+        assert engine.stats.pool_fallbacks == 1
+        assert "could not create" in engine.stats.pool_fallback_reason
+        assert "no forks today" in engine.stats.pool_fallback_reason
+        assert any("falling back" in r.getMessage() for r in caplog.records)
+        # The serial fallback still reports exact telemetry.
+        assert _counter_stats(engine.stats) == app.expected_counters(app.configs)
+
+
+class TestResolveWorkersDiagnostics:
+    def test_malformed_env_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "four")
+        with pytest.raises(ValueError, match=r"REPRO_WORKERS='four'"):
+            resolve_workers(None)
+
+    def test_negative_explicit_count_clamped_with_warning(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.tuning.engine"):
+            assert resolve_workers(-2) == 1
+        assert any("clamping to 1" in r.getMessage() for r in caplog.records)
+
+    def test_negative_env_count_clamped_with_warning(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        with caplog.at_level(logging.WARNING, logger="repro.tuning.engine"):
+            assert resolve_workers(None) == 1
+        assert any("REPRO_WORKERS" in r.getMessage() for r in caplog.records)
