@@ -181,14 +181,17 @@ def render_report(
         write("Content-addressed sharing inside the simulator (see\n")
         write("docs/simulator.md): hits are compile passes, warp traces and\n")
         write("SM replays reused across configurations whose post-transform\n")
-        write("kernels are identical; wave/event counts are the replay work\n")
-        write("actually performed.  Pool workers report per-task counter\n")
-        write("deltas, so these totals are exact for any worker count (see\n")
-        write("docs/observability.md).\n\n")
+        write("kernels are identical; compile hits/evals are whole static\n")
+        write("reports shared through the compile tier (see\n")
+        write("docs/compile_pipeline.md); wave/event counts are the replay\n")
+        write("work actually performed.  Pool workers report per-task\n")
+        write("counter deltas, so these totals are exact for any worker\n")
+        write("count (see docs/observability.md).\n\n")
         write("```\n")
         write(format_table(
             sim_telemetry,
             ["application", "resource_hits", "trace_hits", "sm_hits",
+             "compile_hits", "compile_evals",
              "waves_simulated", "waves_extrapolated", "events_replayed"],
         ))
         write("\n```\n\n")

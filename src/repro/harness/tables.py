@@ -82,8 +82,10 @@ def simulator_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
 
     Fingerprint hits are compile passes / warp traces / SM replays
     reused across *different* configurations whose post-transform
-    kernels are identical (see repro.sim.fingerprint); wave and event
-    counts measure the replay work actually performed.
+    kernels are identical (see repro.sim.fingerprint); compile hits
+    and evaluations are the static stage's content-addressed reuse of
+    whole metric reports; wave and event counts measure the replay
+    work actually performed.
     """
     rows = []
     for experiment in experiments:
@@ -95,6 +97,8 @@ def simulator_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
             "resource_hits": stats.fingerprint_resource_hits,
             "trace_hits": stats.fingerprint_trace_hits,
             "sm_hits": stats.fingerprint_sm_hits,
+            "compile_hits": getattr(stats, "compile_hits", 0),
+            "compile_evals": getattr(stats, "compile_evaluations", 0),
             "waves_simulated": stats.waves_simulated,
             "waves_extrapolated": stats.waves_extrapolated,
             "events_replayed": stats.events_replayed,

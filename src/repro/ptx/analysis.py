@@ -161,6 +161,10 @@ class _RegionCounter:
         self.events = 0
         self._open_group: Set[VirtualRegister] = set()
 
+    def snapshot(self) -> frozenset:
+        """The state that determines all future transitions."""
+        return frozenset(self._open_group)
+
     def feed(self, op: DynamicOp) -> None:
         if isinstance(op, ControlOp):
             return
@@ -194,8 +198,109 @@ class _RegionCounter:
         return self.events + 1
 
 
+def _expanded_visits(body: List[Statement]) -> int:
+    """Statement visits :func:`expand_dynamic` would perform on ``body``.
+
+    Mirrors the budget accounting of ``_expand_body`` exactly (one
+    decrement per statement visit, loop bodies multiplied by their trip
+    counts, conditionals following the warp-level expansion rule), so
+    the fast region counter can reproduce the reference path's
+    safety-cap behaviour without enumerating anything.
+    """
+    total = 0
+    for stmt in body:
+        total += 1
+        if isinstance(stmt, ForLoop):
+            total += stmt.annotated_trips * _expanded_visits(stmt.body)
+        elif isinstance(stmt, If):
+            if stmt.taken_fraction >= 1.0:
+                total += _expanded_visits(stmt.then_body)
+            elif stmt.taken_fraction <= 0.0:
+                total += _expanded_visits(stmt.else_body)
+            else:
+                total += _expanded_visits(stmt.then_body)
+                total += _expanded_visits(stmt.else_body)
+    return total
+
+
+def _feed_statements(body: List[Statement], counter: _RegionCounter) -> None:
+    for stmt in body:
+        if isinstance(stmt, Instruction):
+            counter.feed(stmt)
+        elif isinstance(stmt, ForLoop):
+            _feed_loop(stmt, counter)
+        elif isinstance(stmt, If):
+            if stmt.taken_fraction >= 1.0:
+                _feed_statements(stmt.then_body, counter)
+            elif stmt.taken_fraction <= 0.0:
+                _feed_statements(stmt.else_body, counter)
+            else:
+                _feed_statements(stmt.then_body, counter)
+                _feed_statements(stmt.else_body, counter)
+
+
+def _feed_loop(loop: ForLoop, counter: _RegionCounter) -> None:
+    """Feed a loop's iterations with exact cycle extrapolation.
+
+    The counter's only state is the set of in-flight load destinations,
+    and its transition over one iteration is a deterministic function of
+    that set.  States are drawn from a finite universe, so the sequence
+    of iteration-entry states must cycle; once a state recurs, every
+    later iteration repeats the cycle's event delta exactly.  We replay
+    iterations until a state recurs, add ``whole_cycles x delta`` in one
+    step, and replay the (shorter-than-a-cycle) tail concretely — the
+    result is bit-identical to feeding the expanded stream, not an
+    approximation (pinned against :func:`count_regions_reference`).
+    """
+    trips = loop.annotated_trips
+    seen: Dict[frozenset, Tuple[int, int]] = {}
+    iteration = 0
+    while iteration < trips:
+        state = counter.snapshot()
+        known = seen.get(state)
+        if known is not None:
+            first_iteration, events_then = known
+            period = iteration - first_iteration
+            per_cycle = counter.events - events_then
+            whole_cycles = (trips - iteration) // period
+            counter.events += whole_cycles * per_cycle
+            iteration += whole_cycles * period
+            # A whole number of cycles returns to this exact state, so
+            # the tail (shorter than one cycle) replays concretely.
+            for _ in range(trips - iteration):
+                _feed_statements(loop.body, counter)
+            return
+        seen[state] = (iteration, counter.events)
+        _feed_statements(loop.body, counter)
+        iteration += 1
+
+
 def count_regions(kernel: Kernel) -> int:
-    """``Regions`` of Equation 2 for one kernel configuration."""
+    """``Regions`` of Equation 2 for one kernel configuration.
+
+    Loop-compressed: instead of expanding every iteration (the dominant
+    cost of the static stage — unrolled matmul kernels expand to ~10k
+    dynamic instructions each), the region state machine detects when a
+    loop's iteration-entry state recurs and extrapolates the remaining
+    iterations arithmetically.  Bit-identical to the naive expansion,
+    including the :data:`MAX_EXPANDED_INSTRUCTIONS` safety cap.
+    """
+    if _expanded_visits(kernel.body) >= MAX_EXPANDED_INSTRUCTIONS:
+        raise OverflowError(
+            "dynamic expansion exceeds "
+            f"{MAX_EXPANDED_INSTRUCTIONS} instructions; check trip counts"
+        )
+    counter = _RegionCounter(sfu_blocks=not kernel_has_longer_latency_than_sfu(kernel))
+    _feed_statements(kernel.body, counter)
+    return counter.regions
+
+
+def count_regions_reference(kernel: Kernel) -> int:
+    """The straightforward ``Regions`` computation: feed the fully
+    expanded dynamic stream through the state machine, one instruction
+    at a time.  Kept as the differential-testing oracle (and the
+    reference pipeline of the static benchmark) for
+    :func:`count_regions`."""
     counter = _RegionCounter(sfu_blocks=not kernel_has_longer_latency_than_sfu(kernel))
     for op in expand_dynamic(kernel):
         counter.feed(op)

@@ -41,6 +41,7 @@ from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.cubin.resources import ResourceUsage
+    from repro.metrics.model import MetricReport
     from repro.sim.sm import SMResult
     from repro.sim.trace import WarpTrace
 
@@ -209,9 +210,17 @@ class SimulationCache:
         self._resources: Dict[str, "ResourceUsage"] = {}
         self._traces: Dict[str, "WarpTrace"] = {}
         self._sm: Dict[Tuple[str, int], "SMResult"] = {}
+        #: full static-stage results (the compile tier): ptx accounting,
+        #: ResourceUsage, and the assembled MetricReport, keyed by
+        #: fingerprint.  Every field except ``efficiency``/``threads``
+        #: is grid-independent; the consumer re-specializes those two
+        #: from its own kernel (see Application.evaluate).
+        self._compile: Dict[str, "MetricReport"] = {}
         self.resource_hits = 0
         self.trace_hits = 0
         self.sm_hits = 0
+        self.compile_hits = 0
+        self.compile_evaluations = 0
         self.waves_simulated = 0
         self.waves_extrapolated = 0.0
         self.events_replayed = 0
@@ -228,6 +237,28 @@ class SimulationCache:
         self, fingerprint: str, resources: "ResourceUsage"
     ) -> None:
         self._resources[fingerprint] = resources
+
+    # -- compile tier (full static-stage results) ------------------------
+
+    def lookup_compile(self, fingerprint: str) -> Optional["MetricReport"]:
+        """Counting lookup: a hit means a full static evaluation saved."""
+        found = self._compile.get(fingerprint)
+        if found is not None:
+            self.compile_hits += 1
+        return found
+
+    def peek_compile(self, fingerprint: str) -> Optional["MetricReport"]:
+        """Non-counting lookup for opportunistic consumers (e.g. the
+        simulator threading in already-compiled resources)."""
+        return self._compile.get(fingerprint)
+
+    def store_compile(self, fingerprint: str, report: "MetricReport") -> None:
+        """Record a freshly evaluated configuration; counts the real
+        compile work (``compile_evaluations``) and seeds the resource
+        tier so a later simulation skips register allocation too."""
+        self._compile[fingerprint] = report
+        self.compile_evaluations += 1
+        self._resources.setdefault(fingerprint, report.resources)
 
     # -- traces ----------------------------------------------------------
 
@@ -270,6 +301,8 @@ class SimulationCache:
             "fingerprint_resource_hits": self.resource_hits,
             "fingerprint_trace_hits": self.trace_hits,
             "fingerprint_sm_hits": self.sm_hits,
+            "compile_hits": self.compile_hits,
+            "compile_evaluations": self.compile_evaluations,
             "waves_simulated": self.waves_simulated,
             "waves_extrapolated": self.waves_extrapolated,
             "events_replayed": self.events_replayed,
@@ -289,9 +322,12 @@ class SimulationCache:
         self._resources.clear()
         self._traces.clear()
         self._sm.clear()
+        self._compile.clear()
         self.resource_hits = 0
         self.trace_hits = 0
         self.sm_hits = 0
+        self.compile_hits = 0
+        self.compile_evaluations = 0
         self.waves_simulated = 0
         self.waves_extrapolated = 0.0
         self.events_replayed = 0

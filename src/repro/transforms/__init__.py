@@ -1,10 +1,16 @@
 """IR-to-IR optimization passes (paper Section 3.1)."""
 
-from repro.transforms.constfold import constant_fold
-from repro.transforms.cse import eliminate_common_subexpressions
-from repro.transforms.dce import eliminate_dead_code
-from repro.transforms.licm import hoist_loop_invariants
-from repro.transforms.pipeline import standard_cleanup
+from repro.transforms.constfold import constant_fold, constant_fold_changed
+from repro.transforms.cse import (
+    eliminate_common_subexpressions,
+    eliminate_common_subexpressions_changed,
+)
+from repro.transforms.dce import eliminate_dead_code, eliminate_dead_code_changed
+from repro.transforms.licm import (
+    hoist_loop_invariants,
+    hoist_loop_invariants_changed,
+)
+from repro.transforms.pipeline import standard_cleanup, standard_cleanup_reference
 from repro.transforms.prefetch import PrefetchError, prefetch_global_loads
 from repro.transforms.schedule import schedule_loads_early
 from repro.transforms.strength import reduce_strength
@@ -37,15 +43,20 @@ __all__ = [
     "collect_defs",
     "collect_uses",
     "constant_fold",
+    "constant_fold_changed",
     "eliminate_common_subexpressions",
+    "eliminate_common_subexpressions_changed",
     "eliminate_dead_code",
+    "eliminate_dead_code_changed",
     "hoist_loop_invariants",
+    "hoist_loop_invariants_changed",
     "prefetch_global_loads",
     "reduce_strength",
     "schedule_loads_early",
     "rewrite_instruction",
     "spill_registers",
     "standard_cleanup",
+    "standard_cleanup_reference",
     "substitute_value",
     "unroll",
 ]

@@ -10,7 +10,7 @@ use their constant offsets".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ir.instructions import Instruction, MemRef, Opcode
 from repro.ir.kernel import Kernel
@@ -218,5 +218,20 @@ class _Folder:
 
 def constant_fold(kernel: Kernel) -> Kernel:
     """Run folding + propagation + address folding once over a kernel."""
+    return constant_fold_changed(kernel)[0]
+
+
+def constant_fold_changed(kernel: Kernel) -> Tuple[Kernel, bool]:
+    """Like :func:`constant_fold`, reporting whether anything changed.
+
+    The changed flag is exact — statement dataclasses compare
+    structurally, so ``folded == original`` holds iff the sweep was an
+    identity — and an unchanged kernel is returned as the *same*
+    object, letting the fixpoint driver converge without re-emitting
+    PTX (see :func:`repro.transforms.pipeline.standard_cleanup`).
+    """
     folder = _Folder(kernel)
-    return clone_kernel(kernel, body=folder.fold_body(kernel.body))
+    body = folder.fold_body(kernel.body)
+    if body == kernel.body:
+        return kernel, False
+    return clone_kernel(kernel, body=body), True

@@ -92,6 +92,21 @@ class _CSE:
 
 def eliminate_common_subexpressions(kernel: Kernel) -> Kernel:
     """One CSE sweep over the kernel."""
+    return eliminate_common_subexpressions_changed(kernel)[0]
+
+
+def eliminate_common_subexpressions_changed(
+    kernel: Kernel,
+) -> Tuple[Kernel, bool]:
+    """Like :func:`eliminate_common_subexpressions`, reporting change.
+
+    A sweep changes the kernel iff it recorded at least one replacement
+    (every drop records one, and every recorded replacement drops an
+    instruction); the structural comparison confirms that cheaply and
+    keeps the flag exact even if the invariant ever loosens.
+    """
     cse = _CSE(kernel)
     body = cse.run_body(kernel.body, {})
-    return clone_kernel(kernel, body=body)
+    if not cse.replacements and body == kernel.body:
+        return kernel, False
+    return clone_kernel(kernel, body=body), True

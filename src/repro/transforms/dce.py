@@ -9,7 +9,7 @@ redundant loads an instruction-count optimization in the paper).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.kernel import Kernel
@@ -49,11 +49,24 @@ def _sweep(body: List[Statement], uses: Dict[VirtualRegister, int]) -> List[Stat
 
 def eliminate_dead_code(kernel: Kernel) -> Kernel:
     """Iterate use-count sweeps to a fixpoint."""
-    body = kernel.body
+    return eliminate_dead_code_changed(kernel)[0]
+
+
+def eliminate_dead_code_changed(kernel: Kernel) -> Tuple[Kernel, bool]:
+    """Like :func:`eliminate_dead_code`, reporting whether anything died.
+
+    A sweep only ever removes statements, so the statement count is an
+    exact change detector — it already drives the internal fixpoint;
+    the flag is simply whether the count moved at all.
+    """
+    original = kernel.body
+    body = original
     while True:
         swept = _sweep(body, collect_uses(body))
         if _count(swept) == _count(body):
-            return clone_kernel(kernel, body=swept)
+            if _count(swept) == _count(original):
+                return kernel, False
+            return clone_kernel(kernel, body=swept), True
         body = swept
 
 

@@ -8,7 +8,7 @@ operations are side-effect free in our model.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Set, Tuple
 
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.kernel import Kernel
@@ -100,6 +100,15 @@ def _process_body(body: List[Statement], kernel_defs: dict) -> List[Statement]:
 
 def hoist_loop_invariants(kernel: Kernel) -> Kernel:
     """Hoist invariant pure instructions out of every loop."""
+    return hoist_loop_invariants_changed(kernel)[0]
+
+
+def hoist_loop_invariants_changed(kernel: Kernel) -> Tuple[Kernel, bool]:
+    """Like :func:`hoist_loop_invariants`, reporting whether any
+    instruction moved (structural comparison — exact, and an unchanged
+    kernel is returned as the same object)."""
     kernel_defs = collect_defs(kernel.body)
     body = _process_body(kernel.body, kernel_defs)
-    return clone_kernel(kernel, body=body)
+    if body == kernel.body:
+        return kernel, False
+    return clone_kernel(kernel, body=body), True

@@ -13,12 +13,14 @@ timed.  The :class:`ExecutionEngine` owns the space instead:
 * ``simulate(config)`` results are memoized the same way, so no
   configuration is ever measured twice, no matter how many strategies
   ask for it;
-* cache misses can be fanned out across a ``concurrent.futures``
-  process pool (``workers > 1``) with deterministic result ordering —
-  results are keyed by configuration and re-assembled in request
-  order, so ``workers=4`` is bit-identical to ``workers=1``;
-* an opt-in JSON checkpoint persists measured times on disk, so an
-  interrupted sweep resumes without re-simulating anything;
+* cache misses — in *both* stages — can be fanned out across a
+  ``concurrent.futures`` process pool (``workers > 1``) with
+  deterministic result ordering: results are keyed by configuration
+  and re-assembled in request order, so ``workers=4`` is bit-identical
+  to ``workers=1``, including the telemetry counters;
+* an opt-in JSON checkpoint (format version 2) persists measured
+  times *and* static-stage results on disk, so an interrupted sweep
+  resumes without re-simulating or re-compiling anything;
 * telemetry (evaluated counts, cache hits, wall time per stage) is
   recorded on :class:`EngineStats` and surfaced by the harness report.
   Pool workers return a counter *delta* with every result (see
@@ -46,7 +48,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.occupancy import LaunchError
-from repro.metrics.model import MetricReport
+from repro.metrics.model import MetricReport, report_from_json, report_to_json
 from repro.obs.metrics import Counters, counter_delta
 from repro.obs.trace import span
 from repro.tuning.space import Configuration
@@ -56,7 +58,13 @@ logger = logging.getLogger(__name__)
 Evaluate = Callable[[Configuration], MetricReport]
 Simulate = Callable[[Configuration], float]
 
-CHECKPOINT_VERSION = 1
+#: A static-stage cache entry: (metrics, invalid_reason) — exactly one
+#: of the two is populated.
+StaticEntry = Tuple[Optional[MetricReport], Optional[str]]
+
+CHECKPOINT_VERSION = 2
+#: Version-1 checkpoints (times only, no "static" section) still load.
+SUPPORTED_CHECKPOINT_VERSIONS = frozenset({1, CHECKPOINT_VERSION})
 
 
 @dataclasses.dataclass
@@ -93,7 +101,8 @@ class EngineStats:
     static_cache_hits: int = 0       # evaluate requests served from memory
     simulations: int = 0             # underlying simulate() calls
     simulation_cache_hits: int = 0   # simulate requests served from memory
-    checkpoint_hits: int = 0         # configurations restored from disk
+    checkpoint_hits: int = 0         # measured times restored from disk
+    checkpoint_static_hits: int = 0  # static results restored from disk
     evaluate_seconds: float = 0.0    # wall time in the static stage
     simulate_seconds: float = 0.0    # wall time in the measurement stage
     pool_batches: int = 0            # batches dispatched to the pool
@@ -108,6 +117,8 @@ class EngineStats:
     fingerprint_resource_hits: int = 0   # compile passes reused across configs
     fingerprint_trace_hits: int = 0      # warp traces reused across configs
     fingerprint_sm_hits: int = 0         # SM replays reused across configs
+    compile_hits: int = 0                # static reports reused across configs
+    compile_evaluations: int = 0         # full static compiles performed
     waves_simulated: int = 0             # full SM waves actually replayed
     waves_extrapolated: float = 0.0      # waves covered by convergence instead
     events_replayed: int = 0             # dynamic trace events replayed
@@ -135,6 +146,7 @@ class EngineStats:
             f"workers={self.workers} evals={self.static_evaluations} "
             f"sims={self.simulations} cache_hits={self.cache_hits} "
             f"fp_hits={self.fingerprint_hits} "
+            f"compile_hits={self.compile_hits} "
             f"ckpt_hits={self.checkpoint_hits} "
             f"eval_wall={self.evaluate_seconds:.3f}s "
             f"sim_wall={self.simulate_seconds:.3f}s"
@@ -145,23 +157,28 @@ class EngineStats:
 
 
 # ----------------------------------------------------------------------
-# Process-pool plumbing.  The simulate callable reaches workers through
-# the pool initializer (inherited directly under the default ``fork``
-# start method), so per-task payloads are just configurations.
+# Process-pool plumbing.  The simulate/evaluate callables reach workers
+# through the pool initializer (inherited directly under the default
+# ``fork`` start method), so per-task payloads are just configurations.
 
 _WORKER_SIMULATE: Optional[Simulate] = None
+_WORKER_EVALUATE: Optional[Evaluate] = None
 _WORKER_SIM_CACHE = None
 
 
-def _pool_initializer(simulate: Simulate) -> None:
-    global _WORKER_SIMULATE, _WORKER_SIM_CACHE
+def _pool_initializer(
+    simulate: Simulate, evaluate: Optional[Evaluate] = None
+) -> None:
+    global _WORKER_SIMULATE, _WORKER_EVALUATE, _WORKER_SIM_CACHE
     _WORKER_SIMULATE = simulate
-    # When the callable is an Application bound method, the worker's
+    _WORKER_EVALUATE = evaluate
+    # When the callables are Application bound methods, the worker's
     # copy of the app carries its own SimulationCache; per-task deltas
     # of its counters ride back to the parent with each result.
-    _WORKER_SIM_CACHE = getattr(
-        getattr(simulate, "__self__", None), "sim_cache", None
-    )
+    owner = getattr(simulate, "__self__", None)
+    if owner is None:
+        owner = getattr(evaluate, "__self__", None)
+    _WORKER_SIM_CACHE = getattr(owner, "sim_cache", None)
 
 
 def _pool_simulate(
@@ -184,6 +201,29 @@ def _pool_simulate(
     return seconds, counter_delta(cache.counters(), before)
 
 
+def _pool_evaluate(
+    config: Configuration,
+) -> Tuple[Optional[MetricReport], Optional[str], Optional[Dict[str, float]]]:
+    """Evaluate one configuration's static metrics in a pool worker.
+
+    Returns ``(metrics, invalid_reason, counter_delta)``.
+    :class:`LaunchError` crosses the process boundary as its message
+    string — exactly the form ``evaluate_config`` caches — and the
+    counter delta keeps :class:`EngineStats` exact for any partition,
+    mirroring :func:`_pool_simulate`.
+    """
+    assert _WORKER_EVALUATE is not None, "pool worker not initialized"
+    cache = _WORKER_SIM_CACHE
+    before = cache.counters() if cache is not None else None
+    try:
+        metrics, reason = _WORKER_EVALUATE(config), None
+    except LaunchError as error:
+        metrics, reason = None, str(error)
+    if cache is None:
+        return metrics, reason, None
+    return metrics, reason, counter_delta(cache.counters(), before)
+
+
 class ExecutionEngine:
     """Owns one configuration space's evaluation and measurement.
 
@@ -199,14 +239,16 @@ class ExecutionEngine:
         runs everything in-process; ``None`` reads ``REPRO_WORKERS``
         from the environment (default 1).
     checkpoint_path:
-        Optional JSON file persisting measured times.  Loaded (if it
-        exists) on construction and rewritten atomically every
-        ``checkpoint_interval`` simulations and at the end of every
-        measurement batch, so an interrupt mid-batch loses at most
-        ``checkpoint_interval`` measurements.
+        Optional JSON file persisting measured times and static-stage
+        results (format version 2; version-1 files still load).
+        Loaded (if it exists) on construction and rewritten atomically
+        every ``checkpoint_interval`` new results and at the end of
+        every batch, so an interrupt mid-batch loses at most
+        ``checkpoint_interval`` results.
     checkpoint_interval:
-        How many new measurements may accumulate before the
-        checkpoint is rewritten mid-batch (default 16).
+        How many new results (measurements or static evaluations) may
+        accumulate before the checkpoint is rewritten mid-batch
+        (default 16).
     label:
         Optional tag (usually the application name) stored in the
         checkpoint and validated on resume, so a sweep cannot silently
@@ -235,13 +277,21 @@ class ExecutionEngine:
         self.workers = resolve_workers(workers)
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = max(1, int(checkpoint_interval))
-        self._unsaved_times = 0
+        self._unsaved_results = 0
         self.label = label
         self.stats = EngineStats(workers=self.workers)
-        self._static: Dict[Configuration, Tuple[Optional[MetricReport], Optional[str]]] = {}
+        self._static: Dict[Configuration, StaticEntry] = {}
+        #: configurations whose static entry was just produced by a
+        #: batch prefill (pool fan-out or checkpoint claim) and not yet
+        #: handed to a caller.  The first ``evaluate_config`` for such
+        #: a config consumes the mark instead of counting a cache hit,
+        #: so EngineStats is bit-identical across worker counts.
+        self._static_fresh: set = set()
         self._seconds: Dict[Configuration, float] = {}
         #: times loaded from disk, keyed by config_key, not yet claimed
         self._checkpoint_times: Dict[str, float] = {}
+        #: static results loaded from disk, keyed by config_key
+        self._checkpoint_static: Dict[str, StaticEntry] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_broken = False
         #: simulator-cache counter deltas returned by pool workers,
@@ -289,12 +339,19 @@ class ExecutionEngine:
         """One configuration through the static-metric cache."""
         cached = self._static.get(config)
         if cached is None:
-            try:
-                cached = (self._evaluate(config), None)
-            except LaunchError as error:
-                cached = (None, str(error))
-            self._static[config] = cached
-            self.stats.static_evaluations += 1
+            key = config_key(config)
+            if key in self._checkpoint_static:
+                cached = self._claim_checkpoint_static(config, key)
+            else:
+                try:
+                    cached = (self._evaluate(config), None)
+                except LaunchError as error:
+                    cached = (None, str(error))
+                self._record_static(config, cached)
+        elif config in self._static_fresh:
+            # First claim of a batch-prefilled result: the evaluation
+            # was already counted when the prefill produced it.
+            self._static_fresh.discard(config)
         else:
             self.stats.static_cache_hits += 1
         metrics, reason = cached
@@ -307,12 +364,81 @@ class ExecutionEngine:
         strategies can attach measured times independently) backed by
         the shared metric cache: the underlying ``evaluate`` runs at
         most once per configuration over the engine's lifetime.
+
+        Cache misses fan out across the worker pool when ``workers >
+        1`` (the same pool, chunking, and broken-pool fallback as the
+        measurement stage); results are keyed by configuration and
+        claimed in request order, so reports, invalid reasons, *and*
+        the EngineStats counters are bit-identical to a serial run.
         """
         started = time.perf_counter()
-        with span("engine.evaluate_batch", cat="engine", configs=len(configs)):
+        with span("engine.evaluate_batch", cat="engine",
+                  configs=len(configs)) as batch_span:
+            missing: List[Configuration] = []
+            seen = set()
+            for config in configs:
+                if config in self._static or config in seen:
+                    continue
+                key = config_key(config)
+                if key in self._checkpoint_static:
+                    self._claim_checkpoint_static(config, key)
+                    self._static_fresh.add(config)
+                    continue
+                seen.add(config)
+                missing.append(config)
+            batch_span.add_args(missing=len(missing))
+            if self.workers > 1 and len(missing) > 1:
+                self._evaluate_missing_pooled(missing)
             entries = [self.evaluate_config(config) for config in configs]
+            if missing:
+                self._save_checkpoint()
         self.stats.evaluate_seconds += time.perf_counter() - started
+        self._sync_sim_stats()
         return entries
+
+    def _claim_checkpoint_static(
+        self, config: Configuration, key: str
+    ) -> StaticEntry:
+        """Move one static result from the loaded checkpoint into the
+        in-memory cache (counted once, like a measured-time claim)."""
+        cached = self._checkpoint_static.pop(key)
+        self._static[config] = cached
+        self.stats.checkpoint_static_hits += 1
+        return cached
+
+    def _record_static(self, config: Configuration, cached: StaticEntry) -> None:
+        self._static[config] = cached
+        self.stats.static_evaluations += 1
+        self._unsaved_results += 1
+        if self.checkpoint_path and self._unsaved_results >= self.checkpoint_interval:
+            self._save_checkpoint()
+
+    def _evaluate_missing_pooled(self, configs: List[Configuration]) -> None:
+        """Fan the static stage out across the worker pool.
+
+        Fills ``_static`` (fresh-marked) as results arrive; a broken
+        pool degrades loudly via :meth:`_pool_failure` and whatever was
+        not filled is evaluated in-process by ``evaluate_config``.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return
+        chunk = max(1, len(configs) // (self.workers * 4))
+        self.stats.pool_batches += 1
+        with span("engine.pool_evaluate", cat="engine",
+                  configs=len(configs), workers=self.workers,
+                  chunksize=chunk):
+            try:
+                results = pool.map(_pool_evaluate, configs, chunksize=chunk)
+                for config, (metrics, reason, delta) in zip(configs, results):
+                    if delta:
+                        self._pool_counters.merge(delta)
+                    self._record_static(config, (metrics, reason))
+                    self._static_fresh.add(config)
+            except concurrent.futures.process.BrokenProcessPool as error:
+                self._pool_failure(
+                    f"process pool broke mid-batch: {error}"
+                )
 
     # ------------------------------------------------------------------
     # Measurement stage.
@@ -438,8 +564,8 @@ class ExecutionEngine:
     def _record_time(self, config: Configuration, seconds: float) -> None:
         self._seconds[config] = seconds
         self.stats.simulations += 1
-        self._unsaved_times += 1
-        if self.checkpoint_path and self._unsaved_times >= self.checkpoint_interval:
+        self._unsaved_results += 1
+        if self.checkpoint_path and self._unsaved_results >= self.checkpoint_interval:
             self._save_checkpoint()
 
     def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
@@ -450,7 +576,7 @@ class ExecutionEngine:
                 self._pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_pool_initializer,
-                    initargs=(self._simulate,),
+                    initargs=(self._simulate, self._evaluate),
                 )
             except (OSError, ValueError) as error:
                 # Pool creation can fail on fork-restricted platforms
@@ -472,10 +598,10 @@ class ExecutionEngine:
         with open(path) as handle:
             data = json.load(handle)
         version = data.get("version")
-        if version != CHECKPOINT_VERSION:
+        if version not in SUPPORTED_CHECKPOINT_VERSIONS:
             raise ValueError(
                 f"checkpoint {path!r}: unsupported version {version!r} "
-                f"(expected {CHECKPOINT_VERSION})"
+                f"(expected one of {sorted(SUPPORTED_CHECKPOINT_VERSIONS)})"
             )
         stored_label = data.get("label")
         if self.label and stored_label and stored_label != self.label:
@@ -487,6 +613,21 @@ class ExecutionEngine:
         if not isinstance(times, dict):
             raise ValueError(f"checkpoint {path!r}: malformed 'times' table")
         self._checkpoint_times = {str(key): float(value) for key, value in times.items()}
+        static = data.get("static", {})
+        if not isinstance(static, dict):
+            raise ValueError(f"checkpoint {path!r}: malformed 'static' table")
+        parsed: Dict[str, StaticEntry] = {}
+        for key, entry in static.items():
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"checkpoint {path!r}: malformed static entry {key!r}"
+                )
+            metrics = entry.get("metrics")
+            parsed[str(key)] = (
+                report_from_json(metrics) if metrics is not None else None,
+                entry.get("invalid"),
+            )
+        self._checkpoint_static = parsed
 
     def _save_checkpoint(self) -> None:
         path = self.checkpoint_path
@@ -494,10 +635,20 @@ class ExecutionEngine:
             return
         times = dict(self._checkpoint_times)  # unclaimed entries survive
         times.update({config_key(c): s for c, s in self._seconds.items()})
+        static: Dict[str, Any] = {}
+        for key, entry in self._checkpoint_static.items():
+            serialized = _static_entry_to_json(entry)
+            if serialized is not None:
+                static[key] = serialized
+        for config, entry in self._static.items():
+            serialized = _static_entry_to_json(entry)
+            if serialized is not None:
+                static[config_key(config)] = serialized
         payload = {
             "version": CHECKPOINT_VERSION,
             "label": self.label,
             "times": times,
+            "static": static,
         }
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
@@ -510,7 +661,23 @@ class ExecutionEngine:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
-        self._unsaved_times = 0
+        self._unsaved_results = 0
+
+
+def _static_entry_to_json(entry: StaticEntry) -> Optional[Dict[str, Any]]:
+    """Serialize one static-stage entry for the checkpoint, or ``None``.
+
+    Only full :class:`MetricReport` instances persist; synthetic spy
+    reports used by tests (built via ``__new__`` with a subset of the
+    fields) simply are not checkpointed rather than crashing the save.
+    """
+    metrics, reason = entry
+    if metrics is None:
+        return {"metrics": None, "invalid": reason}
+    try:
+        return {"metrics": report_to_json(metrics), "invalid": reason}
+    except (AttributeError, TypeError):
+        return None
 
 
 def resolve_workers(workers: Optional[int]) -> int:

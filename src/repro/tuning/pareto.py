@@ -11,13 +11,27 @@ clusters of Figure 6(b)) stand or fall together.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
 
 Point = Tuple[float, float]
 
 
+def _has_nan(point: Point) -> bool:
+    return math.isnan(point[0]) or math.isnan(point[1])
+
+
 def dominates(a: Point, b: Point) -> bool:
-    """True when ``a`` is at least as good on both axes and better on one."""
+    """True when ``a`` is at least as good on both axes and better on one.
+
+    A point with a NaN coordinate is incomparable: it neither dominates
+    nor is dominated.  (Without this rule dominance is incoherent —
+    ``(5, nan)`` would "dominate" ``(4, 1)`` through a False NaN
+    comparison while being dominated by ``(6, 1)`` — and the sweep in
+    :func:`pareto_indices` could disagree with the naive filter.)
+    """
+    if _has_nan(a) or _has_nan(b):
+        return False
     if a[0] < b[0] or a[1] < b[1]:
         return False
     return a[0] > b[0] or a[1] > b[1]
@@ -30,7 +44,18 @@ def pareto_indices(points: Sequence[Point]) -> List[int]:
     unless an already-seen point with a strictly greater first
     coordinate has a >= second coordinate, or an equal-first-coordinate
     point has a strictly greater second coordinate.
+
+    Points with a NaN coordinate are incomparable under
+    :func:`dominates`, so they always survive; the sweep runs over the
+    finite points only (NaN keys would poison the sort ordering).
     """
+    nan_survivors = [i for i, p in enumerate(points) if _has_nan(p)]
+    if nan_survivors:
+        finite = [i for i in range(len(points)) if not _has_nan(points[i])]
+        return sorted(
+            nan_survivors
+            + [finite[j] for j in pareto_indices([points[i] for i in finite])]
+        )
     order = sorted(range(len(points)), key=lambda i: (-points[i][0], -points[i][1]))
     survivors: List[int] = []
     best_y_strictly_left = float("-inf")   # max y among strictly greater x

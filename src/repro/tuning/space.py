@@ -7,18 +7,24 @@ from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 
 class Configuration(Mapping):
-    """One point of an optimization space: immutable, hashable."""
+    """One point of an optimization space: immutable, hashable.
 
-    __slots__ = ("_items",)
+    Identity (hashing, equality, ordering of ``repr``) lives in the
+    sorted ``_items`` tuple; ``_index`` is a derived dict giving O(1)
+    key lookups — every ``build_kernel`` reads a handful of parameters,
+    so the previous linear scan was a measurable slice of the static
+    stage.
+    """
+
+    __slots__ = ("_items", "_index")
 
     def __init__(self, values: Mapping[str, Any]) -> None:
-        object.__setattr__(self, "_items", tuple(sorted(values.items())))
+        items = tuple(sorted(values.items()))
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_index", dict(items))
 
     def __getitem__(self, key: str) -> Any:
-        for name, value in self._items:
-            if name == key:
-                return value
-        raise KeyError(key)
+        return self._index[key]
 
     def __iter__(self) -> Iterator[str]:
         return (name for name, _ in self._items)

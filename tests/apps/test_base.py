@@ -28,9 +28,10 @@ class TestCaching:
         app.evaluate(config)
         app.simulate(config)
         app.clear_caches()
-        assert not app._metric_cache
+        assert not app._fingerprint_cache
         assert not app._time_cache
         assert not app._kernel_cache
+        assert app.sim_cache.counters()["compile_evaluations"] == 0
 
 
 class TestRunConfig:

@@ -87,10 +87,72 @@ class TestSimulationCache:
             "fingerprint_resource_hits": 0,
             "fingerprint_trace_hits": 0,
             "fingerprint_sm_hits": 0,
+            "compile_hits": 0,
+            "compile_evaluations": 0,
             "waves_simulated": 0,
             "waves_extrapolated": 0.0,
             "events_replayed": 0,
         }
+
+
+class TestCompileTier:
+    """Content-addressed sharing of whole static reports."""
+
+    def test_repeat_evaluate_hits_compile_tier(self):
+        app = MatMul().test_instance()
+        config = app.default_configuration()
+        first = app.evaluate(config)
+        second = app.evaluate(config)
+        assert second is first
+        counters = app.sim_cache.counters()
+        assert counters["compile_evaluations"] == 1
+        assert counters["compile_hits"] == 1
+
+    def test_mri_invocation_splits_share_compiles(self):
+        """The seven invocation splits of one (block, unroll) pair have
+        identical per-launch kernels; the compile tier must collapse
+        them onto a single evaluation."""
+        app = MriFhd().test_instance()
+        space = [c for c in app.space()]
+        base = space[0]
+        cluster = [c for c in space
+                   if c["block"] == base["block"]
+                   and c["unroll"] == base["unroll"]]
+        assert len(cluster) > 1
+        reports = [app.evaluate(config) for config in cluster]
+        counters = app.sim_cache.counters()
+        assert counters["compile_evaluations"] == 1
+        assert counters["compile_hits"] == len(cluster) - 1
+        assert all(report == reports[0] for report in reports)
+
+    def test_compile_hit_respecializes_grid_dependent_fields(self):
+        """The fingerprint excludes the grid; on a hit, efficiency and
+        threads are recomputed for this kernel's grid — bit-identical
+        to a fresh evaluation."""
+        from repro.apps.base import Application
+        from repro.metrics.model import evaluate_kernel
+
+        app = MatMul().test_instance()
+        kernel = app.kernel(app.default_configuration())
+        regridded = dataclasses.replace(
+            kernel, grid_dim=dataclasses.replace(
+                kernel.grid_dim, x=kernel.grid_dim.x * 2
+            )
+        )
+        base = evaluate_kernel(kernel)
+        specialized = Application._specialize_report(base, regridded)
+        assert specialized == evaluate_kernel(regridded)
+        assert specialized.threads == regridded.total_threads
+        assert specialized.efficiency != base.efficiency
+
+    def test_evaluate_seeds_resources_for_simulation(self):
+        """The static stage's compile results thread into simulation:
+        a simulate after evaluate reuses the stored ResourceUsage."""
+        app = MatMul().test_instance()
+        config = app.default_configuration()
+        report = app.evaluate(config)
+        app.simulate(config)
+        assert app._resources_for(config) == report.resources
 
 
 class TestEngineStatsSync:

@@ -92,6 +92,61 @@ class TestParetoIndices:
         assert best_y in survivors
 
 
+NAN = float("nan")
+
+coordinate_or_nan = st.one_of(
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+    st.just(NAN),
+)
+points_with_nan_strategy = st.lists(
+    st.tuples(coordinate_or_nan, coordinate_or_nan),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _naive_pareto(pts):
+    """The O(n^2) dominates-filter the sweep must agree with."""
+    return [
+        i for i, p in enumerate(pts)
+        if not any(dominates(q, p) for q in pts)
+    ]
+
+
+class TestEdgeCases:
+    def test_all_identical_points_all_kept(self):
+        points = [(0.5, 0.5)] * 7
+        assert pareto_indices(points) == list(range(7))
+
+    def test_nan_points_never_dominate(self):
+        assert not dominates((5.0, NAN), (4.0, 1.0))
+        assert not dominates((NAN, 5.0), (1.0, 4.0))
+        assert not dominates((NAN, NAN), (0.0, 0.0))
+
+    def test_nan_points_never_dominated(self):
+        assert not dominates((6.0, 1.0), (5.0, NAN))
+        assert not dominates((1.0, 6.0), (NAN, 5.0))
+        assert not dominates((1.0, 1.0), (NAN, NAN))
+
+    def test_nan_points_survive_alongside_finite_front(self):
+        points = [(5.0, NAN), (4.0, 1.0), (6.0, 1.0), (NAN, NAN)]
+        # (4, 1) is dominated by (6, 1); both NaN points are
+        # incomparable and stand.
+        assert pareto_indices(points) == [0, 2, 3]
+
+    def test_all_nan_all_kept(self):
+        points = [(NAN, NAN), (NAN, 0.5), (0.5, NAN)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    @given(points_with_nan_strategy)
+    def test_nan_inputs_agree_with_quadratic_reference(self, points):
+        assert pareto_indices(points) == _naive_pareto(points)
+
+    @given(points_with_nan_strategy)
+    def test_nan_inputs_never_empty(self, points):
+        assert pareto_indices(points)
+
+
 class TestParetoFront:
     def test_sorted_by_first_coordinate(self):
         points = [(0.1, 0.9), (0.9, 0.1), (0.5, 0.5)]
