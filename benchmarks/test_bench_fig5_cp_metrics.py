@@ -7,8 +7,6 @@ execution time closely through tiling factor 8, and at 16 the
 utilization collapse cancels further efficiency gains.
 """
 
-import pytest
-
 from repro.harness import figure5_series
 
 

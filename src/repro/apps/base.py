@@ -187,18 +187,23 @@ class Application(abc.ABC):
         return result
 
     def search_engine(self, workers: Optional[int] = 1,
-                      checkpoint_path: Optional[str] = None):
+                      checkpoint_path: Optional[str] = None,
+                      retry_policy=None, fault_spec: Optional[str] = None):
         """An :class:`~repro.tuning.engine.ExecutionEngine` over this app.
 
         The engine memoizes ``evaluate``/``simulate`` and (for
-        ``workers > 1``) fans simulations out across a process pool;
-        share one engine across search strategies to avoid re-measuring
-        the same configurations.
+        ``workers > 1``) fans simulations out across the fault-tolerant
+        sweep scheduler; share one engine across search strategies to
+        avoid re-measuring the same configurations.  ``retry_policy``
+        and ``fault_spec`` are forwarded to the scheduler (``None``
+        reads ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES`` and
+        ``REPRO_FAULTS`` from the environment).
         """
         from repro.tuning.engine import ExecutionEngine
 
         return ExecutionEngine.for_app(
-            self, workers=workers, checkpoint_path=checkpoint_path
+            self, workers=workers, checkpoint_path=checkpoint_path,
+            retry_policy=retry_policy, fault_spec=fault_spec,
         )
 
     # ------------------------------------------------------------------

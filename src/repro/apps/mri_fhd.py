@@ -30,7 +30,7 @@ from repro.arch.memory import MemorySpace
 from repro.ir.builder import CTAID_X, TID_X, KernelBuilder
 from repro.ir.kernel import Dim3, Kernel
 from repro.ir.types import DataType
-from repro.metrics.model import MetricReport, evaluate_kernel
+from repro.metrics.model import MetricReport
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
 from repro.transforms.pipeline import standard_cleanup
 from repro.transforms.unroll import unroll

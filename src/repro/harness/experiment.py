@@ -123,23 +123,30 @@ def run_experiment(
     workers: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     engine: Optional[ExecutionEngine] = None,
+    retry_policy=None,
+    fault_spec: Optional[str] = None,
 ) -> AppExperiment:
     """Run exhaustive + Pareto (and optionally random) searches.
 
-    ``workers`` widens the simulation process pool; the default
+    ``workers`` widens the sweep scheduler's worker pool; the default
     (``None``) defers to the ``REPRO_WORKERS`` environment variable,
     so a whole suite can be switched to pooled execution without
     touching call sites (results are bit-identical either way).
-    ``checkpoint_path`` turns on the on-disk resume cache.  Pass an
-    ``engine`` to reuse caches across calls — otherwise one is created
-    (and its pool torn down) per experiment.
+    ``checkpoint_path`` turns on the on-disk resume cache.
+    ``retry_policy`` and ``fault_spec`` configure the scheduler's
+    fault-tolerance knobs and deterministic fault injection (``None``
+    defers to ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES`` and
+    ``REPRO_FAULTS``).  Pass an ``engine`` to reuse caches across
+    calls — otherwise one is created (and its pool torn down) per
+    experiment.
     """
     configs = app.space().configurations()
     started = time.perf_counter()
     owns_engine = engine is None
     if engine is None:
         engine = ExecutionEngine.for_app(
-            app, workers=workers, checkpoint_path=checkpoint_path
+            app, workers=workers, checkpoint_path=checkpoint_path,
+            retry_policy=retry_policy, fault_spec=fault_spec,
         )
     try:
         with span("harness.experiment", cat="harness", app=app.name,

@@ -16,6 +16,7 @@ from repro.harness.figures import (
 from repro.harness.tables import (
     engine_rows,
     format_table,
+    scheduler_rows,
     simulator_rows,
     span_rows,
     table3_rows,
@@ -173,6 +174,25 @@ def render_report(
             write("**Warning:** at least one run degraded from the worker\n")
             write("pool to in-process simulation (see the harness log for\n")
             write("the reason); wall times above are not pooled times.\n\n")
+
+    # ----------------------------------------- Fault-tolerance telemetry
+    fault_telemetry = scheduler_rows(experiments)
+    if fault_telemetry:
+        write("## Fault-tolerance telemetry\n\n")
+        write("The sweep scheduler absorbed failures during this run (see\n")
+        write("docs/fault_tolerance.md): retries are re-queued task\n")
+        write("attempts, timeouts are deadline kills of hung workers,\n")
+        write("crashes are worker processes that died mid-task, and\n")
+        write("serial_tasks exhausted the pool's retry budget and ran\n")
+        write("in-process.  Counts are exact under any worker count, and\n")
+        write("results remain bit-identical to a serial run.\n\n")
+        write("```\n")
+        write(format_table(
+            fault_telemetry,
+            ["application", "retries", "timeouts", "errors", "crashes",
+             "quarantined", "serial_tasks", "backoff_s", "pool_fallbacks"],
+        ))
+        write("\n```\n\n")
 
     # ---------------------------------------------- Simulator telemetry
     sim_telemetry = simulator_rows(experiments)

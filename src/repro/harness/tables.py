@@ -77,6 +77,39 @@ def engine_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
     return rows
 
 
+def scheduler_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Fault-tolerance telemetry per application.
+
+    Counts are exact (accumulated in the parent process, see
+    repro.tuning.scheduler): retries, deadline kills, worker crashes,
+    quarantined worker slots, tasks that exhausted the pool's retry
+    budget and ran in-process, and the total scheduled backoff delay.
+    All-zero rows are skipped — the table only appears when some
+    recovery machinery actually fired.
+    """
+    rows = []
+    for experiment in experiments:
+        stats = experiment.engine_stats
+        if stats is None:
+            continue
+        recoveries = getattr(stats, "fault_recoveries", 0)
+        if not (recoveries or getattr(stats, "serial_fallback_tasks", 0)
+                or getattr(stats, "pool_fallbacks", 0)):
+            continue
+        rows.append({
+            "application": experiment.name,
+            "retries": stats.task_retries,
+            "timeouts": stats.task_timeouts,
+            "errors": stats.task_errors,
+            "crashes": stats.worker_crashes,
+            "quarantined": stats.workers_quarantined,
+            "serial_tasks": stats.serial_fallback_tasks,
+            "backoff_s": stats.backoff_seconds,
+            "pool_fallbacks": stats.pool_fallbacks,
+        })
+    return rows
+
+
 def simulator_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
     """Simulator-cache telemetry per application.
 

@@ -32,7 +32,7 @@ from repro.interp.executor import (
 from repro.interp.state import numpy_dtype
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.kernel import Kernel
-from repro.ir.statements import ForLoop, If, Statement
+from repro.ir.statements import ForLoop, If
 from repro.ir.types import CmpOp, DataType
 from repro.ir.values import (
     Immediate,

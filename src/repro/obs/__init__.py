@@ -12,8 +12,19 @@ The subsystem exists to make the harness's self-reported numbers
   SM replays) recorded against a global tracer and exported as a
   Chrome-trace JSON (``chrome://tracing`` / Perfetto).  Disabled by
   default with near-zero overhead: the hot paths pay one flag check.
+* :mod:`repro.obs.faults` — deterministic fault injection for the
+  sweep scheduler: a seeded :class:`FaultPlan` makes chosen task
+  indices raise, hang, or kill their worker, so every recovery path
+  is exercised by the chaos suite instead of trusted.
 """
 
+from repro.obs.faults import (
+    FAULTS_ENV,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    FaultSpecError,
+)
 from repro.obs.metrics import Counters, counter_delta
 from repro.obs.trace import (
     Tracer,
@@ -27,6 +38,11 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counters",
+    "FAULTS_ENV",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpecError",
     "Tracer",
     "counter_delta",
     "current_tracer",

@@ -26,8 +26,7 @@ value) is conservatively unknown.
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.arch.memory import MemorySpace, SHARED_MEMORY_BANKS
 from repro.ir.instructions import Instruction, Opcode

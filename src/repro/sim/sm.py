@@ -45,7 +45,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.trace import current_tracer
 from repro.sim.config import SimConfig
-from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE, WarpTrace
+from repro.sim.trace import WarpTrace
 
 
 class SimulationDeadlock(RuntimeError):

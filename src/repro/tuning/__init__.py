@@ -8,6 +8,12 @@ from repro.tuning.engine import (
     resolve_workers,
 )
 from repro.tuning.pareto import dominates, pareto_front, pareto_indices
+from repro.tuning.scheduler import (
+    RetryPolicy,
+    SchedulerError,
+    SchedulerStats,
+    SweepScheduler,
+)
 from repro.tuning.search import (
     EvaluatedConfig,
     SearchResult,
@@ -25,7 +31,11 @@ __all__ = [
     "EngineStats",
     "EvaluatedConfig",
     "ExecutionEngine",
+    "RetryPolicy",
+    "SchedulerError",
+    "SchedulerStats",
     "SearchResult",
+    "SweepScheduler",
     "cartesian",
     "cluster_by_metrics",
     "cluster_representatives",

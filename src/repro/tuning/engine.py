@@ -13,21 +13,28 @@ timed.  The :class:`ExecutionEngine` owns the space instead:
 * ``simulate(config)`` results are memoized the same way, so no
   configuration is ever measured twice, no matter how many strategies
   ask for it;
-* cache misses — in *both* stages — can be fanned out across a
-  ``concurrent.futures`` process pool (``workers > 1``) with
-  deterministic result ordering: results are keyed by configuration
-  and re-assembled in request order, so ``workers=4`` is bit-identical
-  to ``workers=1``, including the telemetry counters;
+* cache misses — in *both* stages — fan out across a fault-tolerant
+  work-queue scheduler (:class:`~repro.tuning.scheduler.SweepScheduler`)
+  when ``workers > 1``: per-task dispatch with a configurable timeout,
+  bounded retry with deterministic backoff, worker quarantine, and
+  serial fallback only for tasks that exhaust their retry budget.
+  Results are keyed by configuration and re-assembled in request
+  order, so ``workers=4`` is bit-identical to ``workers=1`` — results
+  *and* telemetry counters — even under injected faults (see
+  :mod:`repro.obs.faults`);
 * an opt-in JSON checkpoint (format version 2) persists measured
-  times *and* static-stage results on disk, so an interrupted sweep
-  resumes without re-simulating or re-compiling anything;
-* telemetry (evaluated counts, cache hits, wall time per stage) is
-  recorded on :class:`EngineStats` and surfaced by the harness report.
-  Pool workers return a counter *delta* with every result (see
-  :func:`_pool_simulate`), so simulator-cache telemetry is exact for
-  any worker count — not just in serial mode;
-* a pool that cannot be created or breaks mid-batch degrades to
-  in-process simulation *loudly*: the dead executor is shut down, the
+  times *and* static-stage results on disk, flushed incrementally as
+  results stream in (every ``checkpoint_interval`` new results), so an
+  interrupted or killed sweep resumes losslessly; a truncated or
+  corrupt checkpoint is detected, warned about, and discarded — the
+  sweep restarts cleanly instead of crashing on a raw decode error;
+* telemetry (evaluated counts, cache hits, wall time per stage,
+  retries/timeouts/quarantines) is recorded on :class:`EngineStats`
+  and surfaced by the harness report.  Pool workers return a counter
+  *delta* with every successful result, so simulator-cache telemetry
+  is exact for any worker count — not just in serial mode;
+* a scheduler that cannot be started, or whose entire worker pool is
+  quarantined away, degrades to in-process execution *loudly*: the
   degradation is counted (``EngineStats.pool_fallbacks``) with its
   reason, and a warning is logged.
 
@@ -38,7 +45,6 @@ thin wrappers that build a private single-worker engine.
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import json
 import logging
@@ -49,8 +55,16 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.occupancy import LaunchError
 from repro.metrics.model import MetricReport, report_from_json, report_to_json
-from repro.obs.metrics import Counters, counter_delta
+from repro.obs.faults import FAULTS_ENV, FaultPlan
+from repro.obs.metrics import Counters
 from repro.obs.trace import span
+from repro.tuning.scheduler import (
+    SIMULATE,
+    STATIC,
+    RetryPolicy,
+    SchedulerError,
+    SweepScheduler,
+)
 from repro.tuning.space import Configuration
 
 logger = logging.getLogger(__name__)
@@ -92,6 +106,10 @@ def config_key(config: Configuration) -> str:
     return json.dumps(dict(config), sort_keys=True, default=repr)
 
 
+class _CorruptCheckpoint(Exception):
+    """Internal marker: the checkpoint file cannot be trusted."""
+
+
 @dataclasses.dataclass
 class EngineStats:
     """Telemetry for one engine: counts, cache hits, per-stage wall time."""
@@ -103,17 +121,30 @@ class EngineStats:
     simulation_cache_hits: int = 0   # simulate requests served from memory
     checkpoint_hits: int = 0         # measured times restored from disk
     checkpoint_static_hits: int = 0  # static results restored from disk
+    checkpoint_corrupt: int = 0      # corrupt checkpoints discarded on load
     evaluate_seconds: float = 0.0    # wall time in the static stage
     simulate_seconds: float = 0.0    # wall time in the measurement stage
     pool_batches: int = 0            # batches dispatched to the pool
     pool_fallbacks: int = 0          # pool -> serial degradations
     pool_fallback_reason: Optional[str] = None  # why the last one happened
 
+    # Fault-tolerance telemetry, mirrored from SchedulerStats after
+    # every pooled batch.  These are counted in the parent process, so
+    # they are exact under any worker count and match an injected
+    # FaultPlan deterministically (pinned by the chaos suite).
+    task_retries: int = 0            # task attempts re-queued after failure
+    task_timeouts: int = 0           # deadline kills (hung tasks)
+    task_errors: int = 0             # exceptions returned by workers
+    worker_crashes: int = 0          # worker processes that died on a task
+    workers_quarantined: int = 0     # worker slots retired for repeat failure
+    serial_fallback_tasks: int = 0   # tasks that exhausted pool retries
+    backoff_seconds: float = 0.0     # total scheduled retry delay
+
     # Content-addressed simulator cache telemetry (see
     # repro.sim.fingerprint).  In-process work is mirrored from the
     # app's SimulationCache after each measurement batch; pool workers
-    # return a per-task counter delta with every result (see
-    # _pool_simulate), so these totals are exact for any worker count.
+    # return a per-task counter delta with every result, so these
+    # totals are exact for any worker count.
     fingerprint_resource_hits: int = 0   # compile passes reused across configs
     fingerprint_trace_hits: int = 0      # warp traces reused across configs
     fingerprint_sm_hits: int = 0         # SM replays reused across configs
@@ -135,10 +166,16 @@ class EngineStats:
             + self.fingerprint_sm_hits
         )
 
+    @property
+    def fault_recoveries(self) -> int:
+        """Failed task attempts the scheduler absorbed without losing work."""
+        return self.task_errors + self.task_timeouts + self.worker_crashes
+
     def as_dict(self) -> Dict[str, Any]:
         out = dataclasses.asdict(self)
         out["cache_hits"] = self.cache_hits
         out["fingerprint_hits"] = self.fingerprint_hits
+        out["fault_recoveries"] = self.fault_recoveries
         return out
 
     def summary(self) -> str:
@@ -151,77 +188,19 @@ class EngineStats:
             f"eval_wall={self.evaluate_seconds:.3f}s "
             f"sim_wall={self.simulate_seconds:.3f}s"
         )
+        if self.fault_recoveries:
+            text += (
+                f" retries={self.task_retries}"
+                f" timeouts={self.task_timeouts}"
+                f" crashes={self.worker_crashes}"
+            )
+        if self.workers_quarantined:
+            text += f" quarantined={self.workers_quarantined}"
+        if self.serial_fallback_tasks:
+            text += f" serial_fallback_tasks={self.serial_fallback_tasks}"
         if self.pool_fallbacks:
             text += f" pool_fallbacks={self.pool_fallbacks}"
         return text
-
-
-# ----------------------------------------------------------------------
-# Process-pool plumbing.  The simulate/evaluate callables reach workers
-# through the pool initializer (inherited directly under the default
-# ``fork`` start method), so per-task payloads are just configurations.
-
-_WORKER_SIMULATE: Optional[Simulate] = None
-_WORKER_EVALUATE: Optional[Evaluate] = None
-_WORKER_SIM_CACHE = None
-
-
-def _pool_initializer(
-    simulate: Simulate, evaluate: Optional[Evaluate] = None
-) -> None:
-    global _WORKER_SIMULATE, _WORKER_EVALUATE, _WORKER_SIM_CACHE
-    _WORKER_SIMULATE = simulate
-    _WORKER_EVALUATE = evaluate
-    # When the callables are Application bound methods, the worker's
-    # copy of the app carries its own SimulationCache; per-task deltas
-    # of its counters ride back to the parent with each result.
-    owner = getattr(simulate, "__self__", None)
-    if owner is None:
-        owner = getattr(evaluate, "__self__", None)
-    _WORKER_SIM_CACHE = getattr(owner, "sim_cache", None)
-
-
-def _pool_simulate(
-    config: Configuration,
-) -> Tuple[float, Optional[Dict[str, float]]]:
-    """Simulate one configuration in a pool worker.
-
-    Returns ``(seconds, counter_delta)``: the change in the worker's
-    simulator-cache counters across this task (``None`` when the
-    callable has no cache).  The parent engine aggregates the deltas,
-    so :class:`EngineStats` stays exact however the batch was
-    partitioned across workers.
-    """
-    assert _WORKER_SIMULATE is not None, "pool worker not initialized"
-    cache = _WORKER_SIM_CACHE
-    if cache is None:
-        return _WORKER_SIMULATE(config), None
-    before = cache.counters()
-    seconds = _WORKER_SIMULATE(config)
-    return seconds, counter_delta(cache.counters(), before)
-
-
-def _pool_evaluate(
-    config: Configuration,
-) -> Tuple[Optional[MetricReport], Optional[str], Optional[Dict[str, float]]]:
-    """Evaluate one configuration's static metrics in a pool worker.
-
-    Returns ``(metrics, invalid_reason, counter_delta)``.
-    :class:`LaunchError` crosses the process boundary as its message
-    string — exactly the form ``evaluate_config`` caches — and the
-    counter delta keeps :class:`EngineStats` exact for any partition,
-    mirroring :func:`_pool_simulate`.
-    """
-    assert _WORKER_EVALUATE is not None, "pool worker not initialized"
-    cache = _WORKER_SIM_CACHE
-    before = cache.counters() if cache is not None else None
-    try:
-        metrics, reason = _WORKER_EVALUATE(config), None
-    except LaunchError as error:
-        metrics, reason = None, str(error)
-    if cache is None:
-        return metrics, reason, None
-    return metrics, reason, counter_delta(cache.counters(), before)
 
 
 class ExecutionEngine:
@@ -235,16 +214,18 @@ class ExecutionEngine:
     simulate:
         ``config -> seconds``; the expensive measurement.
     workers:
-        Process-pool width for simulation fan-out.  ``1`` (default)
-        runs everything in-process; ``None`` reads ``REPRO_WORKERS``
-        from the environment (default 1).
+        Worker-pool width for sweep fan-out.  ``1`` (default) runs
+        everything in-process; ``None`` reads ``REPRO_WORKERS`` from
+        the environment (default 1).
     checkpoint_path:
         Optional JSON file persisting measured times and static-stage
         results (format version 2; version-1 files still load).
         Loaded (if it exists) on construction and rewritten atomically
-        every ``checkpoint_interval`` new results and at the end of
-        every batch, so an interrupt mid-batch loses at most
-        ``checkpoint_interval`` results.
+        every ``checkpoint_interval`` new results — results stream in
+        completion order, so an interrupt mid-batch loses at most
+        ``checkpoint_interval`` results.  A corrupt or truncated file
+        is discarded with a warning (``checkpoint_corrupt`` counts it)
+        and the sweep restarts fresh.
     checkpoint_interval:
         How many new results (measurements or static evaluations) may
         accumulate before the checkpoint is rewritten mid-batch
@@ -259,6 +240,17 @@ class ExecutionEngine:
         measurement batch (``for_app`` wires up the application's
         cache automatically).  The engine never reads or writes the
         cache itself — the simulate callable owns it.
+    retry_policy:
+        Optional :class:`~repro.tuning.scheduler.RetryPolicy` for the
+        sweep scheduler (timeout, retry budget, backoff, quarantine
+        threshold).  ``None`` builds one from the environment
+        (``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES``).
+    fault_spec:
+        Optional deterministic fault-injection spec (see
+        :mod:`repro.obs.faults`) threaded into pool workers.  ``None``
+        reads ``REPRO_FAULTS`` from the environment; injected faults
+        never fire on the in-process serial path, so a faulted sweep
+        still completes with bit-identical results.
     """
 
     def __init__(
@@ -270,6 +262,8 @@ class ExecutionEngine:
         label: Optional[str] = None,
         checkpoint_interval: int = 16,
         sim_cache=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_spec: Optional[str] = None,
     ) -> None:
         self._evaluate = evaluate
         self._simulate = simulate
@@ -279,6 +273,15 @@ class ExecutionEngine:
         self.checkpoint_interval = max(1, int(checkpoint_interval))
         self._unsaved_results = 0
         self.label = label
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy.from_env()
+        )
+        if fault_spec is None:
+            fault_spec = os.environ.get(FAULTS_ENV) or None
+        # Parse eagerly so a malformed REPRO_FAULTS fails at engine
+        # construction with a named error, not inside a forked worker.
+        FaultPlan.from_spec(fault_spec)
+        self.fault_spec = fault_spec
         self.stats = EngineStats(workers=self.workers)
         self._static: Dict[Configuration, StaticEntry] = {}
         #: configurations whose static entry was just produced by a
@@ -292,7 +295,7 @@ class ExecutionEngine:
         self._checkpoint_times: Dict[str, float] = {}
         #: static results loaded from disk, keyed by config_key
         self._checkpoint_static: Dict[str, StaticEntry] = {}
-        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._scheduler: Optional[SweepScheduler] = None
         self._pool_broken = False
         #: simulator-cache counter deltas returned by pool workers,
         #: merged into ``stats`` alongside the in-process counters
@@ -306,6 +309,8 @@ class ExecutionEngine:
         app,
         workers: Optional[int] = 1,
         checkpoint_path: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_spec: Optional[str] = None,
     ) -> "ExecutionEngine":
         """Engine around an :class:`~repro.apps.base.Application`."""
         return cls(
@@ -315,6 +320,8 @@ class ExecutionEngine:
             checkpoint_path=checkpoint_path,
             label=app.name,
             sim_cache=getattr(app, "sim_cache", None),
+            retry_policy=retry_policy,
+            fault_spec=fault_spec,
         )
 
     # ------------------------------------------------------------------
@@ -322,9 +329,9 @@ class ExecutionEngine:
 
     def close(self) -> None:
         """Shut down the worker pool (caches and stats survive)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -365,11 +372,13 @@ class ExecutionEngine:
         the shared metric cache: the underlying ``evaluate`` runs at
         most once per configuration over the engine's lifetime.
 
-        Cache misses fan out across the worker pool when ``workers >
-        1`` (the same pool, chunking, and broken-pool fallback as the
-        measurement stage); results are keyed by configuration and
-        claimed in request order, so reports, invalid reasons, *and*
-        the EngineStats counters are bit-identical to a serial run.
+        Cache misses fan out across the sweep scheduler when ``workers
+        > 1`` (the same worker pool, retry policy, and fallback rules
+        as the measurement stage); results are keyed by configuration
+        and claimed in request order, so reports, invalid reasons,
+        *and* the EngineStats counters are bit-identical to a serial
+        run.  Tasks the scheduler abandons (retry budget exhausted)
+        are evaluated in-process by ``evaluate_config`` below.
         """
         started = time.perf_counter()
         with span("engine.evaluate_batch", cat="engine",
@@ -414,31 +423,29 @@ class ExecutionEngine:
             self._save_checkpoint()
 
     def _evaluate_missing_pooled(self, configs: List[Configuration]) -> None:
-        """Fan the static stage out across the worker pool.
+        """Fan the static stage out across the sweep scheduler.
 
-        Fills ``_static`` (fresh-marked) as results arrive; a broken
-        pool degrades loudly via :meth:`_pool_failure` and whatever was
-        not filled is evaluated in-process by ``evaluate_config``.
+        Fills ``_static`` (fresh-marked) as results stream in; tasks
+        the scheduler abandons are left unfilled and handled by the
+        in-process ``evaluate_config`` path, where injected faults
+        never fire and real errors surface normally.
         """
-        pool = self._ensure_pool()
-        if pool is None:
+        scheduler = self._ensure_scheduler()
+        if scheduler is None:
             return
-        chunk = max(1, len(configs) // (self.workers * 4))
         self.stats.pool_batches += 1
         with span("engine.pool_evaluate", cat="engine",
-                  configs=len(configs), workers=self.workers,
-                  chunksize=chunk):
-            try:
-                results = pool.map(_pool_evaluate, configs, chunksize=chunk)
-                for config, (metrics, reason, delta) in zip(configs, results):
-                    if delta:
-                        self._pool_counters.merge(delta)
-                    self._record_static(config, (metrics, reason))
-                    self._static_fresh.add(config)
-            except concurrent.futures.process.BrokenProcessPool as error:
-                self._pool_failure(
-                    f"process pool broke mid-batch: {error}"
-                )
+                  configs=len(configs), workers=scheduler.active_workers):
+
+            def record(position, payload, delta):
+                if delta:
+                    self._pool_counters.merge(delta)
+                metrics, reason = payload
+                self._record_static(configs[position], (metrics, reason))
+                self._static_fresh.add(configs[position])
+
+            abandoned = scheduler.run(STATIC, configs, record)
+        self._after_pool_batch(scheduler, abandoned, stage="static")
 
     # ------------------------------------------------------------------
     # Measurement stage.
@@ -446,10 +453,11 @@ class ExecutionEngine:
     def seconds_for(self, configs: Sequence[Configuration]) -> List[float]:
         """Measured seconds for each configuration, in request order.
 
-        Cache misses are simulated (through the pool when ``workers >
-        1``); hits are returned from memory or the checkpoint.  The
-        returned list always aligns with ``configs``, so callers see
-        deterministic ordering regardless of worker count.
+        Cache misses are simulated (through the scheduler when
+        ``workers > 1``); hits are returned from memory or the
+        checkpoint.  The returned list always aligns with ``configs``,
+        so callers see deterministic ordering regardless of worker
+        count.
         """
         started = time.perf_counter()
         with span("engine.simulate_batch", cat="engine",
@@ -486,59 +494,78 @@ class ExecutionEngine:
         return total
 
     def _simulate_missing(self, configs: List[Configuration]) -> None:
-        """Measure every config, recording (and checkpointing) as results
-        arrive — an interrupt mid-batch loses at most
+        """Measure every config, recording (and checkpointing) results
+        as they stream in — an interrupt mid-batch loses at most
         ``checkpoint_interval`` measurements."""
         remaining = configs
         if self.workers > 1 and len(remaining) > 1:
-            pool = self._ensure_pool()
-            if pool is not None:
-                chunk = max(1, len(remaining) // (self.workers * 4))
+            scheduler = self._ensure_scheduler()
+            if scheduler is not None:
                 self.stats.pool_batches += 1
                 with span("engine.pool_dispatch", cat="engine",
-                          configs=len(remaining), workers=self.workers,
-                          chunksize=chunk):
-                    try:
-                        results = pool.map(
-                            _pool_simulate, remaining, chunksize=chunk
-                        )
-                        for config, (seconds, delta) in zip(remaining, results):
-                            if delta:
-                                self._pool_counters.merge(delta)
-                            self._record_time(config, seconds)
-                        return
-                    except concurrent.futures.process.BrokenProcessPool as error:
-                        # A worker died (or the callable cannot cross
-                        # the process boundary on this platform); reap
-                        # the dead executor, record the degradation,
-                        # and finish in-process.  Results recorded
-                        # before the break are kept, not re-simulated.
-                        self._pool_failure(
-                            f"process pool broke mid-batch: {error}"
-                        )
-                        remaining = [
-                            c for c in remaining if c not in self._seconds
-                        ]
+                          configs=len(remaining),
+                          workers=scheduler.active_workers):
+
+                    def record(position, seconds, delta):
+                        if delta:
+                            self._pool_counters.merge(delta)
+                        self._record_time(remaining[position], seconds)
+
+                    abandoned = scheduler.run(SIMULATE, remaining, record)
+                self._after_pool_batch(scheduler, abandoned, stage="sim")
+                # Only tasks the scheduler gave up on run serially —
+                # in request order, so a real failure surfaces
+                # deterministically.
+                remaining = [remaining[i] for i in abandoned]
         for config in remaining:
             with span("engine.simulate", cat="engine", config=dict(config)):
                 self._record_time(config, self._simulate(config))
 
-    def _pool_failure(self, reason: str) -> None:
-        """Record a pool→serial degradation and reap the dead executor.
+    def _after_pool_batch(self, scheduler: SweepScheduler,
+                          abandoned: List[int], stage: str) -> None:
+        """Fold scheduler telemetry into the stats; degrade loudly when
+        the pool collapsed or tasks fell back to the serial path."""
+        self._merge_scheduler_stats(scheduler)
+        if abandoned:
+            self.stats.serial_fallback_tasks += len(abandoned)
+            logger.warning(
+                "%d %s task(s) exhausted the scheduler's retries "
+                "(last failure: %s); running them in-process",
+                len(abandoned), stage, scheduler.last_failure,
+            )
+        if scheduler.active_workers == 0:
+            self._pool_failure(
+                f"all {self.workers} workers quarantined "
+                f"(last failure: {scheduler.last_failure})"
+            )
 
-        The executor (if any) is shut down without waiting — its
-        processes are dead or dying, and leaking it keeps their queues
-        and management thread alive for the rest of the run.
+    def _merge_scheduler_stats(self, scheduler: SweepScheduler) -> None:
+        """Mirror the scheduler's cumulative counters (it lives as long
+        as the engine, so absolute copies stay exact across batches)."""
+        stats = scheduler.stats
+        self.stats.task_retries = stats.task_retries
+        self.stats.task_timeouts = stats.task_timeouts
+        self.stats.task_errors = stats.task_errors
+        self.stats.worker_crashes = stats.worker_crashes
+        self.stats.workers_quarantined = stats.workers_quarantined
+        self.stats.backoff_seconds = stats.backoff_seconds
+
+    def _pool_failure(self, reason: str) -> None:
+        """Record a pool→serial degradation and reap the scheduler.
+
+        Once recorded, the engine never tries to rebuild a pool: the
+        rest of the run is in-process, and the degradation is visible
+        in the stats, the log, and the harness report.
         """
-        pool, self._pool = self._pool, None
+        scheduler, self._scheduler = self._scheduler, None
         self._pool_broken = True
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        if scheduler is not None:
+            scheduler.close()
         self.stats.pool_fallbacks += 1
         self.stats.pool_fallback_reason = reason
         logger.warning(
             "worker pool disabled, falling back to in-process "
-            "simulation: %s", reason,
+            "execution: %s", reason,
         )
 
     def _sync_sim_stats(self) -> None:
@@ -568,25 +595,29 @@ class ExecutionEngine:
         if self.checkpoint_path and self._unsaved_results >= self.checkpoint_interval:
             self._save_checkpoint()
 
-    def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+    def _ensure_scheduler(self) -> Optional[SweepScheduler]:
         if self._pool_broken:
             return None
-        if self._pool is None:
+        if self._scheduler is None:
+            scheduler = SweepScheduler(
+                self.workers,
+                self._simulate,
+                self._evaluate,
+                policy=self.retry_policy,
+                fault_spec=self.fault_spec,
+            )
             try:
-                self._pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_pool_initializer,
-                    initargs=(self._simulate, self._evaluate),
-                )
-            except (OSError, ValueError) as error:
-                # Pool creation can fail on fork-restricted platforms
+                scheduler.start()
+            except (SchedulerError, OSError, ValueError) as error:
+                # Worker spawn can fail on fork-restricted platforms
                 # or resource exhaustion; degrade loudly, not silently.
                 self._pool_failure(
-                    f"could not create a {self.workers}-worker "
-                    f"process pool: {error}"
+                    f"could not start a {self.workers}-worker "
+                    f"sweep scheduler: {error}"
                 )
                 return None
-        return self._pool
+            self._scheduler = scheduler
+        return self._scheduler
 
     # ------------------------------------------------------------------
     # Checkpointing.
@@ -595,9 +626,25 @@ class ExecutionEngine:
         path = self.checkpoint_path
         if not path or not os.path.exists(path):
             return
-        with open(path) as handle:
-            data = json.load(handle)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                raise _CorruptCheckpoint(
+                    f"top-level payload is {type(data).__name__}, not an object"
+                )
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._discard_corrupt_checkpoint(path, str(error))
+            return
+        except _CorruptCheckpoint as error:
+            self._discard_corrupt_checkpoint(path, str(error))
+            return
         version = data.get("version")
+        if version is None:
+            # A dict without a version marker is a truncation artifact,
+            # not a deliberate format choice — recover, don't crash.
+            self._discard_corrupt_checkpoint(path, "missing 'version' field")
+            return
         if version not in SUPPORTED_CHECKPOINT_VERSIONS:
             raise ValueError(
                 f"checkpoint {path!r}: unsupported version {version!r} "
@@ -609,25 +656,23 @@ class ExecutionEngine:
                 f"checkpoint {path!r} belongs to {stored_label!r}, "
                 f"not {self.label!r}; refusing to resume from it"
             )
-        times = data.get("times", {})
-        if not isinstance(times, dict):
-            raise ValueError(f"checkpoint {path!r}: malformed 'times' table")
-        self._checkpoint_times = {str(key): float(value) for key, value in times.items()}
-        static = data.get("static", {})
-        if not isinstance(static, dict):
-            raise ValueError(f"checkpoint {path!r}: malformed 'static' table")
-        parsed: Dict[str, StaticEntry] = {}
-        for key, entry in static.items():
-            if not isinstance(entry, dict):
-                raise ValueError(
-                    f"checkpoint {path!r}: malformed static entry {key!r}"
-                )
-            metrics = entry.get("metrics")
-            parsed[str(key)] = (
-                report_from_json(metrics) if metrics is not None else None,
-                entry.get("invalid"),
-            )
-        self._checkpoint_static = parsed
+        try:
+            self._checkpoint_times = _parse_checkpoint_times(data)
+            self._checkpoint_static = _parse_checkpoint_static(data)
+        except _CorruptCheckpoint as error:
+            self._checkpoint_times = {}
+            self._checkpoint_static = {}
+            self._discard_corrupt_checkpoint(path, str(error))
+
+    def _discard_corrupt_checkpoint(self, path: str, reason: str) -> None:
+        """A checkpoint we cannot trust is dropped, not fatal: the
+        sweep restarts from scratch and the next save overwrites the
+        bad file.  Counted so the harness can surface it."""
+        self.stats.checkpoint_corrupt += 1
+        logger.warning(
+            "checkpoint %r is corrupt (%s); ignoring it and "
+            "restarting the sweep fresh", path, reason,
+        )
 
     def _save_checkpoint(self) -> None:
         path = self.checkpoint_path
@@ -662,6 +707,37 @@ class ExecutionEngine:
                 os.unlink(tmp_path)
             raise
         self._unsaved_results = 0
+
+
+def _parse_checkpoint_times(data: Dict[str, Any]) -> Dict[str, float]:
+    times = data.get("times", {})
+    if not isinstance(times, dict):
+        raise _CorruptCheckpoint("malformed 'times' table")
+    try:
+        return {str(key): float(value) for key, value in times.items()}
+    except (TypeError, ValueError) as error:
+        raise _CorruptCheckpoint(f"malformed time entry: {error}") from None
+
+
+def _parse_checkpoint_static(data: Dict[str, Any]) -> Dict[str, StaticEntry]:
+    static = data.get("static", {})
+    if not isinstance(static, dict):
+        raise _CorruptCheckpoint("malformed 'static' table")
+    parsed: Dict[str, StaticEntry] = {}
+    for key, entry in static.items():
+        if not isinstance(entry, dict):
+            raise _CorruptCheckpoint(f"malformed static entry {key!r}")
+        metrics = entry.get("metrics")
+        try:
+            parsed[str(key)] = (
+                report_from_json(metrics) if metrics is not None else None,
+                entry.get("invalid"),
+            )
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            raise _CorruptCheckpoint(
+                f"unreadable static entry {key!r}: {error}"
+            ) from None
+    return parsed
 
 
 def _static_entry_to_json(entry: StaticEntry) -> Optional[Dict[str, Any]]:

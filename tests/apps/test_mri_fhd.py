@@ -4,7 +4,6 @@ import pytest
 
 from repro.apps import MriFhd
 from repro.apps.mri_fhd import CONFLICTED_LAYOUT, GOOD_LAYOUT
-from repro.arch import LaunchError
 from repro.tuning import Configuration
 from tests.apps.helpers import check_config_against_reference
 

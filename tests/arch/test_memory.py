@@ -1,7 +1,6 @@
 """Memory-space properties against Table 1."""
 
 from repro.arch import (
-    GEFORCE_8800_GTX,
     SHARED_MEMORY_BANKS,
     MemorySpace,
     memory_properties,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.arch import (
-    GEFORCE_8800_GTX,
     DeviceSpec,
     LaunchError,
     blocks_per_sm,

@@ -7,6 +7,9 @@ import os
 import numpy as np
 import pytest
 
+from repro.ir import DataType, Dim3, KernelBuilder
+from repro.ir.builder import CTAID_X, CTAID_Y, TID_X, TID_Y
+
 #: test directories cheap enough for the CI smoke job (synthetic
 #: spaces, no full-application sweeps) — everything inside is
 #: automatically tagged with the ``fast`` marker
@@ -24,9 +27,6 @@ def pytest_collection_modifyitems(items):
         path = str(item.fspath)
         if any(directory in path for directory in _FAST_DIRS):
             item.add_marker(pytest.mark.fast)
-
-from repro.ir import DataType, Dim3, KernelBuilder
-from repro.ir.builder import CTAID_X, CTAID_Y, TID_X, TID_Y
 
 
 def build_saxpy(block: int = 64, grid: int = 4) -> "Kernel":

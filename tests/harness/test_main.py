@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.harness.__main__ import main, parse_args
 
 

@@ -5,8 +5,6 @@ the interpreter and the constant folder — they must agree by
 construction, but each must also be internally consistent.
 """
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given

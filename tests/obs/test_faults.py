@@ -1,0 +1,146 @@
+"""Unit tests for the deterministic fault-injection layer.
+
+The chaos suite (tests/tuning/test_scheduler_faults.py) exercises the
+scheduler's recovery paths end-to-end; these tests pin the FaultPlan
+itself — lookup rules, the REPRO_FAULTS spec grammar round trip, and
+the determinism the chaos suite's exact-counter assertions rely on.
+"""
+
+import pytest
+
+from repro.obs.faults import (
+    FAULTS_ENV,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    FaultSpecError,
+    SIMULATE_STAGE,
+    STATIC_STAGE,
+)
+
+pytestmark = pytest.mark.fast
+
+
+class TestFaultLookup:
+    def test_fires_on_index_and_within_attempt_budget(self):
+        plan = FaultPlan([Fault("raise", index=3, attempts=2)])
+        assert plan.fault_for(SIMULATE_STAGE, 3, 1).kind == "raise"
+        assert plan.fault_for(SIMULATE_STAGE, 3, 2).kind == "raise"
+        assert plan.fault_for(SIMULATE_STAGE, 3, 3) is None
+        assert plan.fault_for(SIMULATE_STAGE, 4, 1) is None
+
+    def test_stage_restriction(self):
+        plan = FaultPlan([Fault("kill", index=1, stage=STATIC_STAGE)])
+        assert plan.fault_for(STATIC_STAGE, 1, 1) is not None
+        assert plan.fault_for(SIMULATE_STAGE, 1, 1) is None
+
+    def test_stageless_fault_fires_in_both_stages(self):
+        plan = FaultPlan([Fault("hang", index=0)])
+        assert plan.fault_for(SIMULATE_STAGE, 0, 1).kind == "hang"
+        assert plan.fault_for(STATIC_STAGE, 0, 1).kind == "hang"
+
+    def test_apply_raise_raises_fault_injected(self):
+        plan = FaultPlan([Fault("raise", index=2)])
+        with pytest.raises(FaultInjected, match="task 2 attempt 1"):
+            plan.apply(SIMULATE_STAGE, 2, 1)
+        plan.apply(SIMULATE_STAGE, 2, 2)  # budget spent: no-op
+        plan.apply(SIMULATE_STAGE, 0, 1)  # other index: no-op
+
+    def test_expected_enumerates_first_attempt_faults(self):
+        plan = FaultPlan([
+            Fault("raise", index=2),
+            Fault("kill", index=5),
+            Fault("hang", index=9, stage=SIMULATE_STAGE),
+        ])
+        assert plan.expected(SIMULATE_STAGE, 12) == {
+            "raise": [2], "hang": [9], "kill": [5],
+        }
+        assert plan.expected(STATIC_STAGE, 12) == {
+            "raise": [2], "hang": [], "kill": [5],
+        }
+        # Faults beyond the batch cannot fire.
+        assert plan.expected(SIMULATE_STAGE, 2) == {
+            "raise": [], "hang": [], "kill": [],
+        }
+
+    def test_validation_rejects_bad_faults(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            Fault("explode", index=0)
+        with pytest.raises(FaultSpecError, match="unknown fault stage"):
+            Fault("raise", index=0, stage="warmup")
+        with pytest.raises(FaultSpecError, match="index must be >= 0"):
+            Fault("raise", index=-1)
+        with pytest.raises(FaultSpecError, match="attempts must be >= 1"):
+            Fault("raise", index=0, attempts=0)
+
+
+class TestRateFaults:
+    def test_rates_are_deterministic_for_a_seed(self):
+        plan_a = FaultPlan(seed=7, rates={"raise": 0.2, "kill": 0.1})
+        plan_b = FaultPlan(seed=7, rates={"raise": 0.2, "kill": 0.1})
+        picks_a = plan_a.expected(SIMULATE_STAGE, 200)
+        assert picks_a == plan_b.expected(SIMULATE_STAGE, 200)
+        total = sum(len(v) for v in picks_a.values())
+        assert 0 < total < 200  # roughly 30% of tasks faulted
+
+    def test_different_seed_different_picks(self):
+        base = FaultPlan(seed=0, rates={"raise": 0.3})
+        other = FaultPlan(seed=1, rates={"raise": 0.3})
+        assert (base.expected(SIMULATE_STAGE, 100)
+                != other.expected(SIMULATE_STAGE, 100))
+
+    def test_rate_faults_fire_first_attempt_only(self):
+        plan = FaultPlan(seed=0, rates={"raise": 1.0})
+        assert plan.fault_for(SIMULATE_STAGE, 0, 1) is not None
+        assert plan.fault_for(SIMULATE_STAGE, 0, 2) is None
+
+    def test_rate_validation(self):
+        with pytest.raises(FaultSpecError, match="unknown rate-fault kind"):
+            FaultPlan(rates={"explode": 0.5})
+        with pytest.raises(FaultSpecError, match=r"in \[0, 1\]"):
+            FaultPlan(rates={"raise": 1.5})
+
+
+class TestSpecGrammar:
+    def test_parse_items(self):
+        plan = FaultPlan.from_spec("kill:5,raise:2,sim.hang:9:2,hang=30")
+        assert plan.hang_seconds == 30.0
+        assert plan.faults == (
+            Fault("kill", index=5),
+            Fault("raise", index=2),
+            Fault("hang", index=9, attempts=2, stage=SIMULATE_STAGE),
+        )
+
+    def test_round_trip(self):
+        spec = "static.kill:3:2,raise:0,hang=5,seed=9,p_kill=0.1,p_raise=0.2"
+        plan = FaultPlan.from_spec(spec)
+        again = FaultPlan.from_spec(plan.to_spec())
+        assert again.faults == plan.faults
+        assert again.hang_seconds == plan.hang_seconds
+        assert again.seed == plan.seed
+        assert again.rates == plan.rates
+
+    def test_blank_spec_means_no_plan(self):
+        assert FaultPlan.from_spec(None) is None
+        assert FaultPlan.from_spec("") is None
+        assert FaultPlan.from_spec("  ") is None
+
+    @pytest.mark.parametrize("spec", [
+        "raise",             # no index
+        "raise:x",           # non-integer index
+        "warp.raise:1",      # unknown stage
+        "explode:1",         # unknown kind
+        "frobnicate=3",      # unknown option
+        "hang=never",        # malformed option value
+    ])
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_spec(spec)
+
+    def test_from_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "explode:1")
+        with pytest.raises(FaultSpecError, match=FAULTS_ENV):
+            FaultPlan.from_env()
+
+    def test_from_env_unset_means_no_plan(self):
+        assert FaultPlan.from_env(environ={}) is None

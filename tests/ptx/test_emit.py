@@ -1,6 +1,6 @@
 """PTX text emission."""
 
-from repro.ir import CmpOp, DataType, Dim3, KernelBuilder
+from repro.ir import CmpOp, Dim3, KernelBuilder
 from repro.ir.builder import TID_X
 from repro.ptx import emit_ptx
 from tests.conftest import build_saxpy, build_tiled_matmul

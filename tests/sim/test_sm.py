@@ -1,7 +1,5 @@
 """SM discrete-event model: issue port, latency hiding, barriers."""
 
-import pytest
-
 from repro.sim import WarpTrace, simulate_sm
 from repro.sim.config import DEFAULT_SIM_CONFIG
 from repro.sim.trace import BARRIER, COMPUTE, LOAD, SFU, STORE, USE

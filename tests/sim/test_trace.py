@@ -1,9 +1,7 @@
 """Warp trace construction."""
 
-import pytest
-
 from repro.sim import BARRIER, COMPUTE, LOAD, SFU, STORE, USE, build_trace
-from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
+from repro.sim.config import DEFAULT_SIM_CONFIG
 from repro.ir import DataType, Dim3, KernelBuilder
 from repro.ir.builder import TID_X
 from tests.conftest import build_saxpy, build_tiled_matmul

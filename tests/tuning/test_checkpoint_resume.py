@@ -1,0 +1,192 @@
+"""Checkpoint robustness: corrupt files and mid-sweep resume edges.
+
+Two classes of contract:
+
+* a truncated or corrupt checkpoint must never crash the sweep — the
+  engine detects it, warns, counts it (``checkpoint_corrupt``), and
+  restarts fresh; only *well-formed* files with the wrong version or
+  label are still refused loudly (that is a user error, not damage);
+* ``--resume`` mid-sweep edge cases are bit-identical to a fresh run:
+  a checkpoint written between the static and simulation stages, and
+  a checkpoint produced under a different worker count, both resume
+  to the same reports, seconds, and search results.
+"""
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.tuning import ExecutionEngine, cartesian
+from tests.tuning.test_static_pool import _matmul_configs
+
+pytestmark = pytest.mark.fast
+
+
+class PlainApp:
+    def __init__(self):
+        self.configs = cartesian({"e": [1, 2], "u": [1, 2]})
+        self.simulated = []
+
+    def evaluate(self, config):
+        return None
+
+    def simulate(self, config):
+        self.simulated.append(config)
+        return 1.0 / (config["e"] + config["u"])
+
+
+def _fresh_matmul_run(chosen, workers=1, checkpoint_path=None):
+    from repro.apps import MatMul
+
+    app = MatMul().test_instance()
+    with app.search_engine(workers=workers,
+                           checkpoint_path=checkpoint_path) as engine:
+        entries = engine.evaluate_all(chosen)
+        seconds = engine.seconds_for(chosen)
+    keyed = [(e.metrics, e.invalid_reason) for e in entries]
+    return keyed, seconds, engine.stats
+
+
+class TestCorruptCheckpoint:
+    @pytest.mark.parametrize("payload", [
+        "",                                   # empty file
+        "{\"version\": 2, \"times\": {",      # truncated mid-write
+        "not json at all",                    # garbage
+        "[1, 2, 3]",                          # wrong top-level type
+        "{\"times\": {}}",                    # missing version marker
+        "{\"version\": 2, \"times\": []}",    # malformed times table
+        "{\"version\": 2, \"times\": {\"k\": \"soon\"}}",  # bad value
+        "{\"version\": 2, \"static\": {\"k\": 3}}",        # bad entry
+    ])
+    def test_corrupt_file_warns_and_restarts_fresh(
+        self, tmp_path, caplog, payload
+    ):
+        path = tmp_path / "sweep.json"
+        path.write_text(payload)
+        app = PlainApp()
+        with caplog.at_level(logging.WARNING, logger="repro.tuning.engine"):
+            with ExecutionEngine(app.evaluate, app.simulate,
+                                 checkpoint_path=str(path)) as engine:
+                seconds = engine.seconds_for(app.configs)
+
+        assert seconds == [1.0 / (c["e"] + c["u"]) for c in app.configs]
+        assert engine.stats.checkpoint_corrupt == 1
+        assert engine.stats.checkpoint_hits == 0
+        assert engine.stats.simulations == len(app.configs)
+        assert any("corrupt" in r.getMessage() for r in caplog.records)
+        # The rewritten checkpoint is valid again and resumes normally.
+        data = json.loads(path.read_text())
+        assert data["version"] == 2
+        resumed = PlainApp()
+        with ExecutionEngine(resumed.evaluate, resumed.simulate,
+                             checkpoint_path=str(path)) as again:
+            assert again.seconds_for(resumed.configs) == seconds
+        assert again.stats.checkpoint_hits == len(app.configs)
+        assert resumed.simulated == []
+
+    def test_binary_garbage_is_survivable(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_bytes(b"\xff\xfe\x00garbage\x00")
+        app = PlainApp()
+        with ExecutionEngine(app.evaluate, app.simulate,
+                             checkpoint_path=str(path)) as engine:
+            engine.seconds_for(app.configs)
+        assert engine.stats.checkpoint_corrupt == 1
+
+    def test_wellformed_wrong_version_still_refused(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"version": 99, "times": {}}))
+        app = PlainApp()
+        with pytest.raises(ValueError, match="unsupported version"):
+            ExecutionEngine(app.evaluate, app.simulate,
+                            checkpoint_path=str(path))
+
+    def test_wellformed_wrong_label_still_refused(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(
+            {"version": 2, "label": "other-app", "times": {}}
+        ))
+        app = PlainApp()
+        with pytest.raises(ValueError, match="other-app"):
+            ExecutionEngine(app.evaluate, app.simulate,
+                            checkpoint_path=str(path), label="this-app")
+
+
+class TestMidSweepResume:
+    def test_checkpoint_between_static_and_simulation_stages(self, tmp_path):
+        """A run killed after the static stage but before any
+        simulation resumes to a bit-identical full result."""
+        from repro.apps import MatMul
+
+        chosen = _matmul_configs()
+        path = str(tmp_path / "sweep.json")
+
+        first = MatMul().test_instance()
+        with first.search_engine(workers=1, checkpoint_path=path) as engine:
+            engine.evaluate_all(chosen)  # static only, then "killed"
+        payload = json.loads(open(path).read())
+        assert payload["static"] and not payload["times"]
+
+        resumed_entries, resumed_seconds, resumed_stats = _fresh_matmul_run(
+            chosen, checkpoint_path=path
+        )
+        fresh_entries, fresh_seconds, _ = _fresh_matmul_run(chosen)
+
+        assert resumed_entries == fresh_entries
+        assert resumed_seconds == fresh_seconds
+        # The static stage replayed from disk; only simulation ran.
+        assert resumed_stats.static_evaluations == 0
+        assert resumed_stats.checkpoint_static_hits == len(chosen)
+        assert resumed_stats.simulations == len(chosen)
+
+    @pytest.mark.parametrize("writer_workers,resumer_workers", [
+        (2, 1),
+        (1, 2),
+    ])
+    def test_resume_across_worker_counts(self, tmp_path, writer_workers,
+                                         resumer_workers):
+        """A checkpoint written under one worker count resumes under
+        another with bit-identical results and zero re-simulation."""
+        chosen = _matmul_configs()
+        path = str(tmp_path / "sweep.json")
+
+        _, written_seconds, _ = _fresh_matmul_run(
+            chosen, workers=writer_workers, checkpoint_path=path
+        )
+        resumed_entries, resumed_seconds, resumed_stats = _fresh_matmul_run(
+            chosen, workers=resumer_workers, checkpoint_path=path
+        )
+        fresh_entries, fresh_seconds, _ = _fresh_matmul_run(chosen)
+
+        assert resumed_seconds == written_seconds == fresh_seconds
+        assert resumed_entries == fresh_entries
+        assert resumed_stats.simulations == 0
+        assert resumed_stats.static_evaluations == 0
+        assert resumed_stats.checkpoint_hits == len(chosen)
+        assert resumed_stats.checkpoint_static_hits == len(chosen)
+
+
+class TestStreamingCheckpoints:
+    def test_pooled_sweep_flushes_incrementally(self, monkeypatch):
+        """Results stream into the checkpoint as they complete: with
+        interval K, a batch of N configs rewrites the file ~N/K times
+        *during* the batch, not once at the end."""
+        app = PlainApp()
+        app.configs = cartesian({"e": [1, 2, 3, 4], "u": [1, 2, 3, 4]})
+        saves = []
+        engine = ExecutionEngine(
+            app.evaluate, app.simulate, workers=2,
+            checkpoint_path=os.devnull, checkpoint_interval=4,
+        )
+        monkeypatch.setattr(
+            engine, "_save_checkpoint", lambda: saves.append(True)
+        )
+        try:
+            engine.seconds_for(app.configs)
+        finally:
+            engine.close()
+        # 16 results / interval 4 -> >= 4 mid-batch flushes plus the
+        # end-of-batch save.
+        assert len(saves) >= 4

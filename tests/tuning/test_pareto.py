@@ -1,6 +1,5 @@
 """Pareto-optimal subset selection, with hypothesis properties."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

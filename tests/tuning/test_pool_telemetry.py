@@ -8,23 +8,27 @@ with every result and the engine aggregates them — these tests pin:
 
 * pooled-vs-serial equivalence — same workload, ``workers=1`` versus
   ``workers=2``, identical fingerprint/wave/event counters;
-* partial-batch ``BrokenProcessPool`` recovery — results recorded
-  before the break are kept (never re-simulated), the dead executor
-  is shut down instead of leaked, and the degradation is counted and
-  logged;
-* pool-creation failure — loud fallback, not a silent serial run;
+* worker-crash recovery — a task that keeps killing its worker burns
+  its retry budget in the pool, runs once in-process, and every other
+  result (and counter delta) is kept: nothing is re-simulated, the
+  crashes are counted, and the pool survives for later batches;
+* scheduler-creation failure — loud fallback, not a silent serial run;
 * ``resolve_workers`` — actionable errors for malformed
   ``REPRO_WORKERS``.
 """
 
-import concurrent.futures
 import logging
 import multiprocessing
 import os
 
 import pytest
 
-from repro.tuning import ExecutionEngine, cartesian, resolve_workers
+from repro.tuning import (
+    ExecutionEngine,
+    SweepScheduler,
+    cartesian,
+    resolve_workers,
+)
 
 pytestmark = pytest.mark.fast
 
@@ -171,60 +175,57 @@ class TestPooledTelemetryEquivalence:
         assert pooled_app.sim_cache.counters()["events_replayed"] == 0
 
 
-class TestBrokenPoolRecovery:
-    def test_partial_batch_recovery_is_exact_and_loud(self, caplog):
+class TestWorkerCrashRecovery:
+    def test_crashing_task_recovers_exact_and_loud(self, caplog):
         app = PoisonApp()
-        with caplog.at_level(logging.WARNING, logger="repro.tuning.engine"):
+        with caplog.at_level(logging.WARNING):
             with ExecutionEngine(app.evaluate, app.simulate, workers=2,
                                  sim_cache=app.sim_cache) as engine:
-                pool = engine._ensure_pool()
-                assert pool is not None
                 seconds = engine.seconds_for(app.configs)
 
-                # The dead executor was shut down, not leaked.
-                assert engine._pool is None
-                assert engine._pool_broken
-                assert pool._shutdown_thread
-
-        # Every configuration still got measured, and the degradation
-        # is visible instead of silent.
+        # Every configuration still got measured — the poison config
+        # exhausted its pool retries and ran in the parent, where the
+        # poison is inert.
         assert seconds == [1.0 / (c["e"] + c["u"]) for c in app.configs]
-        assert engine.stats.pool_fallbacks == 1
-        assert "broke mid-batch" in engine.stats.pool_fallback_reason
-        assert "pool_fallbacks=1" in engine.stats.summary()
-        assert any("falling back" in r.getMessage() for r in caplog.records)
-
-        # Results recorded before the break were not re-simulated:
-        # each config was recorded exactly once across pool + fallback.
+        # Each config was recorded exactly once across pool + fallback.
         assert engine.stats.simulations == len(app.configs)
 
+        # The scheduler saw every injected crash: one per attempt of
+        # the retry budget, after which the task fell back to serial.
+        assert engine.stats.worker_crashes == 3
+        assert engine.stats.task_retries == 2
+        assert engine.stats.serial_fallback_tasks == 1
+        assert engine.stats.fault_recoveries == 3
+        # The crashes never broke the pool itself.
+        assert engine.stats.pool_fallbacks == 0
+        assert "crashes=3" in engine.stats.summary()
+        assert any("running them in-process" in r.getMessage()
+                   for r in caplog.records)
+
         # Telemetry stays exact through the recovery: deltas from
-        # results that arrived before the break, parent-cache counters
-        # for the in-process remainder.
+        # pooled results, parent-cache counters for the in-process
+        # fallback (crashed attempts die before touching the cache).
         assert _counter_stats(engine.stats) == app.expected_counters(app.configs)
 
-    def test_pool_stays_disabled_after_break(self):
+    def test_pool_survives_crashes_for_later_batches(self):
         app = PoisonApp()
         with ExecutionEngine(app.evaluate, app.simulate, workers=2) as engine:
             engine.seconds_for(app.configs)
-            assert engine.stats.pool_fallbacks == 1
-            # A later batch must not try (and fail) to rebuild a pool.
-            fresh = PoisonApp()
-            engine._simulate = fresh.simulate
+            assert engine.stats.pool_fallbacks == 0
+            # A later batch reuses the same (still-healthy) scheduler.
             engine._seconds.clear()
             engine.seconds_for(app.configs[:4])
-            assert engine.stats.pool_fallbacks == 1
-            assert engine._pool is None
+            assert engine.stats.pool_fallbacks == 0
+            assert engine._scheduler is not None
+            assert engine._scheduler.active_workers >= 1
 
 
 class TestPoolCreationFailure:
     def test_creation_failure_is_loud_and_counted(self, monkeypatch, caplog):
-        def refuse(*args, **kwargs):
+        def refuse(self):
             raise OSError("no forks today")
 
-        monkeypatch.setattr(
-            concurrent.futures, "ProcessPoolExecutor", refuse
-        )
+        monkeypatch.setattr(SweepScheduler, "start", refuse)
         app = CountingApp()
         with caplog.at_level(logging.WARNING, logger="repro.tuning.engine"):
             with ExecutionEngine(app.evaluate, app.simulate, workers=4,
@@ -233,7 +234,7 @@ class TestPoolCreationFailure:
 
         assert len(seconds) == len(app.configs)
         assert engine.stats.pool_fallbacks == 1
-        assert "could not create" in engine.stats.pool_fallback_reason
+        assert "could not start" in engine.stats.pool_fallback_reason
         assert "no forks today" in engine.stats.pool_fallback_reason
         assert any("falling back" in r.getMessage() for r in caplog.records)
         # The serial fallback still reports exact telemetry.

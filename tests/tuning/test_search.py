@@ -10,7 +10,6 @@ import pytest
 from repro.arch import LaunchError
 from repro.metrics.model import MetricReport
 from repro.tuning import (
-    Configuration,
     cartesian,
     evaluate_all,
     full_exploration,

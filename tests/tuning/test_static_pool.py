@@ -7,8 +7,9 @@ These tests pin the contract:
 * ``evaluate_all`` with ``workers=2`` is bit-identical to ``workers=1``
   — reports, invalid reasons, *and* the EngineStats counters (compile
   and fingerprint telemetry rides back as per-task deltas);
-* a worker death mid-batch degrades loudly and the remainder is
-  evaluated in-process, every configuration exactly once;
+* a worker death mid-batch costs retries (counted exactly), not the
+  pool: only the task that exhausts its budget runs in-process, and
+  every configuration is evaluated exactly once;
 * a checkpointed sweep resumes its static results from disk
   (``checkpoint_static_hits``) without re-running ``evaluate``, and the
   resumed reports — and the Pareto subset computed from them — are
@@ -186,20 +187,27 @@ class TestPooledStaticEquivalence:
             assert app.evaluated == [app.configs[0]]
 
 
-class TestBrokenPoolStaticRecovery:
-    def test_partial_batch_recovery_is_exact_and_loud(self):
+class TestStaticWorkerCrashRecovery:
+    def test_crashing_task_recovers_exact_and_loud(self):
         app = PoisonStaticApp()
         with ExecutionEngine(app.evaluate, app.simulate, workers=2) as engine:
             entries = engine.evaluate_all(app.configs)
-            assert engine._pool is None
-            assert engine._pool_broken
+            # The crashes cost worker processes, never the pool itself.
+            assert not engine._pool_broken
+            assert engine._scheduler is not None
+            assert engine._scheduler.active_workers >= 1
 
         assert len(entries) == len(app.configs)
         invalid = [e for e in entries if not e.is_valid]
         assert len(invalid) == 1
         assert "register overflow" in invalid[0].invalid_reason
-        assert engine.stats.pool_fallbacks == 1
-        assert "broke mid-batch" in engine.stats.pool_fallback_reason
+        # The poison config burned its whole retry budget in workers,
+        # then ran in-process, where its LaunchError is an ordinary
+        # invalid verdict.
+        assert engine.stats.worker_crashes == 3
+        assert engine.stats.task_retries == 2
+        assert engine.stats.serial_fallback_tasks == 1
+        assert engine.stats.pool_fallbacks == 0
         # Every configuration was evaluated exactly once across
         # pool results + in-process fallback.
         assert engine.stats.static_evaluations == len(app.configs)
