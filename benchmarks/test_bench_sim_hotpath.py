@@ -20,14 +20,27 @@ the ratio is largely machine-independent, making it a meaningful CI
 regression gate where absolute seconds are not.  A run whose speedup
 falls below ``allowed_fraction`` of the committed baseline fails.
 
-A second, *warm* sweep re-runs the space on a fresh application that
-shares the first sweep's populated ``SimulationCache``: every
-configuration resolves through the fingerprint tiers without building
-a single trace, measuring pure cache-hit throughput.  The JSON output
-reports the cold and warm phases separately — ``fingerprint_cache``
-holds the cold sweep's counters (real simulation work plus
-within-sweep reuse), ``warm_sweep`` holds the warm pass's wall time
-and the counter *delta* it added (hits only, no new waves or events).
+After the timed sweeps, a separately-timed *static pass* runs the
+compile stage over the space, so the compile-tier counters in the
+report reflect real traffic (they used to read 0 — the sweep phases
+only ever called ``app.simulate``, which never touches the compile
+tier; pinned by tests/tuning/test_compile_telemetry.py).  It runs
+after the gated cold sweep on purpose: evaluating first would seed the
+resource tier and quietly flatter the gated ratio.
+
+A *warm* phase re-runs the space on a fresh application that shares
+the first sweep's populated ``SimulationCache``: every configuration
+resolves through the fingerprint tiers without building a single
+trace, measuring pure cache-hit throughput.
+
+Finally a *cross-process warm-start* phase flushes the populated cache
+into a persistent :class:`~repro.store.ResultStore` and re-runs the
+sweep in a **fresh Python process** attached to that store: the child
+recomputes nothing (zero events replayed), must produce bit-identical
+times (compared through JSON, which round-trips doubles exactly), and
+its sweep must beat this process's cold sweep by the gated
+``warm_process_speedup_vs_cold`` ratio — the payoff the store exists
+to provide.
 
 Results are also written to ``BENCH_sim_hotpath.json`` at the repo
 root for inspection.
@@ -38,15 +51,46 @@ from __future__ import annotations
 import json
 import math
 import os
+import shutil
+import subprocess
+import sys
+import tempfile
 import time
 
 from repro.apps import MatMul
+from repro.arch.occupancy import LaunchError
 from repro.cubin.resources import cubin_info
 from repro.sim.reference import build_trace_reference, simulate_sm_reference
+from repro.store import ResultStore
+from repro.tuning.engine import config_key
 
 HERE = os.path.dirname(__file__)
 BASELINE_PATH = os.path.join(HERE, "baselines", "sim_hotpath.json")
 RESULT_PATH = os.path.join(HERE, os.pardir, "BENCH_sim_hotpath.json")
+
+#: Run in a fresh interpreter against a populated store: sweep the full
+#: matmul space and report per-config times, wall time, and counters.
+WARM_PROCESS_SCRIPT = """\
+import json, sys, time
+from repro.apps import MatMul
+from repro.store import ResultStore
+from repro.tuning.engine import config_key
+
+store_dir, out_path = sys.argv[1], sys.argv[2]
+app = MatMul()
+app.sim_cache.attach_store(ResultStore(store_dir), write_back=False)
+started = time.perf_counter()
+times = {}
+for config in app.space():
+    try:
+        times[config_key(config)] = app.simulate(config)
+    except Exception:
+        times[config_key(config)] = None
+seconds = time.perf_counter() - started
+with open(out_path, "w") as handle:
+    json.dump({"times": times, "sweep_seconds": seconds,
+               "counters": app.sim_cache.counters()}, handle)
+"""
 
 
 def _reference_sweep(app):
@@ -90,6 +134,34 @@ def _optimized_sweep(app):
     return times
 
 
+def _static_pass(app):
+    """The compile stage over the space (invalid configs recorded)."""
+    evaluated = 0
+    for config in app.space():
+        try:
+            app.evaluate(config)
+            evaluated += 1
+        except LaunchError:
+            pass
+    return evaluated
+
+
+def _run_warm_process(store_dir):
+    """Sweep the space in a fresh interpreter warmed only by the store."""
+    out_path = os.path.join(store_dir, "warm_process_result.json")
+    src = os.path.join(HERE, os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    subprocess.run(
+        [sys.executable, "-c", WARM_PROCESS_SCRIPT, store_dir, out_path],
+        env=env, check=True, timeout=600,
+    )
+    with open(out_path) as handle:
+        return json.load(handle)
+
+
 def test_matmul_full_space_speedup_vs_baseline():
     started = time.perf_counter()
     reference_app = MatMul()
@@ -104,28 +176,66 @@ def test_matmul_full_space_speedup_vs_baseline():
     # Identical semantics, end to end.
     assert optimized_times == reference_times
 
+    # Static pass (separately timed, after the gated sweep): the
+    # compile tier sees real traffic, so the reported counters can
+    # never silently read 0 again.
+    started = time.perf_counter()
+    static_evaluated = _static_pass(optimized_app)
+    static_seconds = time.perf_counter() - started
+    cold_counters = dict(optimized_app.sim_cache.counters())
+    assert static_evaluated > 0
+    assert cold_counters["compile_evaluations"] > 0
+
     # Warm phase: a fresh app sharing the populated cache — every
     # configuration must resolve through the fingerprint tiers alone.
-    cold_counters = dict(optimized_app.sim_cache.counters())
     warm_app = MatMul()
     warm_app.sim_cache = optimized_app.sim_cache
     started = time.perf_counter()
     warm_times = _optimized_sweep(warm_app)
+    warm_static = _static_pass(warm_app)
     warm_seconds = time.perf_counter() - started
     assert warm_times == optimized_times
+    assert warm_static == static_evaluated
     warm_delta = {
         name: value - cold_counters[name]
         for name, value in warm_app.sim_cache.counters().items()
     }
-    # Pure reuse: hits grew, real replay work did not.
+    # Pure reuse: hits grew, real replay/compile work did not.
     assert warm_delta["events_replayed"] == 0
     assert warm_delta["waves_simulated"] == 0
     assert warm_delta["fingerprint_sm_hits"] > 0
+    assert warm_delta["compile_hits"] > 0
+    assert warm_delta["compile_evaluations"] == 0
+
+    # Cross-process warm start: flush the populated cache to a store,
+    # then sweep again in a brand-new interpreter that has only the
+    # store to go on.  Bit-identical results, nothing recomputed, and
+    # a gated speedup over this process's cold sweep.
+    store_dir = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        entries_flushed = optimized_app.sim_cache.flush_to_store(
+            ResultStore(store_dir)
+        )
+        warm_process = _run_warm_process(store_dir)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    expected_times = {
+        config_key(config): seconds
+        for config, seconds in optimized_times.items()
+    }
+    # JSON round-trips IEEE doubles exactly, so == is bit-equivalence.
+    assert warm_process["times"] == json.loads(json.dumps(expected_times))
+    assert warm_process["counters"]["events_replayed"] == 0
+    assert warm_process["counters"]["waves_simulated"] == 0
+    assert warm_process["counters"]["store_hits"] > 0
+    warm_process_seconds = warm_process["sweep_seconds"]
+    store_speedup = optimized_seconds / warm_process_seconds
 
     speedup = reference_seconds / optimized_seconds
     with open(BASELINE_PATH) as handle:
         baseline = json.load(handle)
     expected = baseline["matmul_full_space"]["speedup_vs_reference"]
+    expected_store = baseline["matmul_full_space"]["warm_process_speedup_vs_cold"]
     allowed_fraction = baseline["allowed_fraction"]
 
     payload = {
@@ -136,15 +246,31 @@ def test_matmul_full_space_speedup_vs_baseline():
         "speedup_vs_reference": round(speedup, 2),
         "baseline_speedup": expected,
         "gate": f"speedup >= {allowed_fraction} * baseline",
-        # Cold sweep: real simulation work + within-sweep reuse.
+        # Static pass over the space (run after the gated cold sweep so
+        # it cannot flatter the ratio): compile-tier traffic is real.
+        "static_pass": {
+            "evaluated": static_evaluated,
+            "pass_seconds": round(static_seconds, 3),
+        },
+        # Cold phase counters: real simulation + compile work plus
+        # within-sweep reuse.
         "fingerprint_cache": cold_counters,
         # Warm sweep: a second pass over the same space through the
         # shared cache — wall time and the counter delta it added
-        # (hits only; zero new waves/events by construction).
+        # (hits only; zero new waves/events/compiles by construction).
         "warm_sweep": {
             "sweep_seconds": round(warm_seconds, 3),
             "speedup_vs_cold": round(optimized_seconds / warm_seconds, 2),
             "counter_delta": warm_delta,
+        },
+        # Fresh interpreter warmed only by the persistent store:
+        # bit-identical times, zero recomputation, gated speedup.
+        "warm_process": {
+            "entries_flushed": entries_flushed,
+            "sweep_seconds": round(warm_process_seconds, 3),
+            "speedup_vs_cold": round(store_speedup, 2),
+            "baseline_speedup": expected_store,
+            "counters": warm_process["counters"],
         },
     }
     with open(RESULT_PATH, "w") as handle:
@@ -154,4 +280,8 @@ def test_matmul_full_space_speedup_vs_baseline():
     assert speedup >= allowed_fraction * expected, (
         f"simulator hot path regressed: {speedup:.2f}x vs "
         f"baseline {expected}x (allowed fraction {allowed_fraction})"
+    )
+    assert store_speedup >= allowed_fraction * expected_store, (
+        f"store-backed warm start regressed: {store_speedup:.2f}x vs "
+        f"baseline {expected_store}x (allowed fraction {allowed_fraction})"
     )

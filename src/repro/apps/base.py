@@ -188,7 +188,8 @@ class Application(abc.ABC):
 
     def search_engine(self, workers: Optional[int] = 1,
                       checkpoint_path: Optional[str] = None,
-                      retry_policy=None, fault_spec: Optional[str] = None):
+                      retry_policy=None, fault_spec: Optional[str] = None,
+                      store=None):
         """An :class:`~repro.tuning.engine.ExecutionEngine` over this app.
 
         The engine memoizes ``evaluate``/``simulate`` and (for
@@ -197,13 +198,16 @@ class Application(abc.ABC):
         avoid re-measuring the same configurations.  ``retry_policy``
         and ``fault_spec`` are forwarded to the scheduler (``None``
         reads ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES`` and
-        ``REPRO_FAULTS`` from the environment).
+        ``REPRO_FAULTS`` from the environment); ``store`` — a
+        :class:`~repro.store.ResultStore` or directory path, with
+        ``None`` reading ``REPRO_STORE`` — layers the persistent
+        result store under this app's ``sim_cache``.
         """
         from repro.tuning.engine import ExecutionEngine
 
         return ExecutionEngine.for_app(
             self, workers=workers, checkpoint_path=checkpoint_path,
-            retry_policy=retry_policy, fault_spec=fault_spec,
+            retry_policy=retry_policy, fault_spec=fault_spec, store=store,
         )
 
     # ------------------------------------------------------------------
@@ -273,10 +277,12 @@ class Application(abc.ABC):
 
     def __getstate__(self) -> dict:
         # Keep pickles (process-pool workers, checkpoint tooling) small
-        # and robust: caches are recomputed on the other side.
+        # and robust: caches are recomputed on the other side.  The
+        # attached result store (if any) survives — it holds no open
+        # handles and is exactly what a remote copy should read from.
         state = dict(self.__dict__)
         state["_kernel_cache"] = {}
         state["_fingerprint_cache"] = {}
         state["_time_cache"] = {}
-        state["_sim_cache"] = SimulationCache()
+        state["_sim_cache"] = SimulationCache(store=self._sim_cache.store)
         return state

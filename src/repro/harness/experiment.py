@@ -125,6 +125,7 @@ def run_experiment(
     engine: Optional[ExecutionEngine] = None,
     retry_policy=None,
     fault_spec: Optional[str] = None,
+    store=None,
 ) -> AppExperiment:
     """Run exhaustive + Pareto (and optionally random) searches.
 
@@ -136,9 +137,12 @@ def run_experiment(
     ``retry_policy`` and ``fault_spec`` configure the scheduler's
     fault-tolerance knobs and deterministic fault injection (``None``
     defers to ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES`` and
-    ``REPRO_FAULTS``).  Pass an ``engine`` to reuse caches across
-    calls — otherwise one is created (and its pool torn down) per
-    experiment.
+    ``REPRO_FAULTS``).  ``store`` — a directory path or
+    :class:`~repro.store.ResultStore`, defaulting to ``REPRO_STORE``
+    — layers the persistent result store under the app's simulator
+    cache, so artifacts survive across harness invocations.  Pass an
+    ``engine`` to reuse caches across calls — otherwise one is created
+    (and its pool torn down) per experiment.
     """
     configs = app.space().configurations()
     started = time.perf_counter()
@@ -146,7 +150,7 @@ def run_experiment(
     if engine is None:
         engine = ExecutionEngine.for_app(
             app, workers=workers, checkpoint_path=checkpoint_path,
-            retry_policy=retry_policy, fault_spec=fault_spec,
+            retry_policy=retry_policy, fault_spec=fault_spec, store=store,
         )
     try:
         with span("harness.experiment", cat="harness", app=app.name,

@@ -19,6 +19,7 @@ from repro.harness.tables import (
     scheduler_rows,
     simulator_rows,
     span_rows,
+    store_rows,
     table3_rows,
     table4_rows,
 )
@@ -213,6 +214,25 @@ def render_report(
             ["application", "resource_hits", "trace_hits", "sm_hits",
              "compile_hits", "compile_evals",
              "waves_simulated", "waves_extrapolated", "events_replayed"],
+        ))
+        write("\n```\n\n")
+
+    # ------------------------------------------- Persistent store telemetry
+    store_telemetry = store_rows(experiments)
+    if store_telemetry:
+        write("## Persistent store telemetry\n\n")
+        write("Disk traffic of the durable result store layered under the\n")
+        write("simulator cache (see docs/persistent_store.md): hits are\n")
+        write("artifacts read back instead of recomputed, misses fell\n")
+        write("through to computation (and were written back), evictions\n")
+        write("enforce the size bound, and corrupt entries were dropped\n")
+        write("and recomputed.  The store only changes how fast results\n")
+        write("arrive — never their values.\n\n")
+        write("```\n")
+        write(format_table(
+            store_telemetry,
+            ["application", "store_hits", "store_misses",
+             "store_evictions", "store_corrupt"],
         ))
         write("\n```\n\n")
 

@@ -139,6 +139,36 @@ def simulator_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
     return rows
 
 
+def store_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Persistent result-store telemetry per application.
+
+    Disk traffic of the durable tier under the simulator cache (see
+    repro.store): artifacts read back instead of recomputed, lookups
+    that fell through to computation, LRU evictions, and corrupt
+    entries dropped on read.  All-zero rows are skipped — the table
+    only appears when a store was attached and actually used.
+    """
+    rows = []
+    for experiment in experiments:
+        stats = experiment.engine_stats
+        if stats is None:
+            continue
+        hits = getattr(stats, "store_hits", 0)
+        misses = getattr(stats, "store_misses", 0)
+        evictions = getattr(stats, "store_evictions", 0)
+        corrupt = getattr(stats, "store_corrupt", 0)
+        if not (hits or misses or evictions or corrupt):
+            continue
+        rows.append({
+            "application": experiment.name,
+            "store_hits": hits,
+            "store_misses": misses,
+            "store_evictions": evictions,
+            "store_corrupt": corrupt,
+        })
+    return rows
+
+
 def span_rows(events: Sequence[Dict]) -> List[Dict]:
     """Per-stage wall-time breakdown from Chrome-trace span events.
 

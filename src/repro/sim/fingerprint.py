@@ -26,7 +26,7 @@ application shares work across its whole configuration space.
 from __future__ import annotations
 
 import hashlib
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.ir.instructions import Instruction, MemRef
 from repro.ir.kernel import Kernel
@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.metrics.model import MetricReport
     from repro.sim.sm import SMResult
     from repro.sim.trace import WarpTrace
+    from repro.store.disk import ResultStore, StoreEntry
 
 
 class _Canonicalizer:
@@ -204,9 +205,42 @@ class SimulationCache:
     and :meth:`delta_since` let the engine ship per-task deltas back
     to the parent (see :func:`repro.tuning.engine._pool_simulate`), so
     the aggregated telemetry stays exact under any worker count.
+
+    A :class:`repro.store.ResultStore` can be layered underneath as a
+    durable tier (:meth:`attach_store`): lookups read through to disk
+    on an in-memory miss, and stores write back — immediately when
+    this cache owns the store (``write_back=True``, the serial/parent
+    mode), or into a backlog that pool workers drain and ship to the
+    parent alongside their counter deltas (``write_back=False``, so
+    one process owns all disk writes).  Artifacts read from or written
+    to disk are byte-identical to recomputation, so results never
+    depend on the store being present, cold, or warm.
     """
 
-    def __init__(self) -> None:
+    #: ``(telemetry name, attribute, zero)`` — the single declaration
+    #: both :meth:`counters` and :meth:`clear` derive from, so adding
+    #: a tier cannot silently desync telemetry.
+    COUNTER_SPEC = (
+        ("fingerprint_resource_hits", "resource_hits", 0),
+        ("fingerprint_trace_hits", "trace_hits", 0),
+        ("fingerprint_sm_hits", "sm_hits", 0),
+        ("compile_hits", "compile_hits", 0),
+        ("compile_evaluations", "compile_evaluations", 0),
+        ("waves_simulated", "waves_simulated", 0),
+        ("waves_extrapolated", "waves_extrapolated", 0.0),
+        ("events_replayed", "events_replayed", 0),
+    )
+    #: persistent-store counters, proxied from the attached
+    #: :class:`~repro.store.ResultStore` under the same derivation
+    #: rule; reported only while a store is attached.
+    STORE_COUNTER_SPEC = (
+        ("store_hits", "hits"),
+        ("store_misses", "misses"),
+        ("store_evictions", "evictions"),
+        ("store_corrupt", "corrupt"),
+    )
+
+    def __init__(self, store: Optional["ResultStore"] = None) -> None:
         self._resources: Dict[str, "ResourceUsage"] = {}
         self._traces: Dict[str, "WarpTrace"] = {}
         self._sm: Dict[Tuple[str, int], "SMResult"] = {}
@@ -216,14 +250,114 @@ class SimulationCache:
         #: is grid-independent; the consumer re-specializes those two
         #: from its own kernel (see Application.evaluate).
         self._compile: Dict[str, "MetricReport"] = {}
-        self.resource_hits = 0
-        self.trace_hits = 0
-        self.sm_hits = 0
-        self.compile_hits = 0
-        self.compile_evaluations = 0
-        self.waves_simulated = 0
-        self.waves_extrapolated = 0.0
-        self.events_replayed = 0
+        for _name, attr, zero in self.COUNTER_SPEC:
+            setattr(self, attr, zero)
+        self._store: Optional["ResultStore"] = None
+        self._store_write_back = True
+        self._store_backlog: List["StoreEntry"] = []
+        self._store_seen: set = set()
+        if store is not None:
+            self.attach_store(store)
+
+    # -- persistent tier -------------------------------------------------
+
+    @property
+    def store(self) -> Optional["ResultStore"]:
+        return self._store
+
+    def attach_store(
+        self, store: "ResultStore", write_back: bool = True
+    ) -> None:
+        """Layer a durable store under this cache.
+
+        ``write_back=True`` persists artifacts to disk as they are
+        produced (the serial and pool-parent mode); ``write_back=False``
+        collects them in a backlog instead (pool workers — see
+        :meth:`drain_store_backlog`), leaving all disk writes to one
+        owning process.
+        """
+        self._store = store
+        self._store_write_back = write_back
+        self._store_backlog = []
+        self._store_seen = set()
+
+    def set_store_write_back(self, write_back: bool) -> None:
+        self._store_write_back = bool(write_back)
+
+    def _store_load(self, tier: str, key) -> Optional[Any]:
+        if self._store is None:
+            return None
+        found = self._store.load(tier, key)
+        if found is not None:
+            # Loaded entries never need re-persisting from this process.
+            self._store_seen.add((tier, key))
+        return found
+
+    def _store_put(self, tier: str, key, obj: Any) -> None:
+        """Persist (or backlog) one freshly produced artifact, once."""
+        if self._store is None:
+            return
+        marker = (tier, key)
+        if marker in self._store_seen:
+            return
+        self._store_seen.add(marker)
+        if self._store_write_back:
+            self._store.store(tier, key, obj)
+        else:
+            self._store_backlog.append((tier, key, obj))
+
+    def drain_store_backlog(self) -> List["StoreEntry"]:
+        """Artifacts produced since the last drain (worker mode only);
+        the scheduler ships them to the parent with each result."""
+        backlog, self._store_backlog = self._store_backlog, []
+        return backlog
+
+    def absorb_store_entries(self, entries: List["StoreEntry"]) -> None:
+        """Fold worker-computed artifacts into this (parent) cache.
+
+        Entries land in the in-memory tiers without touching the hit
+        or work counters — the worker's counter delta already counted
+        the real work — and are written back to the attached store
+        (the parent owns write-back regardless of its own mode).
+        """
+        tiers = {
+            "resources": self._resources,
+            "trace": self._traces,
+            "sm": self._sm,
+            "compile": self._compile,
+        }
+        for tier, key, obj in entries:
+            if tier == "sm":
+                key = tuple(key)
+            tiers[tier].setdefault(key, obj)
+            if self._store is not None and (tier, key) not in self._store_seen:
+                self._store_seen.add((tier, key))
+                self._store.store(tier, key, obj)
+
+    def flush_to_store(self, store: Optional["ResultStore"] = None) -> int:
+        """Persist every in-memory artifact; returns the entry count.
+
+        Lets a benchmark (or a sweep that attached its store late)
+        populate a store from an already-warm cache without re-running
+        anything.
+        """
+        target = store if store is not None else self._store
+        if target is None:
+            raise ValueError("no result store attached and none given")
+        written = 0
+        for fingerprint, obj in self._resources.items():
+            target.store("resources", fingerprint, obj)
+            written += 1
+        for fingerprint, obj in self._traces.items():
+            target.store("trace", fingerprint, obj)
+            written += 1
+        for key, obj in self._sm.items():
+            target.store("sm", key, obj)
+            written += 1
+        for fingerprint, obj in self._compile.items():
+            target.store("compile", fingerprint, obj)
+            written += 1
+        return written
 
     # -- resources -------------------------------------------------------
 
@@ -231,12 +365,17 @@ class SimulationCache:
         found = self._resources.get(fingerprint)
         if found is not None:
             self.resource_hits += 1
+            return found
+        found = self._store_load("resources", fingerprint)
+        if found is not None:
+            self._resources[fingerprint] = found
         return found
 
     def store_resources(
         self, fingerprint: str, resources: "ResourceUsage"
     ) -> None:
         self._resources[fingerprint] = resources
+        self._store_put("resources", fingerprint, resources)
 
     # -- compile tier (full static-stage results) ------------------------
 
@@ -245,12 +384,22 @@ class SimulationCache:
         found = self._compile.get(fingerprint)
         if found is not None:
             self.compile_hits += 1
+            return found
+        found = self._store_load("compile", fingerprint)
+        if found is not None:
+            self._compile[fingerprint] = found
         return found
 
     def peek_compile(self, fingerprint: str) -> Optional["MetricReport"]:
         """Non-counting lookup for opportunistic consumers (e.g. the
         simulator threading in already-compiled resources)."""
-        return self._compile.get(fingerprint)
+        found = self._compile.get(fingerprint)
+        if found is not None:
+            return found
+        found = self._store_load("compile", fingerprint)
+        if found is not None:
+            self._compile[fingerprint] = found
+        return found
 
     def store_compile(self, fingerprint: str, report: "MetricReport") -> None:
         """Record a freshly evaluated configuration; counts the real
@@ -259,6 +408,7 @@ class SimulationCache:
         self._compile[fingerprint] = report
         self.compile_evaluations += 1
         self._resources.setdefault(fingerprint, report.resources)
+        self._store_put("compile", fingerprint, report)
 
     # -- traces ----------------------------------------------------------
 
@@ -266,19 +416,32 @@ class SimulationCache:
         found = self._traces.get(fingerprint)
         if found is not None:
             self.trace_hits += 1
+            return found
+        found = self._store_load("trace", fingerprint)
+        if found is not None:
+            self._traces[fingerprint] = found
         return found
 
     def store_trace(self, fingerprint: str, trace: "WarpTrace") -> None:
         self._traces[fingerprint] = trace
+        self._store_put("trace", fingerprint, trace)
 
     # -- SM results ------------------------------------------------------
 
     def lookup_sm(
         self, fingerprint: str, blocks_sampled: int
     ) -> Optional["SMResult"]:
-        found = self._sm.get((fingerprint, blocks_sampled))
+        key = (fingerprint, blocks_sampled)
+        found = self._sm.get(key)
         if found is not None:
             self.sm_hits += 1
+            return found
+        found = self._store_load("sm", key)
+        if found is not None:
+            # Direct insertion: waves/events count real replay work
+            # only, and this result's work was counted when it was
+            # first computed (possibly by another process entirely).
+            self._sm[key] = found
         return found
 
     def store_sm(
@@ -288,6 +451,7 @@ class SimulationCache:
         self.waves_simulated += result.waves_simulated
         self.waves_extrapolated += result.waves_extrapolated
         self.events_replayed += result.events_replayed
+        self._store_put("sm", (fingerprint, blocks_sampled), result)
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -296,17 +460,19 @@ class SimulationCache:
         return self.resource_hits + self.trace_hits + self.sm_hits
 
     def counters(self) -> Dict[str, float]:
-        """Telemetry snapshot (the EngineStats / report payload)."""
-        return {
-            "fingerprint_resource_hits": self.resource_hits,
-            "fingerprint_trace_hits": self.trace_hits,
-            "fingerprint_sm_hits": self.sm_hits,
-            "compile_hits": self.compile_hits,
-            "compile_evaluations": self.compile_evaluations,
-            "waves_simulated": self.waves_simulated,
-            "waves_extrapolated": self.waves_extrapolated,
-            "events_replayed": self.events_replayed,
+        """Telemetry snapshot (the EngineStats / report payload).
+
+        Derived from :data:`COUNTER_SPEC` (plus the proxied
+        :data:`STORE_COUNTER_SPEC` when a store is attached), so every
+        counter the cache maintains is reported — by construction.
+        """
+        snapshot = {
+            name: getattr(self, attr) for name, attr, _zero in self.COUNTER_SPEC
         }
+        if self._store is not None:
+            for name, attr in self.STORE_COUNTER_SPEC:
+                snapshot[name] = getattr(self._store, attr)
+        return snapshot
 
     def delta_since(self, before: Dict[str, float]) -> Dict[str, float]:
         """Counter changes since a previous :meth:`counters` snapshot.
@@ -319,18 +485,19 @@ class SimulationCache:
         return counter_delta(self.counters(), before)
 
     def clear(self) -> None:
+        """Drop in-memory contents and reset this cache's counters.
+
+        The attached store (contents *and* counters) is untouched —
+        durability across clears and restarts is its whole purpose.
+        """
         self._resources.clear()
         self._traces.clear()
         self._sm.clear()
         self._compile.clear()
-        self.resource_hits = 0
-        self.trace_hits = 0
-        self.sm_hits = 0
-        self.compile_hits = 0
-        self.compile_evaluations = 0
-        self.waves_simulated = 0
-        self.waves_extrapolated = 0.0
-        self.events_replayed = 0
+        for _name, attr, zero in self.COUNTER_SPEC:
+            setattr(self, attr, zero)
+        self._store_backlog = []
+        self._store_seen = set()
 
 
 __all__ = ["SimulationCache", "kernel_fingerprint"]

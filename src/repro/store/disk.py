@@ -1,0 +1,374 @@
+"""Disk-backed, content-addressed store for simulation artifacts.
+
+The in-memory :class:`repro.sim.fingerprint.SimulationCache` makes a
+warm sweep ~4x faster than a cold one, but it dies with the process.
+:class:`ResultStore` is the durable tier underneath it: the same four
+content-addressed families — compile results (whole
+:class:`~repro.metrics.model.MetricReport`\\ s), compile-pass resource
+usage, loop-compressed warp traces, and ``(fingerprint,
+blocks_sampled)``-keyed SM replays — keyed by the PR 2/4
+``kernel_fingerprint``, so any process that computes the same
+post-transform kernel reads the artifact instead of recomputing it.
+
+On-disk layout (all paths relative to the store root)::
+
+    VERSION                     # json: {"magic": ..., "schema": N}
+    .lock                       # advisory flock for writers
+    <tier>/<fp[:2]>/<name>.entry
+
+where ``tier`` is one of ``resources`` / ``trace`` / ``sm`` /
+``compile``, ``fp`` is the 64-hex-char kernel fingerprint, and
+``name`` is the fingerprint itself (``sm`` entries append
+``-<blocks_sampled>``).  Each entry file is::
+
+    repro-store <schema> <tier> <sha256(payload)> <len(payload)>\\n
+    <payload>                   # pickled artifact
+
+Contracts (mirroring the PR 5 checkpoint-recovery contract):
+
+* **atomicity** — entries and the version marker are written via
+  tmp-file + :func:`os.replace` (see :mod:`repro.store.atomic`), so a
+  reader never observes a partial entry;
+* **corruption tolerance** — a truncated, garbled, wrong-version, or
+  undecodable entry is a *miss*: it is warned about, counted
+  (``corrupt``), removed best-effort, and recomputed by the caller —
+  never an exception on the hot path;
+* **concurrency** — writers serialize on an advisory file lock
+  (:mod:`repro.store.locking`); readers are lock-free and rely on the
+  digest to reject torn or half-replaced entries;
+* **bounded size** — with ``max_bytes`` set, each write triggers an
+  LRU sweep: entry files are aged by mtime (refreshed on every read
+  hit) and the oldest are evicted until the store fits.
+
+Counters (``hits`` / ``misses`` / ``evictions`` / ``corrupt``) are
+plain attributes; :class:`~repro.sim.fingerprint.SimulationCache`
+surfaces them as ``store_*`` telemetry through the usual
+counter-delta plumbing, so totals stay exact under any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import logging
+import os
+import pickle
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.store.atomic import atomic_write_bytes, atomic_write_text
+from repro.store.locking import FileLock, ensure_lock_file
+
+logger = logging.getLogger(__name__)
+
+#: bump when the entry encoding (header or pickle schema) changes;
+#: entries written by another schema are dropped and recomputed.
+SCHEMA_VERSION = 1
+MAGIC = "repro-store"
+
+#: artifact families the store persists, one directory each
+RESOURCES_TIER = "resources"
+TRACE_TIER = "trace"
+SM_TIER = "sm"
+COMPILE_TIER = "compile"
+TIERS = (RESOURCES_TIER, TRACE_TIER, SM_TIER, COMPILE_TIER)
+
+#: environment variable naming the store directory (the harness's
+#: ``--store`` flag wins when both are given)
+STORE_ENV = "REPRO_STORE"
+#: optional size bound for the store, in mebibytes
+STORE_MAX_MB_ENV = "REPRO_STORE_MAX_MB"
+
+#: a store key: the fingerprint, or (fingerprint, blocks_sampled)
+StoreKey = Union[str, Tuple[str, int]]
+#: one transferable artifact: (tier, key, object) — what pool workers
+#: ship back to the parent for write-back
+StoreEntry = Tuple[str, StoreKey, Any]
+
+_VERSION_FILE = "VERSION"
+_LOCK_FILE = ".lock"
+_ENTRY_SUFFIX = ".entry"
+
+
+class ResultStore:
+    """One on-disk store rooted at ``path`` (created if missing).
+
+    ``max_bytes=None`` (the default) disables eviction.  The instance
+    holds no open file handles between operations, so it survives
+    ``fork`` and pickling — each pool worker's copy simply reads the
+    same directory.
+    """
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None) -> None:
+        self.path = os.path.abspath(path)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive or None, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self._lock = FileLock(os.path.join(self.path, _LOCK_FILE))
+        self._ensure_layout()
+
+    # ------------------------------------------------------------------
+    # Layout and versioning.
+
+    def _ensure_layout(self) -> None:
+        for tier in TIERS:
+            os.makedirs(os.path.join(self.path, tier), exist_ok=True)
+        ensure_lock_file(self._lock.path)
+        version_path = os.path.join(self.path, _VERSION_FILE)
+        stamp = {"magic": MAGIC, "schema": SCHEMA_VERSION}
+        try:
+            with open(version_path) as handle:
+                found = json.load(handle)
+            if not isinstance(found, dict) or found.get("magic") != MAGIC:
+                raise ValueError(f"not a {MAGIC} marker: {found!r}")
+        except FileNotFoundError:
+            atomic_write_text(version_path, json.dumps(stamp) + "\n")
+            return
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError, ValueError) as error:
+            # A damaged marker never blocks the store: entries carry
+            # their own versioned headers, so stale ones are dropped
+            # lazily; re-stamp and continue.
+            self.corrupt += 1
+            logger.warning(
+                "store %r: unreadable VERSION marker (%s); re-stamping "
+                "schema %d — entries from other schemas will be dropped "
+                "and recomputed", self.path, error, SCHEMA_VERSION,
+            )
+            atomic_write_text(version_path, json.dumps(stamp) + "\n")
+            return
+        if found.get("schema") != SCHEMA_VERSION:
+            self.corrupt += 1
+            logger.warning(
+                "store %r: schema %r on disk, this build writes %d; "
+                "existing entries will be dropped and recomputed",
+                self.path, found.get("schema"), SCHEMA_VERSION,
+            )
+            atomic_write_text(version_path, json.dumps(stamp) + "\n")
+
+    # ------------------------------------------------------------------
+    # Key -> path mapping.
+
+    @staticmethod
+    def _entry_name(tier: str, key: StoreKey) -> str:
+        if tier == SM_TIER:
+            fingerprint, blocks = key
+            return f"{fingerprint}-{int(blocks)}"
+        return str(key)
+
+    def _entry_path(self, tier: str, key: StoreKey) -> str:
+        name = self._entry_name(tier, key)
+        return os.path.join(self.path, tier, name[:2], name + _ENTRY_SUFFIX)
+
+    # ------------------------------------------------------------------
+    # Encoding.
+
+    @staticmethod
+    def _encode(tier: str, obj: Any) -> bytes:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        header = f"{MAGIC} {SCHEMA_VERSION} {tier} {digest} {len(payload)}\n"
+        return header.encode("ascii") + payload
+
+    def _decode(self, blob: bytes, tier: str, path: str) -> Optional[Any]:
+        """Payload object, or ``None`` after counting + logging corruption."""
+        newline = blob.find(b"\n")
+        reason = None
+        if newline < 0:
+            reason = "no header line"
+        else:
+            fields = blob[:newline].split(b" ")
+            payload = blob[newline + 1:]
+            if len(fields) != 5 or fields[0] != MAGIC.encode("ascii"):
+                reason = "malformed header"
+            elif fields[1] != str(SCHEMA_VERSION).encode("ascii"):
+                reason = f"schema {fields[1].decode('ascii', 'replace')!r} " \
+                         f"(this build reads {SCHEMA_VERSION})"
+            elif fields[2] != tier.encode("ascii"):
+                reason = "tier mismatch"
+            else:
+                try:
+                    length = int(fields[4])
+                except ValueError:
+                    length = -1
+                if length != len(payload):
+                    reason = f"truncated payload ({len(payload)} of {length} bytes)"
+                elif hashlib.sha256(payload).hexdigest().encode("ascii") != fields[3]:
+                    reason = "digest mismatch"
+                else:
+                    try:
+                        return pickle.loads(payload)
+                    except Exception as error:  # noqa: BLE001 - any unpickling failure
+                        reason = f"undecodable payload: {type(error).__name__}: {error}"
+        self.corrupt += 1
+        logger.warning(
+            "store %r: dropping corrupt entry %r (%s); it will be "
+            "recomputed", self.path, path, reason,
+        )
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
+    # ------------------------------------------------------------------
+    # Load / store.
+
+    def load(self, tier: str, key: StoreKey) -> Optional[Any]:
+        """Read one artifact; ``None`` on miss or (counted) corruption."""
+        path = self._entry_path(tier, key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as error:
+            self.misses += 1
+            logger.warning("store %r: unreadable entry %r (%s)",
+                           self.path, path, error)
+            return None
+        obj = self._decode(blob, tier, path)
+        if obj is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU recency: a hit makes the entry young
+        except OSError:
+            pass
+        return obj
+
+    def store(self, tier: str, key: StoreKey, obj: Any) -> None:
+        """Persist one artifact atomically (then enforce the size bound)."""
+        if tier not in TIERS:
+            raise ValueError(f"unknown store tier {tier!r}")
+        blob = self._encode(tier, obj)
+        path = self._entry_path(tier, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with self._lock:
+            atomic_write_bytes(path, blob)
+            if self.max_bytes is not None:
+                self._evict_lru()
+
+    def put_entries(self, entries: Iterable[StoreEntry]) -> None:
+        """Write-back a batch of artifacts (the pool parent's path)."""
+        for tier, key, obj in entries:
+            self.store(tier, key, obj)
+
+    # ------------------------------------------------------------------
+    # Eviction.
+
+    def _walk_entries(self) -> List[Tuple[float, int, str]]:
+        """(mtime, size, path) for every entry file currently on disk."""
+        found = []
+        for tier in TIERS:
+            root = os.path.join(self.path, tier)
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for filename in filenames:
+                    if not filename.endswith(_ENTRY_SUFFIX):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    try:
+                        status = os.stat(path)
+                    except OSError:
+                        continue  # evicted or replaced concurrently
+                    found.append((status.st_mtime, status.st_size, path))
+        return found
+
+    def _evict_lru(self) -> None:
+        """Drop oldest entries until the store fits ``max_bytes``.
+
+        Called with the writer lock held.  Recency is file mtime —
+        refreshed on every read hit — so the sweep is LRU across every
+        process sharing the store, not just this one.
+        """
+        entries = self._walk_entries()
+        total = sum(size for _mtime, size, _path in entries)
+        if total <= self.max_bytes:
+            return
+        for _mtime, size, path in sorted(entries):
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    # ------------------------------------------------------------------
+    # Introspection.
+
+    def size_bytes(self) -> int:
+        """Total bytes currently held in entry files."""
+        return sum(size for _mtime, size, _path in self._walk_entries())
+
+    def entry_count(self) -> int:
+        return len(self._walk_entries())
+
+    def counters(self) -> Dict[str, int]:
+        """Telemetry snapshot under the names EngineStats mirrors."""
+        return {
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_evictions": self.evictions,
+            "store_corrupt": self.corrupt,
+        }
+
+    def __repr__(self) -> str:
+        bound = "unbounded" if self.max_bytes is None else f"{self.max_bytes}B"
+        return f"ResultStore({self.path!r}, {bound})"
+
+
+def resolve_store(
+    store: Union["ResultStore", str, None], environ=None
+) -> Optional["ResultStore"]:
+    """Normalize a store argument: instance, directory path, or ``None``.
+
+    ``None`` defers to ``REPRO_STORE`` (empty/unset disables the
+    store).  The size bound comes from ``REPRO_STORE_MAX_MB``; a
+    malformed value raises :class:`ValueError` naming the variable —
+    the same actionable-diagnostics contract as ``resolve_workers``.
+    """
+    if isinstance(store, ResultStore):
+        return store
+    environ = os.environ if environ is None else environ
+    if store is None:
+        store = environ.get(STORE_ENV) or None
+        if store is None:
+            return None
+    max_bytes = None
+    bound = environ.get(STORE_MAX_MB_ENV)
+    if bound and bound.strip():
+        try:
+            megabytes = float(bound)
+        except ValueError:
+            raise ValueError(
+                f"{STORE_MAX_MB_ENV}={bound!r} is not a valid size "
+                "(expected mebibytes as a number)"
+            ) from None
+        if megabytes <= 0:
+            raise ValueError(
+                f"{STORE_MAX_MB_ENV}={bound!r} must be positive "
+                "(unset it to disable eviction)"
+            )
+        max_bytes = int(megabytes * 1024 * 1024)
+    return ResultStore(str(store), max_bytes=max_bytes)
+
+
+__all__ = [
+    "COMPILE_TIER",
+    "MAGIC",
+    "RESOURCES_TIER",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SM_TIER",
+    "STORE_ENV",
+    "STORE_MAX_MB_ENV",
+    "TIERS",
+    "TRACE_TIER",
+    "resolve_store",
+]

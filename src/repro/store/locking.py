@@ -1,0 +1,70 @@
+"""Advisory file locking for cross-process store sharing.
+
+The result store is designed to be shared by concurrent processes —
+several harness invocations, or a sweep's parent process while another
+sweep reads warm entries.  Readers are lock-free (entries are written
+atomically and carry a digest, so a torn read is detected, not
+trusted); writers serialize on one advisory ``flock`` so eviction
+scans never race a concurrent write's size accounting.
+
+``fcntl`` is POSIX-only; on platforms without it the lock degrades to
+a no-op, which keeps single-process use (the overwhelmingly common
+case) correct — the atomic-replace write protocol alone guarantees
+readers never see partial entries.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+class FileLock:
+    """An advisory exclusive lock on a path, held for a ``with`` block.
+
+    Reentrant within a process is *not* supported (and not needed —
+    the store takes it once per mutation).  The lock file itself is
+    never deleted, so two processes always contend on the same inode.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def __enter__(self) -> "FileLock":
+        if fcntl is not None:
+            self._handle = open(self.path, "a+b")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+
+    # The lock is re-acquired per operation and never pickled holding
+    # a handle, so forked/pickled stores stay usable.
+    def __getstate__(self) -> dict:
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self._handle = None
+
+
+def ensure_lock_file(path: str) -> None:
+    """Create the lock file if missing (empty; contents are never read)."""
+    if not os.path.exists(path):
+        try:
+            with open(path, "ab"):
+                pass
+        except OSError:
+            pass  # another process won the race; the inode exists
+
+
+__all__ = ["FileLock", "ensure_lock_file"]

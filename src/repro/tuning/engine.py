@@ -49,18 +49,19 @@ import dataclasses
 import json
 import logging
 import os
-import tempfile
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.occupancy import LaunchError
 from repro.metrics.model import MetricReport, report_from_json, report_to_json
 from repro.obs.faults import FAULTS_ENV, FaultPlan
 from repro.obs.metrics import Counters
 from repro.obs.trace import span
+from repro.store import ResultStore, atomic_write_text, resolve_store
 from repro.tuning.scheduler import (
     SIMULATE,
     STATIC,
+    STORE_DELTA_KEY,
     RetryPolicy,
     SchedulerError,
     SweepScheduler,
@@ -154,6 +155,14 @@ class EngineStats:
     waves_extrapolated: float = 0.0      # waves covered by convergence instead
     events_replayed: int = 0             # dynamic trace events replayed
 
+    # Persistent result-store telemetry (see repro.store).  Mirrored
+    # from the SimulationCache like the fingerprint counters above;
+    # all zero when no store is attached.
+    store_hits: int = 0                  # artifacts read from disk
+    store_misses: int = 0                # disk lookups that fell through
+    store_evictions: int = 0             # entries dropped by the LRU bound
+    store_corrupt: int = 0               # damaged entries dropped on read
+
     @property
     def cache_hits(self) -> int:
         return self.static_cache_hits + self.simulation_cache_hits
@@ -200,6 +209,15 @@ class EngineStats:
             text += f" serial_fallback_tasks={self.serial_fallback_tasks}"
         if self.pool_fallbacks:
             text += f" pool_fallbacks={self.pool_fallbacks}"
+        if self.store_hits or self.store_misses:
+            text += (
+                f" store_hits={self.store_hits}"
+                f" store_misses={self.store_misses}"
+            )
+            if self.store_evictions:
+                text += f" store_evictions={self.store_evictions}"
+            if self.store_corrupt:
+                text += f" store_corrupt={self.store_corrupt}"
         return text
 
 
@@ -251,6 +269,15 @@ class ExecutionEngine:
         reads ``REPRO_FAULTS`` from the environment; injected faults
         never fire on the in-process serial path, so a faulted sweep
         still completes with bit-identical results.
+    store:
+        Optional persistent result store layered under ``sim_cache``:
+        a :class:`~repro.store.ResultStore`, a directory path, or
+        ``None`` to read ``REPRO_STORE`` from the environment (unset
+        disables the durable tier).  The engine (parent process) owns
+        write-back; pool workers read through and ship fresh artifacts
+        home with their counter deltas.  Results are bit-identical
+        with the store absent, cold, or warm — it only changes how
+        fast they arrive.
     """
 
     def __init__(
@@ -264,10 +291,26 @@ class ExecutionEngine:
         sim_cache=None,
         retry_policy: Optional[RetryPolicy] = None,
         fault_spec: Optional[str] = None,
+        store: Union[ResultStore, str, None] = None,
     ) -> None:
         self._evaluate = evaluate
         self._simulate = simulate
         self._sim_cache = sim_cache
+        self.store = resolve_store(store)
+        if self.store is not None:
+            if sim_cache is not None and hasattr(sim_cache, "attach_store"):
+                sim_cache.attach_store(self.store, write_back=True)
+            else:
+                logger.warning(
+                    "a result store was configured (%r) but this engine "
+                    "has no simulator cache to layer it under; the "
+                    "store will be ignored", self.store.path,
+                )
+                self.store = None
+        elif sim_cache is not None:
+            # The cache may have arrived with its own store attached
+            # (e.g. the application wired one up); surface it.
+            self.store = getattr(sim_cache, "store", None)
         self.workers = resolve_workers(workers)
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = max(1, int(checkpoint_interval))
@@ -311,6 +354,7 @@ class ExecutionEngine:
         checkpoint_path: Optional[str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         fault_spec: Optional[str] = None,
+        store: Union[ResultStore, str, None] = None,
     ) -> "ExecutionEngine":
         """Engine around an :class:`~repro.apps.base.Application`."""
         return cls(
@@ -322,6 +366,7 @@ class ExecutionEngine:
             sim_cache=getattr(app, "sim_cache", None),
             retry_policy=retry_policy,
             fault_spec=fault_spec,
+            store=store,
         )
 
     # ------------------------------------------------------------------
@@ -438,8 +483,7 @@ class ExecutionEngine:
                   configs=len(configs), workers=scheduler.active_workers):
 
             def record(position, payload, delta):
-                if delta:
-                    self._pool_counters.merge(delta)
+                self._merge_pool_delta(delta)
                 metrics, reason = payload
                 self._record_static(configs[position], (metrics, reason))
                 self._static_fresh.add(configs[position])
@@ -507,8 +551,7 @@ class ExecutionEngine:
                           workers=scheduler.active_workers):
 
                     def record(position, seconds, delta):
-                        if delta:
-                            self._pool_counters.merge(delta)
+                        self._merge_pool_delta(delta)
                         self._record_time(remaining[position], seconds)
 
                     abandoned = scheduler.run(SIMULATE, remaining, record)
@@ -567,6 +610,22 @@ class ExecutionEngine:
             "worker pool disabled, falling back to in-process "
             "execution: %s", reason,
         )
+
+    def _merge_pool_delta(self, delta: Optional[Dict[str, Any]]) -> None:
+        """Fold one worker result's counter delta into the pool totals.
+
+        The reserved :data:`~repro.tuning.scheduler.STORE_DELTA_KEY`
+        entry — artifacts the worker computed but (deliberately) never
+        wrote to disk — is absorbed into the parent's cache, which
+        owns all store write-back.
+        """
+        if not delta:
+            return
+        entries = delta.pop(STORE_DELTA_KEY, None)
+        if entries and self._sim_cache is not None:
+            self._sim_cache.absorb_store_entries(entries)
+        if delta:
+            self._pool_counters.merge(delta)
 
     def _sync_sim_stats(self) -> None:
         """Fold simulator-cache telemetry into the stats.
@@ -697,15 +756,10 @@ class ExecutionEngine:
         }
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=1)
-            os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+        # Shared atomic-write helper: tmp + os.replace like before, but
+        # with umask-honoring permissions — a raw mkstemp leaves the
+        # checkpoint 0600, unreadable by a teammate resuming the sweep.
+        atomic_write_text(path, json.dumps(payload, indent=1))
         self._unsaved_results = 0
 
 

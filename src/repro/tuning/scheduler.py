@@ -63,6 +63,12 @@ STATIC = STATIC_STAGE
 #: task completes.
 OnResult = Callable[[int, Any, Optional[Dict[str, float]]], None]
 
+#: Reserved counter-delta key carrying a worker's persistent-store
+#: backlog (a list of ``(tier, key, obj)`` entries) back to the parent.
+#: Workers never write the store themselves — the parent absorbs these
+#: and owns all disk write-back, so one process serializes the writes.
+STORE_DELTA_KEY = "__store_entries__"
+
 
 class SchedulerError(RuntimeError):
     """The scheduler could not be started (worker spawn failed)."""
@@ -143,16 +149,19 @@ class RetryPolicy:
         return cls(**kwargs)
 
     def backoff_seconds(self, task_key: str, attempt: int) -> float:
-        """Deterministic jittered backoff before retry ``attempt + 1``."""
-        base = min(
-            self.backoff_cap,
-            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
-        )
+        """Deterministic jittered backoff before retry ``attempt + 1``.
+
+        The cap bounds the *final* sleep, not the pre-jitter base —
+        capping before stretching let jitter push delays up to
+        ``backoff_cap * (1 + jitter)``, which defeats the point of a
+        cap (it exists so a sweep's worst-case retry stall is known).
+        """
+        base = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
         digest = hashlib.sha256(
             f"{self.seed}:{task_key}:{attempt}".encode()
         ).digest()
         fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
-        return base * (1.0 + self.jitter * fraction)
+        return min(self.backoff_cap, base * (1.0 + self.jitter * fraction))
 
 
 @dataclasses.dataclass
@@ -217,6 +226,11 @@ def _run_task(stage, index, attempt, payload, simulate, evaluate, plan, cache):
             f"{type(error).__name__}: {error}", None,
         )
     delta = counter_delta(cache.counters(), before) if cache is not None else None
+    if cache is not None and getattr(cache, "store", None) is not None:
+        backlog = cache.drain_store_backlog()
+        if backlog:
+            delta = dict(delta or {})
+            delta[STORE_DELTA_KEY] = backlog
     return ("ok", index, attempt, result, delta)
 
 
@@ -225,6 +239,10 @@ def _worker_main(worker_id, task_reader, result_writer,
     """Worker loop: recv task, run, send result, repeat until sentinel."""
     plan = FaultPlan.from_spec(fault_spec)
     cache = _cache_for(simulate, evaluate)
+    if cache is not None and hasattr(cache, "set_store_write_back"):
+        # Workers read the store through but never write it: fresh
+        # artifacts go to the backlog and ride home with each result.
+        cache.set_store_write_back(False)
     while True:
         try:
             message = task_reader.recv()
@@ -614,6 +632,7 @@ __all__ = [
     "RetryPolicy",
     "SchedulerError",
     "SchedulerStats",
+    "STORE_DELTA_KEY",
     "SweepScheduler",
     "SIMULATE",
     "STATIC",

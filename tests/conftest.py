@@ -19,6 +19,7 @@ _FAST_DIRS = (
     os.path.join("tests", "arch"),
     os.path.join("tests", "ir"),
     os.path.join("tests", "obs"),
+    os.path.join("tests", "store"),
 )
 
 

@@ -1,0 +1,102 @@
+"""Atomic-write helper contract: atomicity plus umask-honoring modes.
+
+``tempfile.mkstemp`` creates files 0600 regardless of umask; the repo's
+durable artifacts (checkpoints, store entries) are *published* files
+that must carry the permissions a plain ``open(path, "w")`` would
+produce.  These tests pin that, including the engine-checkpoint
+regression the helper was introduced to fix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+
+import pytest
+
+from repro.store.atomic import atomic_write_bytes, atomic_write_text, current_umask
+
+
+@pytest.fixture
+def restore_umask():
+    before = os.umask(0o022)
+    os.umask(before)
+    yield
+    os.umask(before)
+
+
+def _mode(path: str) -> int:
+    return stat.S_IMODE(os.stat(path).st_mode)
+
+
+def test_writes_bytes(tmp_path):
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(str(path), b"\x00\x01payload")
+    assert path.read_bytes() == b"\x00\x01payload"
+
+
+def test_writes_text_utf8(tmp_path):
+    path = tmp_path / "note.txt"
+    atomic_write_text(str(path), "héllo\n")
+    assert path.read_text(encoding="utf-8") == "héllo\n"
+
+
+def test_overwrites_existing_file(tmp_path):
+    path = tmp_path / "target"
+    path.write_text("old")
+    atomic_write_text(str(path), "new")
+    assert path.read_text() == "new"
+
+
+def test_no_tmp_files_left_behind(tmp_path):
+    atomic_write_text(str(tmp_path / "a"), "x")
+    atomic_write_text(str(tmp_path / "a"), "y")
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["a"]
+
+
+def test_failure_leaves_target_and_no_droppings(tmp_path):
+    path = tmp_path / "target"
+    path.write_text("original")
+    with pytest.raises(TypeError):
+        atomic_write_bytes(str(path), "not-bytes")  # type: ignore[arg-type]
+    assert path.read_text() == "original"
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["target"]
+
+
+def test_current_umask_reads_without_changing(restore_umask):
+    os.umask(0o027)
+    assert current_umask() == 0o027
+    assert current_umask() == 0o027  # idempotent: set-and-restore
+
+
+@pytest.mark.parametrize("umask,expected", [(0o022, 0o644), (0o077, 0o600),
+                                            (0o002, 0o664)])
+def test_mode_honors_umask(tmp_path, restore_umask, umask, expected):
+    os.umask(umask)
+    path = tmp_path / "published"
+    atomic_write_text(str(path), "data")
+    assert _mode(str(path)) == expected
+
+
+def test_checkpoint_perms_honor_umask(tmp_path, restore_umask):
+    """Regression: engine checkpoints used a raw mkstemp and came out
+    0600 under any umask — unreadable by a teammate resuming the sweep
+    from a shared directory."""
+    from repro.tuning.engine import ExecutionEngine
+    from repro.tuning.space import ConfigSpace
+
+    os.umask(0o022)
+    space = ConfigSpace({"x": [1, 2]})
+    configs = space.configurations()
+    path = tmp_path / "ckpt.json"
+    engine = ExecutionEngine(
+        evaluate=lambda c: (_ for _ in ()).throw(AssertionError),
+        simulate=lambda c: float(c["x"]),
+        checkpoint_path=str(path),
+        checkpoint_interval=1,
+    )
+    engine.seconds_for(configs)
+    assert _mode(str(path)) == 0o644
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 2

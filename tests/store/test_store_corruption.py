@@ -1,0 +1,200 @@
+"""Corruption recovery: damage is a warned-about miss, never a crash.
+
+Mirrors the engine-checkpoint recovery matrix
+(tests/tuning/test_checkpoint_resume.py): every flavour of on-disk
+damage — truncation, garbage, wrong schema, torn writes, a hostile
+VERSION marker, even a concurrent-writer race — must degrade to
+"recompute it", with the corruption counted and logged.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.store import ResultStore, SCHEMA_VERSION, TRACE_TIER
+from repro.store.disk import MAGIC
+
+FP = "ab" * 32
+PAYLOAD = {"trace": [1, 2, 3]}
+
+
+@pytest.fixture
+def populated(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.store(TRACE_TIER, FP, PAYLOAD)
+    return store
+
+
+def entry_path(store: ResultStore) -> str:
+    return store._entry_path(TRACE_TIER, FP)
+
+
+def assert_recovers(store: ResultStore, caplog) -> None:
+    """The contract: damaged entry reads as a miss, is counted and
+    logged, the file is gone, and a recompute+rewrite round-trips."""
+    with caplog.at_level(logging.WARNING, logger="repro.store.disk"):
+        assert store.load(TRACE_TIER, FP) is None
+    assert store.corrupt == 1
+    assert store.misses == 1
+    assert not os.path.exists(entry_path(store))
+    assert any("corrupt" in record.message for record in caplog.records)
+    store.store(TRACE_TIER, FP, PAYLOAD)  # recompute path still works
+    assert store.load(TRACE_TIER, FP) == PAYLOAD
+
+
+def test_truncated_payload(populated, caplog):
+    path = entry_path(populated)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[:-5])
+    assert_recovers(populated, caplog)
+
+
+def test_garbage_bytes(populated, caplog):
+    with open(entry_path(populated), "wb") as handle:
+        handle.write(b"\x93\x00complete nonsense\xff")
+    assert_recovers(populated, caplog)
+
+
+def test_empty_entry_file(populated, caplog):
+    open(entry_path(populated), "wb").close()
+    assert_recovers(populated, caplog)
+
+
+def test_wrong_schema_version_in_entry(populated, caplog):
+    path = entry_path(populated)
+    header, payload = open(path, "rb").read().split(b"\n", 1)
+    fields = header.split(b" ")
+    fields[1] = str(SCHEMA_VERSION + 1).encode()
+    with open(path, "wb") as handle:
+        handle.write(b" ".join(fields) + b"\n" + payload)
+    assert_recovers(populated, caplog)
+
+
+def test_tier_mismatch(populated, caplog):
+    path = entry_path(populated)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob.replace(b" trace ", b" compile ", 1))
+    assert_recovers(populated, caplog)
+
+
+def test_digest_mismatch_flipped_payload_byte(populated, caplog):
+    path = entry_path(populated)
+    blob = bytearray(open(path, "rb").read())
+    blob[-1] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    assert_recovers(populated, caplog)
+
+
+def test_undecodable_payload(populated, caplog):
+    # Valid header and digest over a payload pickle.loads rejects:
+    # the last line of defence, counted like any other corruption.
+    import hashlib
+
+    payload = b"not a pickle at all"
+    digest = hashlib.sha256(payload).hexdigest()
+    header = f"{MAGIC} {SCHEMA_VERSION} {TRACE_TIER} {digest} {len(payload)}\n"
+    with open(entry_path(populated), "wb") as handle:
+        handle.write(header.encode() + payload)
+    assert_recovers(populated, caplog)
+
+
+# ----------------------------------------------------------------------
+# VERSION marker damage (never fatal: entries carry their own headers).
+
+
+def test_version_marker_garbage_restamps(tmp_path, caplog):
+    root = tmp_path / "store"
+    ResultStore(str(root)).store(TRACE_TIER, FP, PAYLOAD)
+    (root / "VERSION").write_bytes(b"\x00garbage")
+    with caplog.at_level(logging.WARNING, logger="repro.store.disk"):
+        store = ResultStore(str(root))
+    assert store.corrupt == 1
+    assert json.loads((root / "VERSION").read_text())["schema"] == SCHEMA_VERSION
+    # entries written under the same (entry-level) schema still load
+    assert store.load(TRACE_TIER, FP) == PAYLOAD
+
+
+def test_version_marker_wrong_schema_restamps(tmp_path, caplog):
+    root = tmp_path / "store"
+    ResultStore(str(root))
+    (root / "VERSION").write_text(json.dumps({"magic": MAGIC, "schema": 999}))
+    with caplog.at_level(logging.WARNING, logger="repro.store.disk"):
+        store = ResultStore(str(root))
+    assert store.corrupt == 1
+    assert any("schema" in r.message for r in caplog.records)
+    assert json.loads((root / "VERSION").read_text())["schema"] == SCHEMA_VERSION
+    store.store(TRACE_TIER, FP, PAYLOAD)
+    assert store.load(TRACE_TIER, FP) == PAYLOAD
+
+
+def test_version_marker_wrong_magic_restamps(tmp_path):
+    root = tmp_path / "store"
+    ResultStore(str(root))
+    (root / "VERSION").write_text(json.dumps({"magic": "other-tool", "schema": 1}))
+    store = ResultStore(str(root))
+    assert store.corrupt == 1
+    assert json.loads((root / "VERSION").read_text())["magic"] == MAGIC
+
+
+# ----------------------------------------------------------------------
+# Concurrency.
+
+
+def _writer(path: str, worker: int, count: int) -> None:
+    store = ResultStore(path)
+    for i in range(count):
+        key = f"{worker:02x}{i:02x}" * 16
+        store.store(TRACE_TIER, key, {"worker": worker, "i": i})
+        # every writer also hammers one shared key
+        store.store(TRACE_TIER, FP, {"worker": worker, "i": i})
+
+
+def test_concurrent_writers_leave_no_corruption(tmp_path):
+    """Several processes writing (including to the same key) must leave
+    only complete, decodable entries — the atomic-replace + digest
+    protocol, exercised for real."""
+    path = str(tmp_path / "store")
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=_writer, args=(path, w, 8)) for w in range(3)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    reader = ResultStore(path)
+    assert reader.entry_count() == 3 * 8 + 1
+    for worker in range(3):
+        for i in range(8):
+            key = f"{worker:02x}{i:02x}" * 16
+            assert reader.load(TRACE_TIER, key) == {"worker": worker, "i": i}
+    shared = reader.load(TRACE_TIER, FP)
+    assert shared is not None and shared["worker"] in (0, 1, 2)
+    assert reader.corrupt == 0
+
+
+def test_torn_write_simulated_by_partial_replace(populated, caplog):
+    """A reader that races a (non-atomic, hypothetical) writer sees a
+    short blob; the digest/length check rejects it instead of handing
+    back a half-written artifact."""
+    path = entry_path(populated)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])
+    assert_recovers(populated, caplog)
+
+
+def test_unpicklable_objects_fail_at_store_time(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
+        store.store(TRACE_TIER, FP, lambda: None)
+    # nothing half-written landed on disk
+    assert store.entry_count() == 0

@@ -287,6 +287,22 @@ class TestSchedulerDeterminism:
         # And the exponential envelope holds.
         assert max(first) <= policy.backoff_cap * (1 + policy.jitter)
 
+    def test_backoff_cap_bounds_the_jittered_delay(self):
+        """Regression: the cap was applied to the pre-jitter base, so
+        jitter could stretch the sleep up to cap * (1 + jitter) — the
+        cap must bound the *final* delay."""
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_cap=1.5, jitter=1.0, seed=0)
+        delays = [policy.backoff_seconds(f"sim:{i}", attempt)
+                  for i in range(50) for attempt in (1, 2, 3, 4)]
+        assert max(delays) <= policy.backoff_cap
+        # deep attempts saturate at exactly the cap
+        assert policy.backoff_seconds("sim:0", 4) == policy.backoff_cap
+        # small early delays keep their jitter spread below the cap
+        early = [policy.backoff_seconds(f"sim:{i}", 1) for i in range(50)]
+        assert len(set(early)) > 1
+        assert all(1.0 <= delay <= 1.5 for delay in early)
+
     def test_policy_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_TASK_TIMEOUT", "12.5")
         monkeypatch.setenv("REPRO_TASK_RETRIES", "5")
