@@ -7,17 +7,29 @@ Times the full matmul configuration space through two pipelines:
   the simple heap-driven replay of :mod:`repro.sim.reference` (the
   shape of the original implementation);
 * **optimized** — ``Application.simulate``: loop-compressed segment
-  walking, the rewritten SM event loop, and the content-addressed
-  compile/trace/SM cache.
+  walking, the compiled flat-trace replay engine, and the
+  content-addressed compile/trace/SM cache.
 
-Both pipelines must produce bit-identical per-configuration seconds
-(the replays are differentially tested; this re-checks end to end),
-so the comparison is pure wall clock.
+Two speedups are measured, both gated against
+``baselines/sim_hotpath.json``:
 
-The *speedup ratio* is gated against ``baselines/sim_hotpath.json``:
-because both pipelines run in the same process on the same machine,
-the ratio is largely machine-independent, making it a meaningful CI
-regression gate where absolute seconds are not.  A run whose speedup
+* **exact** — both pipelines sample ``simulated_waves`` waves and must
+  produce bit-identical per-configuration seconds (the replays are
+  differentially tested; this re-checks end to end), so the comparison
+  is pure wall clock;
+* **fidelity-matched** (the headline ``speedup_vs_reference``) — the
+  reference pipeline samples ``convergence_max_waves`` waves exactly,
+  while the optimized pipeline runs in convergence mode
+  (``wave_convergence_rtol = 0.05``): it replays waves only until the
+  steady-state predicate fires, then extrapolates the remaining
+  blocks.  Both sides answer the same question — "what does the
+  steady-state wave cost?" — so the ratio compares equal fidelity,
+  and every extrapolated time is asserted to be within the rtol of
+  the deep exact reference.
+
+Because both pipelines run in the same process on the same machine,
+the ratios are largely machine-independent, making them meaningful CI
+regression gates where absolute seconds are not.  A run whose speedup
 falls below ``allowed_fraction`` of the committed baseline fails.
 
 After the timed sweeps, a separately-timed *static pass* runs the
@@ -25,8 +37,8 @@ compile stage over the space, so the compile-tier counters in the
 report reflect real traffic (they used to read 0 — the sweep phases
 only ever called ``app.simulate``, which never touches the compile
 tier; pinned by tests/tuning/test_compile_telemetry.py).  It runs
-after the gated cold sweep on purpose: evaluating first would seed the
-resource tier and quietly flatter the gated ratio.
+after the gated cold sweeps on purpose: evaluating first would seed
+the resource tier and quietly flatter the gated ratios.
 
 A *warm* phase re-runs the space on a fresh application that shares
 the first sweep's populated ``SimulationCache``: every configuration
@@ -48,6 +60,7 @@ root for inspection.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import os
@@ -60,6 +73,7 @@ import time
 from repro.apps import MatMul
 from repro.arch.occupancy import LaunchError
 from repro.cubin.resources import cubin_info
+from repro.sim.config import DEFAULT_SIM_CONFIG
 from repro.sim.reference import build_trace_reference, simulate_sm_reference
 from repro.store import ResultStore
 from repro.tuning.engine import config_key
@@ -67,6 +81,9 @@ from repro.tuning.engine import config_key
 HERE = os.path.dirname(__file__)
 BASELINE_PATH = os.path.join(HERE, "baselines", "sim_hotpath.json")
 RESULT_PATH = os.path.join(HERE, os.pardir, "BENCH_sim_hotpath.json")
+
+#: rtol for the convergence-mode sweep of the fidelity-matched phase.
+CONVERGENCE_RTOL = 0.05
 
 #: Run in a fresh interpreter against a populated store: sweep the full
 #: matmul space and report per-config times, wall time, and counters.
@@ -93,14 +110,22 @@ with open(out_path, "w") as handle:
 """
 
 
-def _reference_sweep(app):
-    """The pre-optimization pipeline, one configuration at a time."""
+def _reference_sweep(app, waves=None):
+    """The pre-optimization pipeline, one configuration at a time.
+
+    ``waves`` overrides ``simulated_waves`` (the fidelity-matched
+    phase samples ``convergence_max_waves`` waves exactly).
+    """
     times = {}
     for config in app.space():
         try:
             kernel = app.build_kernel(config)
             resources = cubin_info(kernel)
             sim_config = app.sim_config(config)
+            if waves is not None:
+                sim_config = dataclasses.replace(
+                    sim_config, simulated_waves=waves
+                )
             occupancy = resources.occupancy(sim_config.device)
             trace = build_trace_reference(kernel, sim_config)
             blocks_per_sm_total = math.ceil(
@@ -163,6 +188,8 @@ def _run_warm_process(store_dir):
 
 
 def test_matmul_full_space_speedup_vs_baseline():
+    # ------------------------------------------------------------------
+    # Exact phase: both pipelines at simulated_waves, bit-identical.
     started = time.perf_counter()
     reference_app = MatMul()
     reference_times = _reference_sweep(reference_app)
@@ -176,7 +203,42 @@ def test_matmul_full_space_speedup_vs_baseline():
     # Identical semantics, end to end.
     assert optimized_times == reference_times
 
-    # Static pass (separately timed, after the gated sweep): the
+    # ------------------------------------------------------------------
+    # Fidelity-matched phase (the headline gate): reference samples
+    # convergence_max_waves waves exactly; the optimized sweep runs in
+    # convergence mode and extrapolates once the wave cost settles.
+    deep_waves = DEFAULT_SIM_CONFIG.convergence_max_waves
+    started = time.perf_counter()
+    deep_reference_times = _reference_sweep(MatMul(), waves=deep_waves)
+    deep_reference_seconds = time.perf_counter() - started
+
+    convergence_app = MatMul()
+    convergence_app.sim_overrides = {
+        "wave_convergence_rtol": CONVERGENCE_RTOL
+    }
+    started = time.perf_counter()
+    convergence_times = _optimized_sweep(convergence_app)
+    convergence_seconds = time.perf_counter() - started
+
+    convergence_counters = dict(convergence_app.sim_cache.counters())
+    # The whole point of round two: extrapolation actually fires.
+    assert convergence_counters["blocks_extrapolated"] > 0
+    # ... and what it reports stays within rtol of the deep exact
+    # reference, configuration by configuration.
+    assert set(convergence_times) == set(deep_reference_times)
+    for config, seconds in convergence_times.items():
+        expected_seconds = deep_reference_times[config]
+        if seconds is None or expected_seconds is None:
+            assert seconds == expected_seconds
+            continue
+        assert math.isclose(
+            seconds, expected_seconds, rel_tol=CONVERGENCE_RTOL
+        ), (
+            f"convergence sweep drifted at {config}: "
+            f"{seconds} vs exact {expected_seconds}"
+        )
+
+    # Static pass (separately timed, after the gated sweeps): the
     # compile tier sees real traffic, so the reported counters can
     # never silently read 0 again.
     started = time.perf_counter()
@@ -231,23 +293,47 @@ def test_matmul_full_space_speedup_vs_baseline():
     warm_process_seconds = warm_process["sweep_seconds"]
     store_speedup = optimized_seconds / warm_process_seconds
 
-    speedup = reference_seconds / optimized_seconds
+    exact_speedup = reference_seconds / optimized_seconds
+    speedup = deep_reference_seconds / convergence_seconds
     with open(BASELINE_PATH) as handle:
         baseline = json.load(handle)
     expected = baseline["matmul_full_space"]["speedup_vs_reference"]
+    expected_exact = baseline["matmul_full_space"][
+        "exact_speedup_vs_reference"
+    ]
     expected_store = baseline["matmul_full_space"]["warm_process_speedup_vs_cold"]
     allowed_fraction = baseline["allowed_fraction"]
 
     payload = {
         "benchmark": "sim_hotpath",
         "space": "matmul full (96 configurations)",
-        "reference_sweep_seconds": round(reference_seconds, 3),
-        "optimized_sweep_seconds": round(optimized_seconds, 3),
+        # Headline fidelity-matched phase: deep exact reference vs
+        # convergence-mode optimized sweep at equal answer fidelity.
+        "reference_sweep_seconds": round(deep_reference_seconds, 3),
+        "optimized_sweep_seconds": round(convergence_seconds, 3),
         "speedup_vs_reference": round(speedup, 2),
         "baseline_speedup": expected,
+        "reference_waves": deep_waves,
+        "convergence_rtol": CONVERGENCE_RTOL,
         "gate": f"speedup >= {allowed_fraction} * baseline",
-        # Static pass over the space (run after the gated cold sweep so
-        # it cannot flatter the ratio): compile-tier traffic is real.
+        # Exact phase: both pipelines at simulated_waves, bit-identical
+        # per-configuration seconds — pure interpreter wall clock.
+        "exact": {
+            "reference_sweep_seconds": round(reference_seconds, 3),
+            "optimized_sweep_seconds": round(optimized_seconds, 3),
+            "speedup_vs_reference": round(exact_speedup, 2),
+            "baseline_speedup": expected_exact,
+        },
+        # Convergence-mode counters: extrapolation must be live.
+        "convergence_counters": {
+            "waves_simulated": convergence_counters["waves_simulated"],
+            "blocks_replayed": convergence_counters["blocks_replayed"],
+            "blocks_extrapolated": convergence_counters[
+                "blocks_extrapolated"
+            ],
+        },
+        # Static pass over the space (run after the gated cold sweeps
+        # so it cannot flatter the ratios): compile-tier traffic is real.
         "static_pass": {
             "evaluated": static_evaluated,
             "pass_seconds": round(static_seconds, 3),
@@ -278,8 +364,12 @@ def test_matmul_full_space_speedup_vs_baseline():
         handle.write("\n")
 
     assert speedup >= allowed_fraction * expected, (
-        f"simulator hot path regressed: {speedup:.2f}x vs "
+        f"fidelity-matched simulator hot path regressed: {speedup:.2f}x vs "
         f"baseline {expected}x (allowed fraction {allowed_fraction})"
+    )
+    assert exact_speedup >= allowed_fraction * expected_exact, (
+        f"exact simulator hot path regressed: {exact_speedup:.2f}x vs "
+        f"baseline {expected_exact}x (allowed fraction {allowed_fraction})"
     )
     assert store_speedup >= allowed_fraction * expected_store, (
         f"store-backed warm start regressed: {store_speedup:.2f}x vs "

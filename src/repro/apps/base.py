@@ -73,10 +73,38 @@ class Application(abc.ABC):
             self._kernel_cache[config] = self.build_kernel(config)
         return self._kernel_cache[config]
 
+    #: optional ``dataclasses.replace`` overrides applied on top of
+    #: :meth:`sim_config` everywhere this application consumes it
+    #: (fingerprints, compiles, traces, replays).  Set before first
+    #: use — e.g. ``{"wave_convergence_rtol": 0.05}`` switches a fresh
+    #: app instance into convergence mode; benchmarks and the
+    #: convergence test suite use this instead of subclassing.
+    sim_overrides: Optional[Dict[str, object]] = None
+
     def sim_config(self, config: Configuration) -> SimConfig:
         """Simulator cost model for one configuration."""
         del config
         return DEFAULT_SIM_CONFIG
+
+    def effective_sim_config(self, config: Configuration) -> SimConfig:
+        """:meth:`sim_config` with :attr:`sim_overrides` applied."""
+        base = self.sim_config(config)
+        if self.sim_overrides:
+            base = dataclasses.replace(base, **self.sim_overrides)
+        return base
+
+    def trace_group_key(self, config: Configuration):
+        """Batching key: configurations with equal keys share a trace
+        program, so the engine may ship them to the scheduler as one
+        group replayed through :meth:`simulate_group` (one compiled
+        trace, one pool task).  ``None`` (the default) means "no
+        grouping known" — every configuration is dispatched alone.
+        Applications whose spaces contain parameter axes that do not
+        change the per-launch kernel body override this (MRI-FHD's
+        invocation split).  Keys must be hashable and picklable.
+        """
+        del config
+        return None
 
     # ------------------------------------------------------------------
     # Search-strategy entry points.
@@ -102,7 +130,9 @@ class Application(abc.ABC):
         kernel = self.kernel(config)
         fingerprint = self._fingerprint_cache.get(config)
         if fingerprint is None:
-            fingerprint = kernel_fingerprint(kernel, self.sim_config(config))
+            fingerprint = kernel_fingerprint(
+                kernel, self.effective_sim_config(config)
+            )
             self._fingerprint_cache[config] = fingerprint
         cached = self._sim_cache.lookup_compile(fingerprint)
         if cached is not None:
@@ -179,12 +209,39 @@ class Application(abc.ABC):
                   config=dict(config)):
             result = simulate_kernel(
                 self.kernel(config),
-                self.sim_config(config),
+                self.effective_sim_config(config),
                 resources=self._resources_for(config),
                 cache=self._sim_cache,
             )
         self._time_cache.setdefault(config, self._total_seconds(config, result))
         return result
+
+    def simulate_group(self, configs) -> list:
+        """Batched :meth:`simulate` over configurations that (per
+        :meth:`trace_group_key`) share a trace program.
+
+        Returns the same seconds, and increments the same cache
+        counters, as calling :meth:`simulate` on each configuration in
+        order — pinned by tests/sim/test_batch_replay.py — while
+        paying one compiled-trace linearization for the whole group.
+        """
+        from repro.sim.batch import simulate_kernel_batch
+
+        pending = [c for c in configs if c not in self._time_cache]
+        if pending:
+            items = [
+                (self.kernel(c), self.effective_sim_config(c),
+                 self._resources_for(c))
+                for c in pending
+            ]
+            with span("app.simulate_group", cat="app", app=self.name,
+                      group_size=len(pending)):
+                batch = simulate_kernel_batch(items, cache=self._sim_cache)
+            for config, result in zip(pending, batch):
+                self._time_cache.setdefault(
+                    config, self._total_seconds(config, result)
+                )
+        return [self._time_cache[config] for config in configs]
 
     def search_engine(self, workers: Optional[int] = 1,
                       checkpoint_path: Optional[str] = None,

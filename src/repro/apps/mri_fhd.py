@@ -108,6 +108,13 @@ class MriFhd(Application):
         kernel = unroll(kernel, config["unroll"], label="samples")
         return standard_cleanup(kernel)
 
+    def trace_group_key(self, config: Configuration):
+        # The invocation split changes only the grid (voxels per
+        # launch); the per-launch kernel body — and therefore the
+        # trace program — is a function of (block, unroll) alone, so
+        # all seven splits of a pair batch into one replay group.
+        return (config["block"], config["unroll"])
+
     def _baseline(self, block: int, invocations: int) -> Kernel:
         voxels_per_launch = self.num_voxels // invocations
         samples = self.num_samples

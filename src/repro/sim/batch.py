@@ -1,0 +1,93 @@
+"""Batched SM replay across configurations sharing a trace program.
+
+Configuration spaces contain clusters of configurations whose
+post-transform kernels have the *same trace program* but different
+launch parameters — MRI-FHD's invocation splits are the canonical
+case: one per-launch body, seven grid sizes.  The fingerprint tier
+(:mod:`repro.sim.fingerprint`) already collapses equal-fingerprint
+work onto single compile/trace/replay artifacts; this module adds the
+batch layer on top:
+
+* :func:`simulate_kernel_batch` replays a whole group through one
+  shared :func:`~repro.sim.sm.compile_trace` linearization — the
+  per-event constant folding is paid once per trace program instead of
+  once per replayed variant — and returns results **bit-identical and
+  counter-identical** to calling
+  :func:`~repro.sim.gpu.simulate_kernel` sequentially in the same
+  order (a duplicate inside the batch is an ``sm_hits`` cache hit
+  either way, so worker-count/batching never changes telemetry);
+* :func:`steady_state_bounds` computes the analytic convergence
+  roofline for every resident-block/occupancy variant of a compiled
+  trace in one vectorized numpy pass, bit-equal to the scalar
+  per-replay computation inside :func:`~repro.sim.sm.simulate_sm`
+  (``numpy.float64`` arithmetic is IEEE-754 double — Python-float
+  arithmetic — and the operation order matches).
+
+The execution engine groups pending configurations by
+``Application.trace_group_key`` and ships each group as a single
+scheduler task (see :mod:`repro.tuning.engine`), so the pool pays one
+dispatch, one pickle round-trip, and one compiled trace per trace
+program rather than per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.kernel import Kernel
+from repro.sim.config import SimConfig
+from repro.sim.fingerprint import SimulationCache
+from repro.sim.gpu import SimulationResult, simulate_kernel
+from repro.sim.sm import CompiledTrace
+
+#: one batch item: the kernel, its cost model, and optionally the
+#: compile results a static stage already produced for it.
+BatchItem = Tuple[Kernel, SimConfig, Optional[object]]
+
+
+def simulate_kernel_batch(
+    items: Sequence[BatchItem],
+    cache: Optional[SimulationCache] = None,
+) -> List[SimulationResult]:
+    """Simulate a group of kernels sharing (mostly) one trace program.
+
+    Equivalent to ``[simulate_kernel(k, c, r, cache) for k, c, r in
+    items]`` — same results, same cache-counter increments, in the
+    same order — except that every replay of the same trace object
+    reuses a single compiled linearization.  Mixed groups are fine:
+    items that turn out not to share a trace simply compile their own.
+    """
+    compiled_cache: dict = {}
+    return [
+        simulate_kernel(
+            kernel, config, resources=resources, cache=cache,
+            compiled_cache=compiled_cache,
+        )
+        for kernel, config, resources in items
+    ]
+
+
+def steady_state_bounds(
+    compiled: CompiledTrace,
+    warps_per_block: Sequence[int],
+    config: SimConfig,
+) -> np.ndarray:
+    """Vectorized analytic steady-state cycles-per-block roofline.
+
+    For each occupancy variant ``w`` of one compiled trace:
+    ``max(w * port_cycles, w * dram_bytes / share)`` — the issue-port
+    serialization bound against the sustained-bandwidth bound.  One
+    numpy pass over the whole batch, elementwise bit-equal to the
+    scalar computation the replay loop performs (pinned by
+    tests/sim/test_batch_replay.py).
+    """
+    w = np.asarray(warps_per_block, dtype=np.float64)
+    share = config.bandwidth_bytes_per_cycle_per_sm
+    issue_bound = w * float(compiled.port_cycles)
+    bw_bound = w * compiled.dram_bytes / share
+    return np.maximum(issue_bound, bw_bound)
+
+
+__all__ = ["BatchItem", "simulate_kernel_batch", "steady_state_bounds"]

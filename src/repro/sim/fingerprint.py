@@ -198,9 +198,10 @@ class SimulationCache:
       count is the only grid-derived input of the SM replay.  The
       caller rescales cycles by its own ``blocks_per_sm_total``.
 
-    Hit counters and replay telemetry (waves simulated/extrapolated,
-    events replayed — accumulated on *misses* only, so they count real
-    work) feed :class:`repro.tuning.engine.EngineStats`.  In a process
+    Hit counters and replay telemetry (waves simulated, integer
+    blocks replayed/extrapolated/resident, events replayed —
+    accumulated on *misses* only, so they count real work) feed
+    :class:`repro.tuning.engine.EngineStats`.  In a process
     pool each worker owns a private cache; :meth:`counters` snapshots
     and :meth:`delta_since` let the engine ship per-task deltas back
     to the parent (see :func:`repro.tuning.engine._pool_simulate`), so
@@ -227,7 +228,9 @@ class SimulationCache:
         ("compile_hits", "compile_hits", 0),
         ("compile_evaluations", "compile_evaluations", 0),
         ("waves_simulated", "waves_simulated", 0),
-        ("waves_extrapolated", "waves_extrapolated", 0.0),
+        ("blocks_replayed", "blocks_replayed", 0),
+        ("blocks_extrapolated", "blocks_extrapolated", 0),
+        ("blocks_resident", "blocks_resident", 0),
         ("events_replayed", "events_replayed", 0),
     )
     #: persistent-store counters, proxied from the attached
@@ -448,8 +451,13 @@ class SimulationCache:
         self, fingerprint: str, blocks_sampled: int, result: "SMResult"
     ) -> None:
         self._sm[(fingerprint, blocks_sampled)] = result
+        # Integer block counts (not the per-SM wave *fraction*, which
+        # would merge meaninglessly across configurations and pool
+        # workers): report tables derive any ratio at display time.
         self.waves_simulated += result.waves_simulated
-        self.waves_extrapolated += result.waves_extrapolated
+        self.blocks_replayed += result.blocks_replayed
+        self.blocks_extrapolated += result.blocks_extrapolated
+        self.blocks_resident += result.blocks_resident
         self.events_replayed += result.events_replayed
         self._store_put("sm", (fingerprint, blocks_sampled), result)
 

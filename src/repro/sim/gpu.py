@@ -21,7 +21,7 @@ from repro.ir.kernel import Kernel
 from repro.obs.trace import span
 from repro.sim.config import DEFAULT_SIM_CONFIG, SimConfig
 from repro.sim.fingerprint import SimulationCache, kernel_fingerprint
-from repro.sim.sm import SMResult, simulate_sm
+from repro.sim.sm import SMResult, compile_trace, simulate_sm
 from repro.sim.trace import build_trace
 
 
@@ -44,11 +44,28 @@ class SimulationResult:
         return self.seconds * 1e3
 
 
+def _wave_budget(config: SimConfig) -> int:
+    """How many waves' worth of blocks to hand the SM replayer.
+
+    Exact mode samples ``simulated_waves`` residencies and scales.  In
+    convergence mode the budget deepens to ``convergence_max_waves``:
+    the replayer stops at the wave where steady state is established
+    and extrapolates the rest, so the deeper budget costs nothing once
+    convergence fires — and the old two-wave cap is precisely why the
+    PR-2 convergence predicate never triggered (the check coincided
+    with the final sampled block, leaving zero blocks to extrapolate).
+    """
+    if config.wave_convergence_rtol > 0.0:
+        return max(config.simulated_waves, config.convergence_max_waves)
+    return config.simulated_waves
+
+
 def simulate_kernel(
     kernel: Kernel,
     config: SimConfig = DEFAULT_SIM_CONFIG,
     resources: Optional[ResourceUsage] = None,
     cache: Optional[SimulationCache] = None,
+    compiled_cache: Optional[dict] = None,
 ) -> SimulationResult:
     """Estimate a kernel's execution time on the device.
 
@@ -63,6 +80,12 @@ def simulate_kernel(
     with the same post-transform code shape was simulated before.
     Only ``blocks_per_sm_total`` — the single grid-dependent factor —
     is recomputed per call, so cache hits are exact, not approximate.
+
+    ``compiled_cache`` lets a batch caller (see
+    :func:`repro.sim.batch.simulate_kernel_batch`) share one
+    :func:`~repro.sim.sm.compile_trace` linearization across every
+    replay of the same trace object; replay results are bit-identical
+    with or without it.
     """
     fingerprint = None
     if cache is not None:
@@ -91,18 +114,31 @@ def simulate_kernel(
     blocks_per_sm_total = math.ceil(kernel.num_blocks / config.device.num_sms)
     blocks_to_sample = min(
         blocks_per_sm_total,
-        occupancy.blocks_per_sm * config.simulated_waves,
+        occupancy.blocks_per_sm * _wave_budget(config),
     )
     sm_result = None
     if fingerprint is not None:
         sm_result = cache.lookup_sm(fingerprint, blocks_to_sample)
     if sm_result is None:
+        compiled = None
+        if compiled_cache is not None:
+            # Keyed on trace identity (the entry holds the trace, so
+            # the id cannot be recycled while the cache lives); the
+            # fingerprint tier already hands equal-fingerprint kernels
+            # the same trace object.
+            entry = compiled_cache.get(id(trace))
+            if entry is None:
+                compiled = compile_trace(trace, config)
+                compiled_cache[id(trace)] = (trace, compiled)
+            else:
+                compiled = entry[1]
         sm_result = simulate_sm(
             trace=trace,
             warps_per_block=occupancy.warps_per_block,
             blocks_resident=occupancy.blocks_per_sm,
             total_blocks=blocks_to_sample,
             config=config,
+            compiled=compiled,
         )
         if fingerprint is not None:
             cache.store_sm(fingerprint, blocks_to_sample, sm_result)

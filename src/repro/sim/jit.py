@@ -1,0 +1,523 @@
+"""Optional JIT replay engine (``REPRO_JIT=1``).
+
+The default replay loop in :mod:`repro.sim.sm` interprets small Python
+tuples; this module provides the same event loop written against flat
+numpy arrays in the numba-compatible subset of Python:
+
+* the compiled trace becomes six parallel arrays (opcode, scoreboard
+  slot, and four float operand columns), built once per
+  :class:`~repro.sim.sm.CompiledTrace` and cached on it;
+* scoreboards are a dense ``[warps, slots]`` float array instead of
+  per-warp dicts;
+* the FIFO is a ring buffer and the heap is a manual binary heap over
+  ``(ready_at, arrival_seq)`` keys with warp/position payload arrays.
+
+When ``numba`` is importable the kernel is ``njit``-compiled on first
+use (the usual ~1 s compile cost amortizes across a sweep); when it is
+not — the supported configuration for this repo, which vendors no
+dependencies — the *same function* runs under CPython over numpy
+scalars.  ``numpy.float64`` arithmetic is IEEE-754 double precision,
+i.e. exactly Python-float arithmetic, and the loop performs the same
+operations in the same order as the tuple interpreter, so both forms
+are bit-identical to the default engine; tests pin this.
+
+Profiling note (the reason this tier is optional): on CPython the
+array form is *slower* than the tuple interpreter — scalar reads from
+numpy arrays box a fresh ``np.float64`` per access, where the tuple
+loop reuses interned objects.  The array form exists because it is
+what numba can compile; enable ``REPRO_JIT`` only where numba is
+actually installed, or to exercise the equivalence suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+_DEADLOCK = -1  # converged_mode sentinel from the kernel
+
+_MODE_NAMES = {0: "", 1: "analytic", 2: "wave"}
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except ImportError:
+    _HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+def jit_available() -> bool:
+    """True when numba will actually compile the kernel."""
+    return _HAVE_NUMBA
+
+
+def jit_enabled() -> bool:
+    """True when ``REPRO_JIT`` selects the array engine."""
+    return os.environ.get("REPRO_JIT", "").strip().lower() in ("1", "true", "on")
+
+
+def replay_engine():
+    """The active alternate replay engine, or ``None`` for the default.
+
+    Called by :func:`repro.sim.sm.simulate_sm` per replay; returns a
+    callable with the same signature/result contract as the default
+    ``_replay`` when ``REPRO_JIT`` is set.
+    """
+    if not jit_enabled():
+        return None
+    return _replay_jit
+
+
+def _arrays_for(compiled):
+    """Columnar (SoA) form of a compiled trace, cached on it."""
+    cached = compiled.jit_arrays
+    if cached is not None:
+        return cached
+    n = compiled.n
+    op = np.zeros(n, dtype=np.int64)
+    slot = np.zeros(n, dtype=np.int64)
+    f0 = np.zeros(n, dtype=np.float64)
+    f1 = np.zeros(n, dtype=np.float64)
+    f2 = np.zeros(n, dtype=np.float64)
+    f3 = np.zeros(n, dtype=np.float64)
+    for i, event in enumerate(compiled.events):
+        kind = event[0]
+        op[i] = kind
+        if kind == 0:        # COMPUTE: duration
+            f0[i] = event[1]
+        elif kind == 1:      # LOAD: slot, bytes, burst, sustained, latency
+            slot[i] = event[1]
+            f0[i] = event[2]
+            f1[i] = event[3]
+            f2[i] = event[4]
+            f3[i] = event[5]
+        elif kind == 2:      # STORE: bytes, burst, sustained
+            f0[i] = event[1]
+            f1[i] = event[2]
+            f2[i] = event[3]
+        elif kind == 3 or kind == 4:   # SFU / USE: slot
+            slot[i] = event[1]
+        elif kind == 6:      # TEXLOAD: slot, latency
+            slot[i] = event[1]
+            f3[i] = event[2]
+    arrays = (op, slot, f0, f1, f2, f3)
+    compiled.jit_arrays = arrays
+    return arrays
+
+
+def _replay_jit(compiled, warps_per_block, blocks_resident, total_blocks,
+                config):
+    """Adapter: unpack config/trace into arrays, run the kernel."""
+    from repro.sim.sm import SimulationDeadlock
+
+    op, slot, f0, f1, f2, f3 = _arrays_for(compiled)
+    share = config.bandwidth_bytes_per_cycle_per_sm
+    rtol = config.wave_convergence_rtol
+    steady_cpb = 0.0
+    if rtol > 0.0:
+        issue_bound = float(warps_per_block * compiled.port_cycles)
+        bw_bound = warps_per_block * compiled.dram_bytes / share
+        steady_cpb = issue_bound if issue_bound > bw_bound else bw_bound
+    state = _kernel(
+        op, slot, f0, f1, f2, f3, compiled.n,
+        warps_per_block, blocks_resident, total_blocks,
+        config.issue_cycles_per_instruction,
+        config.sfu_cycles_per_instruction,
+        config.sfu_result_latency,
+        rtol, share,
+        config.burst_window_bytes / share,
+        steady_cpb, compiled.slot_count,
+    )
+    (cycles, finished, issue_busy, mem_bytes, mem_busy,
+     extrapolated, converged_wave, mode) = state
+    if mode == _DEADLOCK:
+        raise SimulationDeadlock(
+            f"completed {finished}/{total_blocks} blocks"
+        )
+    return (float(cycles), int(finished), float(issue_busy),
+            float(mem_bytes), float(mem_busy), int(extrapolated),
+            int(converged_wave), _MODE_NAMES[int(mode)])
+
+
+@_njit(cache=True)
+def _kernel(op, slot, f0, f1, f2, f3, n,
+            warps_per_block, blocks_resident, total_blocks,
+            issue_cost, sfu_cost, sfu_latency,
+            rtol, share, window_cycles, steady_cpb, nslots):
+    if total_blocks < blocks_resident:
+        blocks_resident = total_blocks
+    num_warps = blocks_resident * warps_per_block
+
+    # Scoreboards: pending[w, s] is the cycle load s becomes usable
+    # (0.0 = nothing outstanding, matching dict-pop's default).
+    pending = np.zeros((num_warps, max(nslots, 1)), dtype=np.float64)
+    w_pos = np.zeros(num_warps, dtype=np.int64)     # barrier-parked position
+    w_ready = np.zeros(num_warps, dtype=np.float64)
+
+    blk_arrived = np.zeros(blocks_resident, dtype=np.int64)
+    blk_barrier = np.zeros(blocks_resident, dtype=np.float64)
+    blk_done = np.zeros(blocks_resident, dtype=np.int64)
+    blk_finish = np.zeros(blocks_resident, dtype=np.float64)
+
+    # FIFO ring buffer (monotone pushes only) and a manual binary heap
+    # keyed lexicographically on (ready_at, arrival_seq); each warp is
+    # in at most one queue entry, so capacity num_warps suffices.
+    fifo_ready = np.zeros(num_warps, dtype=np.float64)
+    fifo_seq = np.zeros(num_warps, dtype=np.int64)
+    fifo_warp = np.zeros(num_warps, dtype=np.int64)
+    fifo_pos = np.zeros(num_warps, dtype=np.int64)
+    fifo_head = 0
+    fifo_count = 0
+    heap_ready = np.zeros(num_warps, dtype=np.float64)
+    heap_seq = np.zeros(num_warps, dtype=np.int64)
+    heap_warp = np.zeros(num_warps, dtype=np.int64)
+    heap_pos = np.zeros(num_warps, dtype=np.int64)
+    heap_size = 0
+
+    sequence = 0
+    for w in range(num_warps):
+        tail = (fifo_head + fifo_count) % num_warps
+        fifo_ready[tail] = 0.0
+        fifo_seq[tail] = sequence
+        fifo_warp[tail] = w
+        fifo_pos[tail] = 0
+        fifo_count += 1
+        sequence += 1
+
+    mem_burst_free = 0.0
+    mem_sustained_end = 0.0
+    mem_total_bytes = 0.0
+    mem_busy = 0.0
+    port_free = 0.0
+    sfu_free = 0.0
+    issue_busy = 0.0
+    finished_blocks = 0
+    blocks_started = blocks_resident
+    finish_time = 0.0
+
+    converged = False
+    converged_wave = 0
+    converged_mode = 0
+    prev_cpb = -1.0
+    prev_backlog = -1.0
+    last_cpb = 0.0
+    wave_prev_finish = 0.0
+    wave_prev_issue = 0.0
+    wave_prev_busy = 0.0
+    wave_prev_bytes = 0.0
+    wave_issue_pb = 0.0
+    wave_busy_pb = 0.0
+    wave_bytes_pb = 0.0
+
+    warp = -1
+    pos = 0
+    ready = 0.0
+
+    while True:
+        if warp < 0:
+            if fifo_count > 0:
+                take_heap = False
+                if heap_size > 0:
+                    hr = heap_ready[0]
+                    fr = fifo_ready[fifo_head]
+                    if hr < fr or (hr == fr and heap_seq[0] < fifo_seq[fifo_head]):
+                        take_heap = True
+                if take_heap:
+                    ready = heap_ready[0]
+                    warp = heap_warp[0]
+                    pos = heap_pos[0]
+                    heap_size -= 1
+                    if heap_size > 0:
+                        mr = heap_ready[heap_size]
+                        ms = heap_seq[heap_size]
+                        mw = heap_warp[heap_size]
+                        mp = heap_pos[heap_size]
+                        i = 0
+                        while True:
+                            child = 2 * i + 1
+                            if child >= heap_size:
+                                break
+                            right = child + 1
+                            if right < heap_size and (
+                                heap_ready[right] < heap_ready[child]
+                                or (heap_ready[right] == heap_ready[child]
+                                    and heap_seq[right] < heap_seq[child])
+                            ):
+                                child = right
+                            if (heap_ready[child] < mr
+                                    or (heap_ready[child] == mr
+                                        and heap_seq[child] < ms)):
+                                heap_ready[i] = heap_ready[child]
+                                heap_seq[i] = heap_seq[child]
+                                heap_warp[i] = heap_warp[child]
+                                heap_pos[i] = heap_pos[child]
+                                i = child
+                            else:
+                                break
+                        heap_ready[i] = mr
+                        heap_seq[i] = ms
+                        heap_warp[i] = mw
+                        heap_pos[i] = mp
+                else:
+                    ready = fifo_ready[fifo_head]
+                    warp = fifo_warp[fifo_head]
+                    pos = fifo_pos[fifo_head]
+                    fifo_head = (fifo_head + 1) % num_warps
+                    fifo_count -= 1
+            elif heap_size > 0:
+                ready = heap_ready[0]
+                warp = heap_warp[0]
+                pos = heap_pos[0]
+                heap_size -= 1
+                if heap_size > 0:
+                    mr = heap_ready[heap_size]
+                    ms = heap_seq[heap_size]
+                    mw = heap_warp[heap_size]
+                    mp = heap_pos[heap_size]
+                    i = 0
+                    while True:
+                        child = 2 * i + 1
+                        if child >= heap_size:
+                            break
+                        right = child + 1
+                        if right < heap_size and (
+                            heap_ready[right] < heap_ready[child]
+                            or (heap_ready[right] == heap_ready[child]
+                                and heap_seq[right] < heap_seq[child])
+                        ):
+                            child = right
+                        if (heap_ready[child] < mr
+                                or (heap_ready[child] == mr
+                                    and heap_seq[child] < ms)):
+                            heap_ready[i] = heap_ready[child]
+                            heap_seq[i] = heap_seq[child]
+                            heap_warp[i] = heap_warp[child]
+                            heap_pos[i] = heap_pos[child]
+                            i = child
+                        else:
+                            break
+                    heap_ready[i] = mr
+                    heap_seq[i] = ms
+                    heap_warp[i] = mw
+                    heap_pos[i] = mp
+            else:
+                break
+
+        if pos == n:
+            block = warp // warps_per_block
+            blk_done[block] += 1
+            if ready > blk_finish[block]:
+                blk_finish[block] = ready
+            if blk_done[block] == warps_per_block:
+                finished_blocks += 1
+                if blk_finish[block] > finish_time:
+                    finish_time = blk_finish[block]
+                if (rtol > 0.0 and not converged
+                        and finished_blocks % blocks_resident == 0):
+                    cpb = (finish_time - wave_prev_finish) / blocks_resident
+                    wave_issue_pb = (issue_busy - wave_prev_issue) / blocks_resident
+                    wave_busy_pb = (mem_busy - wave_prev_busy) / blocks_resident
+                    wave_bytes_pb = (mem_total_bytes - wave_prev_bytes) / blocks_resident
+                    backlog = mem_sustained_end - finish_time
+                    if backlog < 0.0:
+                        backlog = 0.0
+                    if abs(cpb - steady_cpb) <= rtol * cpb:
+                        converged = True
+                        converged_mode = 1
+                    elif (prev_cpb >= 0.0
+                            and abs(cpb - prev_cpb) <= rtol * cpb
+                            and abs(backlog - prev_backlog)
+                            <= rtol * cpb * blocks_resident):
+                        converged = True
+                        converged_mode = 2
+                    if converged:
+                        last_cpb = cpb
+                        converged_wave = finished_blocks // blocks_resident
+                    prev_cpb = cpb
+                    prev_backlog = backlog
+                    wave_prev_finish = finish_time
+                    wave_prev_issue = issue_busy
+                    wave_prev_busy = mem_busy
+                    wave_prev_bytes = mem_total_bytes
+                if blocks_started < total_blocks and not converged:
+                    blocks_started += 1
+                    restart = blk_finish[block]
+                    blk_done[block] = 0
+                    blk_arrived[block] = 0
+                    blk_barrier[block] = 0.0
+                    blk_finish[block] = 0.0
+                    base = block * warps_per_block
+                    for w in range(base, base + warps_per_block):
+                        for s in range(pending.shape[1]):
+                            pending[w, s] = 0.0
+                        # heap push (restart, sequence, w, 0)
+                        i = heap_size
+                        heap_size += 1
+                        while i > 0:
+                            parent = (i - 1) // 2
+                            if (heap_ready[parent] > restart
+                                    or (heap_ready[parent] == restart
+                                        and heap_seq[parent] > sequence)):
+                                heap_ready[i] = heap_ready[parent]
+                                heap_seq[i] = heap_seq[parent]
+                                heap_warp[i] = heap_warp[parent]
+                                heap_pos[i] = heap_pos[parent]
+                                i = parent
+                            else:
+                                break
+                        heap_ready[i] = restart
+                        heap_seq[i] = sequence
+                        heap_warp[i] = w
+                        heap_pos[i] = 0
+                        sequence += 1
+            warp = -1
+            continue
+
+        kind = op[pos]
+
+        if kind == 0:        # COMPUTE
+            duration = f0[pos]
+            start = port_free if port_free > ready else ready
+        elif kind == 4:      # USE
+            s = slot[pos]
+            t = pending[warp, s]
+            pending[warp, s] = 0.0
+            if t > ready:
+                ready = t
+            pos += 1
+            continue
+        elif kind == 1:      # LOAD
+            duration = float(issue_cost)
+            start = port_free if port_free > ready else ready
+            now = start + duration
+            burst_start = mem_burst_free if mem_burst_free > now else now
+            burst_end = burst_start + f1[pos]
+            mem_sustained_end = (
+                (mem_sustained_end if mem_sustained_end > now else now)
+                + f2[pos]
+            )
+            throttled = mem_sustained_end - window_cycles
+            service_end = burst_end if burst_end > throttled else throttled
+            mem_total_bytes += f0[pos]
+            mem_busy += service_end - burst_start
+            mem_burst_free = service_end
+            pending[warp, slot[pos]] = service_end + f3[pos]
+        elif kind == 2:      # STORE
+            duration = float(issue_cost)
+            start = port_free if port_free > ready else ready
+            now = start + duration
+            burst_start = mem_burst_free if mem_burst_free > now else now
+            burst_end = burst_start + f1[pos]
+            mem_sustained_end = (
+                (mem_sustained_end if mem_sustained_end > now else now)
+                + f2[pos]
+            )
+            throttled = mem_sustained_end - window_cycles
+            service_end = burst_end if burst_end > throttled else throttled
+            mem_total_bytes += f0[pos]
+            mem_busy += service_end - burst_start
+            mem_burst_free = service_end
+        elif kind == 3:      # SFU
+            duration = float(issue_cost)
+            start = port_free if port_free > ready else ready
+            t = start + duration
+            sfu_free = (sfu_free if sfu_free > t else t) + sfu_cost
+            pending[warp, slot[pos]] = sfu_free + sfu_latency
+        elif kind == 5:      # BARRIER
+            pos += 1
+            w_pos[warp] = pos
+            w_ready[warp] = ready
+            block = warp // warps_per_block
+            blk_arrived[block] += 1
+            if ready > blk_barrier[block]:
+                blk_barrier[block] = ready
+            if blk_arrived[block] == warps_per_block:
+                release = blk_barrier[block]
+                blk_arrived[block] = 0
+                blk_barrier[block] = 0.0
+                base = block * warps_per_block
+                for w in range(base, base + warps_per_block):
+                    wr = w_ready[w]
+                    if release > wr:
+                        wr = release
+                        w_ready[w] = release
+                    # heap push (wr, sequence, w, w_pos[w])
+                    wp = w_pos[w]
+                    i = heap_size
+                    heap_size += 1
+                    while i > 0:
+                        parent = (i - 1) // 2
+                        if (heap_ready[parent] > wr
+                                or (heap_ready[parent] == wr
+                                    and heap_seq[parent] > sequence)):
+                            heap_ready[i] = heap_ready[parent]
+                            heap_seq[i] = heap_seq[parent]
+                            heap_warp[i] = heap_warp[parent]
+                            heap_pos[i] = heap_pos[parent]
+                            i = parent
+                        else:
+                            break
+                    heap_ready[i] = wr
+                    heap_seq[i] = sequence
+                    heap_warp[i] = w
+                    heap_pos[i] = wp
+                    sequence += 1
+            warp = -1
+            continue
+        else:                # TEXLOAD
+            duration = float(issue_cost)
+            start = port_free if port_free > ready else ready
+            pending[warp, slot[pos]] = start + duration + f3[pos]
+
+        ready = start + duration
+        port_free = ready
+        issue_busy += duration
+        pos += 1
+        have_head = True
+        head = 0.0
+        if fifo_count > 0:
+            head = fifo_ready[fifo_head]
+            if heap_size > 0 and heap_ready[0] < head:
+                head = heap_ready[0]
+        elif heap_size > 0:
+            head = heap_ready[0]
+        else:
+            have_head = False
+        if have_head and head <= ready:
+            tail = (fifo_head + fifo_count) % num_warps
+            fifo_ready[tail] = ready
+            fifo_seq[tail] = sequence
+            fifo_warp[tail] = warp
+            fifo_pos[tail] = pos
+            fifo_count += 1
+            sequence += 1
+            warp = -1
+        continue
+
+    extrapolated_blocks = total_blocks - finished_blocks
+    if extrapolated_blocks > 0 and not converged:
+        return (0.0, finished_blocks, 0.0, 0.0, 0.0,
+                extrapolated_blocks, 0, -1)
+    cycles = finish_time
+    if port_free > cycles:
+        cycles = port_free
+    if mem_burst_free > cycles:
+        cycles = mem_burst_free
+    if extrapolated_blocks > 0:
+        cycles += extrapolated_blocks * last_cpb
+        issue_busy += extrapolated_blocks * wave_issue_pb
+        mem_busy += extrapolated_blocks * wave_busy_pb
+        mem_total_bytes += extrapolated_blocks * wave_bytes_pb
+    return (cycles, finished_blocks, issue_busy, mem_total_bytes, mem_busy,
+            extrapolated_blocks, converged_wave, converged_mode)

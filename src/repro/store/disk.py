@@ -62,7 +62,10 @@ logger = logging.getLogger(__name__)
 
 #: bump when the entry encoding (header or pickle schema) changes;
 #: entries written by another schema are dropped and recomputed.
-SCHEMA_VERSION = 1
+#: v2: SMResult grew integer block counters (blocks_replayed /
+#: blocks_extrapolated / blocks_resident) replacing the float wave
+#: fraction, so v1 sm-tier pickles no longer match the dataclass.
+SCHEMA_VERSION = 2
 MAGIC = "repro-store"
 
 #: artifact families the store persists, one directory each

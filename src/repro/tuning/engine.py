@@ -60,6 +60,7 @@ from repro.obs.trace import span
 from repro.store import ResultStore, atomic_write_text, resolve_store
 from repro.tuning.scheduler import (
     SIMULATE,
+    SIMULATE_GROUP,
     STATIC,
     STORE_DELTA_KEY,
     RetryPolicy,
@@ -152,7 +153,9 @@ class EngineStats:
     compile_hits: int = 0                # static reports reused across configs
     compile_evaluations: int = 0         # full static compiles performed
     waves_simulated: int = 0             # full SM waves actually replayed
-    waves_extrapolated: float = 0.0      # waves covered by convergence instead
+    blocks_replayed: int = 0             # blocks through the event loop
+    blocks_extrapolated: int = 0         # blocks projected after convergence
+    blocks_resident: int = 0             # sum of per-replay residencies
     events_replayed: int = 0             # dynamic trace events replayed
 
     # Persistent result-store telemetry (see repro.store).  Mirrored
@@ -292,9 +295,19 @@ class ExecutionEngine:
         retry_policy: Optional[RetryPolicy] = None,
         fault_spec: Optional[str] = None,
         store: Union[ResultStore, str, None] = None,
+        simulate_group: Optional[Callable[[Sequence[Configuration]], List[float]]] = None,
+        group_key: Optional[Callable[[Configuration], Any]] = None,
     ) -> None:
         self._evaluate = evaluate
         self._simulate = simulate
+        #: batched measurement: ``configs -> [seconds]`` over a group
+        #: sharing one trace program (``Application.simulate_group``),
+        #: used whenever ``group_key`` assigns two or more pending
+        #: configurations the same non-None key.  Results and cache
+        #: counters are identical to per-config ``simulate`` calls —
+        #: grouping only changes dispatch granularity.
+        self._simulate_group = simulate_group
+        self._group_key = group_key
         self._sim_cache = sim_cache
         self.store = resolve_store(store)
         if self.store is not None:
@@ -367,6 +380,8 @@ class ExecutionEngine:
             retry_policy=retry_policy,
             fault_spec=fault_spec,
             store=store,
+            simulate_group=getattr(app, "simulate_group", None),
+            group_key=getattr(app, "trace_group_key", None),
         )
 
     # ------------------------------------------------------------------
@@ -537,11 +552,46 @@ class ExecutionEngine:
             total += value
         return total
 
+    def _trace_groups(
+        self, configs: List[Configuration]
+    ) -> Tuple[List[List[Configuration]], List[Configuration]]:
+        """Partition pending configs into trace-program groups.
+
+        Returns ``(grouped, singles)`` in request order: ``grouped``
+        holds lists of two or more configurations whose ``group_key``
+        matched (they share a trace program, so one
+        ``simulate_group`` call replays them through one compiled
+        trace); ``singles`` is everything else — no key function,
+        ``None`` keys, or one-member groups — which flows through the
+        unchanged per-config path.
+        """
+        if self._simulate_group is None or self._group_key is None:
+            return [], configs
+        by_key: Dict[Any, List[Configuration]] = {}
+        keys = []
+        for config in configs:
+            key = self._group_key(config)
+            keys.append(key)
+            if key is not None:
+                by_key.setdefault(key, []).append(config)
+        grouped: List[List[Configuration]] = []
+        singles: List[Configuration] = []
+        emitted = set()
+        for config, key in zip(configs, keys):
+            if key is None or len(by_key[key]) < 2:
+                singles.append(config)
+            elif key not in emitted:
+                emitted.add(key)
+                grouped.append(by_key[key])
+        return grouped, singles
+
     def _simulate_missing(self, configs: List[Configuration]) -> None:
         """Measure every config, recording (and checkpointing) results
         as they stream in — an interrupt mid-batch loses at most
         ``checkpoint_interval`` measurements."""
-        remaining = configs
+        grouped, remaining = self._trace_groups(configs)
+        if grouped:
+            self._simulate_groups(grouped)
         if self.workers > 1 and len(remaining) > 1:
             scheduler = self._ensure_scheduler()
             if scheduler is not None:
@@ -563,6 +613,38 @@ class ExecutionEngine:
         for config in remaining:
             with span("engine.simulate", cat="engine", config=dict(config)):
                 self._record_time(config, self._simulate(config))
+
+    def _simulate_groups(self, grouped: List[List[Configuration]]) -> None:
+        """Measure trace-program groups, one dispatch per group.
+
+        Pool tasks ship whole groups (one pickle round-trip and one
+        compiled trace each); groups the scheduler abandons — and the
+        whole batch when the pool is unavailable — run in-process
+        through the same ``simulate_group`` callable, so results and
+        telemetry are identical either way.
+        """
+        if self.workers > 1 and len(grouped) > 1:
+            scheduler = self._ensure_scheduler()
+            if scheduler is not None:
+                self.stats.pool_batches += 1
+                with span("engine.pool_dispatch_group", cat="engine",
+                          groups=len(grouped),
+                          configs=sum(len(g) for g in grouped),
+                          workers=scheduler.active_workers):
+
+                    def record(position, seconds, delta):
+                        self._merge_pool_delta(delta)
+                        for config, value in zip(grouped[position], seconds):
+                            self._record_time(config, value)
+
+                    abandoned = scheduler.run(SIMULATE_GROUP, grouped, record)
+                self._after_pool_batch(scheduler, abandoned, stage="sim_group")
+                grouped = [grouped[i] for i in abandoned]
+        for group in grouped:
+            with span("engine.simulate_group", cat="engine",
+                      group_size=len(group)):
+                for config, value in zip(group, self._simulate_group(group)):
+                    self._record_time(config, value)
 
     def _after_pool_batch(self, scheduler: SweepScheduler,
                           abandoned: List[int], stage: str) -> None:

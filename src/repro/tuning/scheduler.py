@@ -50,13 +50,24 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.occupancy import LaunchError
-from repro.obs.faults import FaultPlan, FaultInjected, SIMULATE_STAGE, STATIC_STAGE
+from repro.obs.faults import (
+    FaultPlan,
+    FaultInjected,
+    SIMULATE_GROUP_STAGE,
+    SIMULATE_STAGE,
+    STATIC_STAGE,
+)
 from repro.obs.metrics import counter_delta
 
 logger = logging.getLogger(__name__)
 
 #: Re-exported so engine code imports stages from one place.
 SIMULATE = SIMULATE_STAGE
+#: Batched measurement: the payload is a *list* of configurations
+#: sharing a trace program, the result a list of seconds in payload
+#: order (see Application.simulate_group) — one dispatch, one pickle
+#: round-trip, and one compiled trace per group.
+SIMULATE_GROUP = SIMULATE_GROUP_STAGE
 STATIC = STATIC_STAGE
 
 #: ``(index, payload, counter_delta)`` streamed to the caller as each
@@ -198,6 +209,18 @@ def _cache_for(simulate, evaluate):
     return getattr(owner, "sim_cache", None)
 
 
+def _group_simulate_for(simulate):
+    """The batched-measurement callable behind ``simulate``, if any.
+
+    ``SIMULATE_GROUP`` tasks resolve ``simulate_group`` from the same
+    application object the scalar ``simulate`` is bound to, so the
+    scheduler's spawn plumbing is unchanged and workers that predate
+    grouping simply never receive group tasks.
+    """
+    owner = getattr(simulate, "__self__", None)
+    return getattr(owner, "simulate_group", None)
+
+
 def _run_task(stage, index, attempt, payload, simulate, evaluate, plan, cache):
     """Execute one task in a worker; never raises (returns a message).
 
@@ -215,6 +238,14 @@ def _run_task(stage, index, attempt, payload, simulate, evaluate, plan, cache):
     try:
         if stage == SIMULATE:
             result = simulate(payload)
+        elif stage == SIMULATE_GROUP:
+            group_simulate = _group_simulate_for(simulate)
+            if group_simulate is None:
+                raise TypeError(
+                    "SIMULATE_GROUP task but the simulate callable is "
+                    "not bound to an object with simulate_group"
+                )
+            result = group_simulate(payload)
         else:
             try:
                 result = (evaluate(payload), None)
@@ -635,5 +666,6 @@ __all__ = [
     "STORE_DELTA_KEY",
     "SweepScheduler",
     "SIMULATE",
+    "SIMULATE_GROUP",
     "STATIC",
 ]

@@ -24,6 +24,7 @@ class TestParseArgs:
         assert options.workers is None
         assert options.resume is None
         assert options.trace is None
+        assert options.profile is None
 
     def test_engine_flags(self):
         options = parse_args(["prog", "--workers", "4",
@@ -69,6 +70,21 @@ class TestMain:
         # the report gains the per-stage breakdown table
         assert "Per-stage timing" in output.read_text()
         assert str(trace) in capsys.readouterr().out
+
+    def test_profile_flag_dumps_pstats(self, tmp_path, capsys):
+        import pstats
+
+        output = tmp_path / "report.md"
+        profile = tmp_path / "sweep.pstats"
+        code = main(["prog", str(output), "--apps", "cp", "--no-random",
+                     "--profile", str(profile)])
+        assert code == 0
+        stats = pstats.Stats(str(profile))
+        # the sweep really ran under the profiler: the SM replay loop
+        # must appear in the collected call stats
+        functions = {func for _, _, func in stats.stats}
+        assert any("simulate_sm" in name for name in functions)
+        assert str(profile) in capsys.readouterr().out
 
     def test_resume_writes_then_reuses_checkpoint(self, tmp_path, capsys):
         output = tmp_path / "report.md"

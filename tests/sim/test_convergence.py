@@ -1,0 +1,164 @@
+"""Wave-convergence mode: extrapolation fires, stays honest, and the
+JIT tier agrees.
+
+PR 2 shipped a convergence predicate that could never fire: the wave
+budget was capped at ``simulated_waves``, so the convergence check
+always coincided with the final sampled block and there was nothing
+left to extrapolate.  This suite is the regression fence around the
+fix:
+
+* on a golden application space, convergence mode actually
+  extrapolates (``blocks_extrapolated > 0``) and replays strictly
+  fewer events than a deep exact run;
+* every extrapolated time stays within the configured rtol of the
+  deep exact replay, configuration by configuration;
+* the ``REPRO_JIT`` array engine is bit-identical to the default
+  tuple interpreter in both exact and convergence mode (pure-Python
+  fallback when numba is absent — the supported configuration here).
+"""
+
+import dataclasses
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.matmul import MatMul
+from repro.sim import simulate_sm
+from repro.sim.config import DEFAULT_SIM_CONFIG
+from repro.sim.jit import jit_enabled, replay_engine
+from repro.sim.trace import build_trace
+
+from .test_batch_replay import event_lists, trace_from
+
+RTOL = 0.05
+
+#: Every 3rd matmul configuration — enough occupancy/loop-shape variety
+#: to exercise both convergence modes without sweeping all 96 configs.
+GOLDEN_STRIDE = 3
+
+
+def _golden_apps():
+    exact = MatMul()
+    deep = MatMul()
+    # Deep exact oracle: sample convergence_max_waves waves, no
+    # extrapolation — the fidelity the convergence sweep must match.
+    deep.sim_overrides = {
+        "simulated_waves": DEFAULT_SIM_CONFIG.convergence_max_waves
+    }
+    approx = MatMul()
+    approx.sim_overrides = {"wave_convergence_rtol": RTOL}
+    return exact, deep, approx
+
+
+def _golden_configs(app):
+    return [c for c in app.space()][::GOLDEN_STRIDE]
+
+
+class TestGoldenSpace:
+    def test_extrapolation_fires_and_stays_within_rtol(self):
+        _, deep, approx = _golden_apps()
+        for config in _golden_configs(approx):
+            try:
+                approx_seconds = approx.simulate(config)
+            except Exception:
+                continue
+            deep_seconds = deep.simulate(config)
+            assert math.isclose(
+                approx_seconds, deep_seconds, rel_tol=RTOL
+            ), (
+                f"extrapolated time drifted at {config}: "
+                f"{approx_seconds} vs deep exact {deep_seconds}"
+            )
+        counters = approx.sim_cache.counters()
+        assert counters["blocks_extrapolated"] > 0
+        assert counters["blocks_replayed"] > 0
+        # Extrapolation replaces replay work, it does not add to it.
+        assert (counters["events_replayed"]
+                < deep.sim_cache.counters()["events_replayed"])
+
+    def test_convergence_telemetry_recorded(self):
+        """Converged replays report which wave and which mode fired."""
+        app = MatMul()
+        app.sim_overrides = {"wave_convergence_rtol": RTOL}
+        modes = set()
+        for config in _golden_configs(app):
+            try:
+                result = app.simulate_detailed(config)
+            except Exception:
+                continue
+            sm = result.sm
+            if sm.blocks_extrapolated:
+                assert sm.converged_wave >= 1
+                assert sm.converged_mode in ("analytic", "wave")
+                modes.add(sm.converged_mode)
+        assert modes, "no configuration converged on the golden space"
+
+
+class TestJitEquivalence:
+    """REPRO_JIT=1 (array engine) == REPRO_JIT=0 (tuple interpreter)."""
+
+    def _jit(self, monkeypatch, on):
+        monkeypatch.setenv("REPRO_JIT", "1" if on else "0")
+        assert jit_enabled() is on
+        assert (replay_engine() is not None) is on
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        event_lists(),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from([0.0, RTOL]),
+    )
+    def test_random_traces_bit_identical(self, events, warps, resident,
+                                         blocks, rtol):
+        # hypothesis forbids function-scoped monkeypatch; flip the env
+        # around each replay pair instead.
+        import os
+
+        trace = trace_from(events)
+        config = dataclasses.replace(
+            DEFAULT_SIM_CONFIG, wave_convergence_rtol=rtol
+        )
+        kwargs = dict(warps_per_block=warps, blocks_resident=resident,
+                      total_blocks=blocks, config=config)
+        saved = os.environ.get("REPRO_JIT")
+        try:
+            os.environ["REPRO_JIT"] = "0"
+            default = simulate_sm(trace, **kwargs)
+            os.environ["REPRO_JIT"] = "1"
+            jitted = simulate_sm(trace, **kwargs)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_JIT", None)
+            else:
+                os.environ["REPRO_JIT"] = saved
+        assert jitted == default
+
+    def test_matmul_kernels_bit_identical(self, monkeypatch):
+        """Real compressed traces through both engines, both modes."""
+        app = MatMul().test_instance()
+        configs = [c for c in app.space()][::9][:6]
+        for rtol in (0.0, RTOL):
+            results = {}
+            for on in (False, True):
+                self._jit(monkeypatch, on)
+                runs = []
+                for config in configs:
+                    kernel = app.kernel(config)
+                    sim_config = dataclasses.replace(
+                        app.sim_config(config), wave_convergence_rtol=rtol
+                    )
+                    trace = build_trace(kernel, sim_config)
+                    resources = app.evaluate(config).resources
+                    occupancy = resources.occupancy(sim_config.device)
+                    runs.append(simulate_sm(
+                        trace,
+                        warps_per_block=occupancy.warps_per_block,
+                        blocks_resident=occupancy.blocks_per_sm,
+                        total_blocks=occupancy.blocks_per_sm * 4,
+                        config=sim_config,
+                    ))
+                results[on] = runs
+            assert results[True] == results[False]

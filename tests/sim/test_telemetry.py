@@ -20,7 +20,10 @@ class TestSMResultTelemetry:
         result = simulate_sm(_trace(), warps_per_block=3, blocks_resident=2,
                              total_blocks=6, config=DEFAULT_SIM_CONFIG)
         assert result.waves_simulated == 3
-        assert result.waves_extrapolated == 0.0
+        assert result.blocks_replayed == 6
+        assert result.blocks_extrapolated == 0
+        assert result.blocks_resident == 2
+        assert result.waves_extrapolated == 0.0  # derived ratio
         # 3 dynamic events per warp, 3 warps per block, 6 blocks.
         assert result.events_replayed == 3 * 3 * 6
 
@@ -90,7 +93,9 @@ class TestSimulationCache:
             "compile_hits": 0,
             "compile_evaluations": 0,
             "waves_simulated": 0,
-            "waves_extrapolated": 0.0,
+            "blocks_replayed": 0,
+            "blocks_extrapolated": 0,
+            "blocks_resident": 0,
             "events_replayed": 0,
         }
 

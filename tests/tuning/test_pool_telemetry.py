@@ -38,7 +38,8 @@ COUNTER_FIELDS = (
     "fingerprint_trace_hits",
     "fingerprint_sm_hits",
     "waves_simulated",
-    "waves_extrapolated",
+    "blocks_replayed",
+    "blocks_extrapolated",
     "events_replayed",
 )
 
@@ -52,7 +53,6 @@ class FakeSimCache:
 
     def __init__(self):
         self.values = {name: 0 for name in COUNTER_FIELDS}
-        self.values["waves_extrapolated"] = 0.0
 
     def counters(self):
         return dict(self.values)
@@ -76,11 +76,11 @@ class CountingApp:
 
     def expected_counters(self, configs):
         totals = {name: 0 for name in COUNTER_FIELDS}
-        totals["waves_extrapolated"] = 0.0
         for config in configs:
             e, u = config["e"], config["u"]
             totals["waves_simulated"] += e
-            totals["waves_extrapolated"] += u / 2.0
+            totals["blocks_replayed"] += e * 3
+            totals["blocks_extrapolated"] += u
             totals["events_replayed"] += e * u * 10
             if e == 1:
                 totals["fingerprint_trace_hits"] += 1
@@ -92,7 +92,8 @@ class CountingApp:
     def simulate(self, config):
         e, u = config["e"], config["u"]
         self.sim_cache.add("waves_simulated", e)
-        self.sim_cache.add("waves_extrapolated", u / 2.0)
+        self.sim_cache.add("blocks_replayed", e * 3)
+        self.sim_cache.add("blocks_extrapolated", u)
         self.sim_cache.add("events_replayed", e * u * 10)
         if e == 1:
             self.sim_cache.add("fingerprint_trace_hits", 1)

@@ -43,7 +43,9 @@ COMPARED_COUNTERS = (
     "fingerprint_trace_hits",
     "fingerprint_sm_hits",
     "waves_simulated",
-    "waves_extrapolated",
+    "blocks_replayed",
+    "blocks_extrapolated",
+    "blocks_resident",
     "events_replayed",
 )
 
