@@ -1,0 +1,57 @@
+"""Canonical JSON payload for a :class:`SearchResult`.
+
+One serializer shared by every surface that reports a sweep — the
+service daemon's ``/sweeps/<id>/results`` endpoint and the one-shot
+``run-local`` CLI oracle — so "bit-identical results" is checkable by
+comparing two JSON documents byte for byte.  Floats round-trip through
+``repr`` (what :mod:`json` emits), which is exact for IEEE doubles;
+the only lossy value is ``space_reduction``'s NaN (no valid configs),
+mapped to ``null`` because JSON has no NaN.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.tuning.search import EvaluatedConfig, SearchResult
+
+__all__ = ["config_payload", "entry_payload", "search_result_payload"]
+
+
+def config_payload(config) -> Dict[str, Any]:
+    """A configuration as a plain (sorted-key) parameter mapping."""
+    return dict(config)
+
+
+def entry_payload(entry: EvaluatedConfig) -> Dict[str, Any]:
+    """One timed entry: its parameters and measured seconds."""
+    return {"config": config_payload(entry.config), "seconds": entry.seconds}
+
+
+def _finite(value: float) -> Optional[float]:
+    return None if math.isnan(value) else value
+
+
+def search_result_payload(result: SearchResult) -> Dict[str, Any]:
+    """The full report for one sweep, ready for ``json.dumps``."""
+    return {
+        "strategy": result.strategy,
+        "space_size": result.space_size,
+        "valid_count": result.valid_count,
+        "timed_count": result.timed_count,
+        "requested_sample_size": result.requested_sample_size,
+        "sample_shortfall": result.sample_shortfall,
+        "space_reduction": _finite(result.space_reduction),
+        "measured_seconds": result.measured_seconds,
+        "best": entry_payload(result.best),
+        "timed": [entry_payload(entry) for entry in result.timed],
+        "invalid": [
+            {
+                "config": config_payload(entry.config),
+                "reason": entry.invalid_reason,
+            }
+            for entry in result.evaluated
+            if not entry.is_valid
+        ],
+    }

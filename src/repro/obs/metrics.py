@@ -119,6 +119,24 @@ class Counters:
         self._values = state
 
 
+#: process-wide named registries (see :func:`global_counters`)
+_GLOBAL_REGISTRIES: Dict[str, Counters] = {}
+
+
+def global_counters(namespace: str) -> Counters:
+    """A process-wide :class:`Counters` registry for ``namespace``.
+
+    Long-lived components that outlive any single request (the service
+    daemon) accumulate lifetime counters here; repeated calls with the
+    same namespace return the same instance, so tests and ``/metrics``
+    handlers observe exactly what the hot path incremented.
+    """
+    registry = _GLOBAL_REGISTRIES.get(namespace)
+    if registry is None:
+        registry = _GLOBAL_REGISTRIES[namespace] = Counters()
+    return registry
+
+
 class _Timer:
     __slots__ = ("_counters", "_name", "_started")
 
@@ -135,4 +153,4 @@ class _Timer:
         self._counters.incr(self._name, time.perf_counter() - self._started)
 
 
-__all__ = ["Counters", "counter_delta"]
+__all__ = ["Counters", "counter_delta", "global_counters"]

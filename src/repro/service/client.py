@@ -1,0 +1,131 @@
+"""Blocking JSON client for the tuning daemon (stdlib http.client).
+
+One connection per call (the server frames ``Connection: close``), so
+the client carries no socket state and is safe to share across
+threads.  Every non-2xx reply raises :class:`ServiceError` carrying
+the status and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx reply from the daemon."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one daemon at ``base_url`` (e.g. http://127.0.0.1:8765)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _call(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        decoded: Any = None
+        if raw:
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": raw.decode("utf-8", "replace")}
+        if not 200 <= response.status < 300:
+            message = "unknown error"
+            if isinstance(decoded, dict):
+                message = decoded.get("error", message)
+            raise ServiceError(response.status, message)
+        return decoded
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /sweeps; returns the accepted job's status payload."""
+        return self._call("POST", "/sweeps", request)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/sweeps/{job_id}")
+
+    def list_sweeps(self) -> Dict[str, Any]:
+        return self._call("GET", "/sweeps")
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/sweeps/{job_id}/results")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._call("POST", f"/sweeps/{job_id}/cancel")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("GET", "/metrics")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        interval: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the sweep leaves queued/running; returns status.
+
+        Raises :class:`TimeoutError` (naming the job and its last
+        state) if the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        status = self.status(job_id)
+        while status["state"] in ("queued", "running"):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {job_id} still {status['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(interval)
+            status = self.status(job_id)
+        return status
+
+    def sweep(
+        self, request: Dict[str, Any], timeout: float = 600.0
+    ) -> Dict[str, Any]:
+        """Submit, wait, and return the results payload."""
+        job = self.submit(request)
+        status = self.wait(job["id"], timeout=timeout)
+        if status["state"] != "done":
+            raise ServiceError(
+                409,
+                f"sweep {job['id']} {status['state']}: "
+                f"{status.get('error', 'no result')}",
+            )
+        return self.results(job["id"])

@@ -1,0 +1,162 @@
+"""Sweep job bookkeeping and the cross-request in-flight registry.
+
+Two small pieces of daemon state, both owned by the event-loop thread
+(no locks — every mutation happens on the loop):
+
+* :class:`JobTable` — every sweep ever submitted to this daemon, keyed
+  by id, carrying progress counters the status endpoint reports while
+  the sweep's worker thread streams results in.
+* :class:`InflightRegistry` — the dedupe map of ISSUE 8: evaluation
+  keys (runtime key + configuration key — the configuration key is
+  derived from the kernel-fingerprint-bearing parameter mapping, so
+  equal keys mean identical simulations) claimed by running sweeps.
+  A second sweep touching a claimed key *awaits the first requester's
+  future* instead of re-simulating; by the time it runs, the resident
+  engine's memo and the persistent store serve those configurations as
+  hits.  Claims are atomic on the event loop and wait edges only point
+  at earlier claimants, so overlapping sweeps can never deadlock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "InflightRegistry",
+    "JobTable",
+    "SweepCancelled",
+    "SweepJob",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: one dedupe key: (runtime key, configuration key)
+InflightKey = Tuple[str, str]
+
+
+class SweepCancelled(Exception):
+    """Raised inside a sweep worker when its job was cancelled."""
+
+
+@dataclasses.dataclass
+class SweepJob:
+    """One submitted sweep and everything the API reports about it."""
+
+    id: str
+    runtime_key: str
+    request: Dict[str, Any]          # the validated submission, echoed back
+    state: str = QUEUED
+    created: float = dataclasses.field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    timed_total: int = 0             # configurations the strategy selected
+    timed_done: int = 0              # measured so far (streams per chunk)
+    dedupe_hits: int = 0             # keys served by awaiting another sweep
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    stats_delta: Optional[Dict[str, Any]] = None
+    #: set from the event loop, polled by the worker thread at chunk
+    #: boundaries — a threading.Event because it crosses threads
+    cancel_event: threading.Event = dataclasses.field(
+        default_factory=threading.Event
+    )
+
+    def status_payload(self) -> Dict[str, Any]:
+        payload = {
+            "id": self.id,
+            "state": self.state,
+            "runtime": self.runtime_key,
+            "request": self.request,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "timed_total": self.timed_total,
+            "timed_done": self.timed_done,
+            "dedupe_hits": self.dedupe_hits,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.stats_delta is not None:
+            payload["stats"] = self.stats_delta
+        return payload
+
+
+class JobTable:
+    """All sweeps this daemon has seen, in submission order."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, SweepJob] = {}
+        self._ids = itertools.count(1)
+
+    def create(self, runtime_key: str, request: Dict[str, Any]) -> SweepJob:
+        job = SweepJob(
+            id=f"sweep-{next(self._ids)}",
+            runtime_key=runtime_key,
+            request=request,
+        )
+        self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Optional[SweepJob]:
+        return self._jobs.get(job_id)
+
+    def all(self) -> List[SweepJob]:
+        return list(self._jobs.values())
+
+    def count_by_state(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+
+class InflightRegistry:
+    """Evaluation keys currently being computed by some sweep.
+
+    ``claim`` partitions a sweep's keys into the ones it now *owns*
+    (it will compute them and must ``release`` them when finished, in
+    success or failure) and futures for keys an earlier sweep already
+    owns (await them before running, then read the warm caches).
+    """
+
+    def __init__(self) -> None:
+        self._futures: Dict[InflightKey, "asyncio.Future[None]"] = {}
+
+    def claim(
+        self, keys: Sequence[InflightKey]
+    ) -> Tuple[List[InflightKey], List["asyncio.Future[None]"]]:
+        loop = asyncio.get_running_loop()
+        owned: List[InflightKey] = []
+        waiting: List["asyncio.Future[None]"] = []
+        for key in keys:
+            existing = self._futures.get(key)
+            if existing is not None:
+                waiting.append(existing)
+            else:
+                self._futures[key] = loop.create_future()
+                owned.append(key)
+        return owned, waiting
+
+    def release(self, keys: Sequence[InflightKey]) -> None:
+        """Resolve (and forget) owned keys so waiters proceed."""
+        for key in keys:
+            future = self._futures.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result(None)
+
+    def __len__(self) -> int:
+        return len(self._futures)

@@ -36,9 +36,20 @@ Contracts (mirroring the PR 5 checkpoint-recovery contract):
 * **concurrency** — writers serialize on an advisory file lock
   (:mod:`repro.store.locking`); readers are lock-free and rely on the
   digest to reject torn or half-replaced entries;
-* **bounded size** — with ``max_bytes`` set, each write triggers an
-  LRU sweep: entry files are aged by mtime (refreshed on every read
-  hit) and the oldest are evicted until the store fits.
+* **bounded size** — with ``max_bytes`` set, the store keeps a
+  *running* byte total and an in-memory ``path -> (mtime, size)``
+  index, initialized by one full directory walk when the store is
+  opened.  Each write costs O(1) ``stat`` calls: the total is updated
+  incrementally, and only when it passes the ``max_bytes`` high-water
+  mark does an LRU sweep run — evicting the oldest entries (by mtime,
+  refreshed on every read hit) straight from the index, with no
+  directory walk on the write path.  A full re-walk happens only on
+  open, on corruption recovery, or when the index drains while the
+  running total still exceeds the bound (drift left by *other*
+  processes sharing the root — their writes are discovered then).
+  Concurrent evictors are tolerated: an entry another process already
+  unlinked is dropped from the index without raising and without
+  inflating this store's ``evictions`` count.
 
 Counters (``hits`` / ``misses`` / ``evictions`` / ``corrupt``) are
 plain attributes; :class:`~repro.sim.fingerprint.SimulationCache`
@@ -53,6 +64,7 @@ import hashlib
 import logging
 import os
 import pickle
+import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.store.atomic import atomic_write_bytes, atomic_write_text
@@ -111,7 +123,16 @@ class ResultStore:
         self.evictions = 0
         self.corrupt = 0
         self._lock = FileLock(os.path.join(self.path, _LOCK_FILE))
+        #: size accounting for the eviction bound: ``path -> (mtime,
+        #: size)`` plus a running byte total.  ``None`` when the store
+        #: is unbounded (no accounting cost at all) or before the first
+        #: resync.  Writes keep it incrementally current; a full walk
+        #: happens only in :meth:`_resync_index`.
+        self._index: Optional[Dict[str, Tuple[float, int]]] = None
+        self._total_bytes = 0
         self._ensure_layout()
+        if self.max_bytes is not None:
+            self._resync_index()
 
     # ------------------------------------------------------------------
     # Layout and versioning.
@@ -214,6 +235,7 @@ class ResultStore:
             os.unlink(path)
         except OSError:
             pass
+        self._forget_entry(path)
         return None
 
     # ------------------------------------------------------------------
@@ -238,22 +260,55 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
+        now = time.time()
         try:
-            os.utime(path)  # LRU recency: a hit makes the entry young
+            # LRU recency: a hit makes the entry young.  Explicit
+            # timestamps keep the in-memory index bit-equal to the
+            # on-disk mtime without a second stat.
+            os.utime(path, (now, now))
         except OSError:
             pass
+        else:
+            if self._index is not None and path in self._index:
+                self._index[path] = (now, self._index[path][1])
         return obj
 
     def store(self, tier: str, key: StoreKey, obj: Any) -> None:
-        """Persist one artifact atomically (then enforce the size bound)."""
+        """Persist one artifact atomically (then enforce the size bound).
+
+        With ``max_bytes`` set this is O(1) stats per write: the
+        running total absorbs the size delta of the (possibly
+        replaced) entry, and the LRU sweep only runs once the total
+        passes the bound — never a directory walk on the write path.
+        """
         if tier not in TIERS:
             raise ValueError(f"unknown store tier {tier!r}")
         blob = self._encode(tier, obj)
         path = self._entry_path(tier, key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         with self._lock:
+            if self.max_bytes is None:
+                atomic_write_bytes(path, blob)
+                return
+            old_size = 0
+            if self._index is not None and path in self._index:
+                old_size = self._index[path][1]
+            else:
+                try:
+                    old_size = os.stat(path).st_size
+                except OSError:
+                    old_size = 0
             atomic_write_bytes(path, blob)
-            if self.max_bytes is not None:
+            try:
+                status = os.stat(path)
+                mtime, size = status.st_mtime, status.st_size
+            except OSError:
+                mtime, size = time.time(), len(blob)
+            if self._index is None:
+                self._index = {}
+            self._index[path] = (mtime, size)
+            self._total_bytes += size - old_size
+            if self._total_bytes > self.max_bytes:
                 self._evict_lru()
 
     def put_entries(self, entries: Iterable[StoreEntry]) -> None:
@@ -281,26 +336,71 @@ class ResultStore:
                     found.append((status.st_mtime, status.st_size, path))
         return found
 
+    def _resync_index(self) -> None:
+        """Rebuild the size-accounting index from one full walk.
+
+        The only places a full directory walk happens on a bounded
+        store: open, corruption recovery, and eviction drift recovery
+        (the index drained while the total still exceeded the bound —
+        entries another process wrote are discovered here).
+        """
+        self._index = {
+            path: (mtime, size)
+            for mtime, size, path in self._walk_entries()
+        }
+        self._total_bytes = sum(size for _mtime, size in self._index.values())
+
+    def _forget_entry(self, path: str) -> None:
+        """Drop one entry from the size accounting (it left the disk)."""
+        if self._index is None:
+            return
+        forgotten = self._index.pop(path, None)
+        if forgotten is not None:
+            self._total_bytes -= forgotten[1]
+
     def _evict_lru(self) -> None:
         """Drop oldest entries until the store fits ``max_bytes``.
 
         Called with the writer lock held.  Recency is file mtime —
         refreshed on every read hit — so the sweep is LRU across every
-        process sharing the store, not just this one.
+        process sharing the store, not just this one.  The candidate
+        list comes from the in-memory index (no walk); entries another
+        process already unlinked are tolerated: they leave the index
+        and the running total without raising and *without* counting
+        toward this store's ``evictions``.
         """
-        entries = self._walk_entries()
-        total = sum(size for _mtime, size, _path in entries)
-        if total <= self.max_bytes:
-            return
-        for _mtime, size, path in sorted(entries):
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-            self.evictions += 1
-            total -= size
-            if total <= self.max_bytes:
-                break
+        if self._index is None:
+            self._resync_index()
+        for resynced in (False, True):
+            # Oldest first; ties broken by (size, path) — the exact
+            # order the previous walk-per-write implementation used.
+            for path, _meta in sorted(
+                self._index.items(),
+                key=lambda item: (item[1][0], item[1][1], item[0]),
+            ):
+                if self._total_bytes <= self.max_bytes:
+                    return
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    # A concurrent evictor (or corruption cleanup in a
+                    # reader) beat us to it: it is gone from disk, so
+                    # it leaves the accounting, but it is not *our*
+                    # eviction.
+                    self._forget_entry(path)
+                    continue
+                except OSError:
+                    continue  # unreadable/locked: skip, try the next
+                self.evictions += 1
+                self._forget_entry(path)
+            if self._total_bytes <= self.max_bytes or resynced:
+                return
+            # The index drained (or went stale) while the total still
+            # exceeds the bound — other processes sharing the root
+            # have written entries we have never seen.  One full walk
+            # resynchronizes, then a single retry pass evicts from the
+            # fresh listing.
+            self._resync_index()
 
     # ------------------------------------------------------------------
     # Introspection.

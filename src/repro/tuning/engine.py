@@ -190,6 +190,33 @@ class EngineStats:
         out["fault_recoveries"] = self.fault_recoveries
         return out
 
+    def snapshot(self) -> "EngineStats":
+        """A detached copy (the ``begin_request`` baseline)."""
+        return dataclasses.replace(self)
+
+    def delta_since(self, before: "EngineStats") -> Dict[str, Any]:
+        """Per-request counter deltas against an earlier snapshot.
+
+        A resident engine's counters are lifetime totals; a service
+        reporting per-sweep telemetry subtracts the snapshot taken at
+        the request boundary.  Numeric counters are differenced
+        (derived sums like ``cache_hits`` difference exactly, being
+        linear); ``workers`` and ``pool_fallback_reason`` describe
+        current state and are carried through as-is.
+        """
+        current = self.as_dict()
+        baseline = before.as_dict()
+        delta: Dict[str, Any] = {}
+        for name, value in current.items():
+            prior = baseline.get(name)
+            if name == "workers" or not isinstance(value, (int, float)):
+                delta[name] = value
+            elif isinstance(prior, (int, float)):
+                delta[name] = value - prior
+            else:
+                delta[name] = value
+        return delta
+
     def summary(self) -> str:
         text = (
             f"workers={self.workers} evals={self.static_evaluations} "
@@ -392,6 +419,29 @@ class ExecutionEngine:
         if self._scheduler is not None:
             self._scheduler.close()
             self._scheduler = None
+
+    def begin_request(self) -> EngineStats:
+        """Mark a request boundary on a resident engine.
+
+        The one-shot CLI builds an engine per sweep, so lifecycle
+        state can never leak between unrelated sweeps; a long-lived
+        daemon reuses one engine and needs the boundary made explicit:
+
+        * the scheduler's per-slot failure counts reset and lost
+          worker slots respawn (``SweepScheduler.begin_request``);
+        * a pool broken by a *previous* request gets a fresh chance —
+          within one request "never rebuild" still holds, so a sweep
+          cannot flap between pooled and serial execution;
+        * the returned :class:`EngineStats` snapshot is the baseline
+          for this request's ``delta_since`` telemetry.
+
+        Caches (memo tables, simulator cache, store) deliberately
+        survive — staying warm across requests is the daemon's point.
+        """
+        self._pool_broken = False
+        if self._scheduler is not None:
+            self._scheduler.begin_request()
+        return self.stats.snapshot()
 
     def __enter__(self) -> "ExecutionEngine":
         return self

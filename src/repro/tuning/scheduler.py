@@ -389,7 +389,12 @@ class SweepScheduler:
 
     def _spawn_worker(self, failures: int = 0) -> _Worker:
         task_reader, task_writer = self._ctx.Pipe(duplex=False)
-        result_reader, result_writer = self._ctx.Pipe(duplex=False)
+        try:
+            result_reader, result_writer = self._ctx.Pipe(duplex=False)
+        except BaseException:
+            task_reader.close()
+            task_writer.close()
+            raise
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         process = self._ctx.Process(
@@ -399,13 +404,66 @@ class SweepScheduler:
             daemon=True,
             name=f"repro-sweep-{worker_id}",
         )
-        process.start()
+        try:
+            process.start()
+        except BaseException:
+            # A failed respawn must not leak its slot's pipes: a
+            # long-lived scheduler that retries spawns for weeks would
+            # otherwise bleed four descriptors per attempt.
+            for conn in (task_reader, task_writer,
+                         result_reader, result_writer):
+                conn.close()
+            raise
         # Close the child's pipe ends in the parent so a dead worker
         # shows up as EOF on result_conn instead of a silent stall.
         task_reader.close()
         result_writer.close()
         return _Worker(worker_id, process, task_writer, result_reader,
                        failures=failures)
+
+    def begin_request(self) -> None:
+        """Reset per-request slot health and refill the pool.
+
+        A resident scheduler (the daemon mode) serves many unrelated
+        sweeps; without a request boundary, failure counts leak across
+        them — request N's flaky tasks quarantine slots that request
+        N+1 never got to use, and slots lost to quarantine or failed
+        respawns stay dead forever.  Called between requests this
+
+        * zeroes every surviving slot's failure count (health is
+          per-request, not per-daemon-lifetime),
+        * reaps slots whose worker died idle since the last request,
+        * respawns slots lost to quarantine, crashes, or respawn
+          failures, restoring the pool to ``requested_workers``.
+
+        Lifetime totals in :attr:`stats` are deliberately untouched —
+        they feed ``/metrics``; per-request deltas are the caller's
+        job (see ``EngineStats.delta_since``).  A no-op before
+        ``start()`` or after ``close()``.
+        """
+        if self._closed or not self._started:
+            return
+        retained: List[_Worker] = []
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.failures = 0
+                worker.inflight = None
+                worker.deadline = None
+                retained.append(worker)
+            else:
+                self._stop_worker(worker, graceful=False)
+        self._workers = retained
+        while len(self._workers) < self.requested_workers:
+            try:
+                self._workers.append(self._spawn_worker())
+            except (OSError, ValueError) as error:
+                logger.warning(
+                    "could not refill the worker pool to %d slots "
+                    "(at %d): %s", self.requested_workers,
+                    len(self._workers), error,
+                )
+                break
+        self.last_failure = None
 
     def close(self) -> None:
         """Stop every worker (sentinel first, force if needed)."""

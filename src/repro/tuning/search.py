@@ -38,12 +38,15 @@ from repro.tuning.space import Configuration
 
 __all__ = [
     "EvaluatedConfig",
+    "STRATEGIES",
     "SearchResult",
+    "best_entry",
     "evaluate_all",
     "full_exploration",
     "pareto_cluster_search",
     "pareto_search",
     "random_search",
+    "select_timed",
 ]
 
 logger = logging.getLogger(__name__)
@@ -121,10 +124,76 @@ def evaluate_all(
     return engine.evaluate_all(configs)
 
 
-def _best(timed: List[EvaluatedConfig], strategy: str) -> EvaluatedConfig:
+def best_entry(timed: List[EvaluatedConfig], strategy: str) -> EvaluatedConfig:
+    """Fastest measured entry; raises when nothing could be timed."""
     if not timed:
         raise ValueError(f"{strategy}: no configuration could be timed")
     return min(timed, key=lambda e: e.seconds)
+
+
+_best = best_entry
+
+#: Strategy names accepted by :func:`select_timed` — the same strings
+#: each strategy records on its :class:`SearchResult`.
+STRATEGIES = ("exhaustive", "pareto", "pareto+cluster", "random")
+
+
+def select_timed(
+    strategy: str,
+    evaluated: List[EvaluatedConfig],
+    *,
+    screen_bandwidth_bound: bool = False,
+    relative_tolerance: float = 1e-9,
+    sample_size: int = 0,
+    seed: int = 0,
+) -> List[EvaluatedConfig]:
+    """The subset of ``evaluated`` the named strategy would time, in order.
+
+    This is the single selection routine behind every search strategy;
+    callers that need to drive timing themselves (the service daemon
+    chunks timing so it can checkpoint and honor cancellation) use it
+    directly and are guaranteed to pick exactly what the one-shot
+    strategy functions pick.
+    """
+    if strategy == "exhaustive":
+        return [e for e in evaluated if e.is_valid]
+    if strategy == "pareto":
+        candidates = [e for e in evaluated if e.is_valid]
+        pool = candidates
+        if screen_bandwidth_bound:
+            unscreened = [
+                e for e in candidates
+                if not e.metrics.bandwidth.is_bandwidth_bound()
+            ]
+            if unscreened:
+                pool = unscreened
+        points = [(e.metrics.efficiency, e.metrics.utilization) for e in pool]
+        return [pool[i] for i in pareto_indices(points)]
+    if strategy == "pareto+cluster":
+        from repro.tuning.cluster import cluster_by_metrics
+
+        candidates = [e for e in evaluated if e.is_valid]
+        points = [
+            (e.metrics.efficiency, e.metrics.utilization) for e in candidates
+        ]
+        selected = [candidates[i] for i in pareto_indices(points)]
+        clusters = cluster_by_metrics(selected, relative_tolerance)
+        rng = random.Random(seed)
+        return [rng.choice(cluster) for cluster in clusters]
+    if strategy == "random":
+        valid = [e for e in evaluated if e.is_valid]
+        actual_size = min(sample_size, len(valid))
+        if actual_size < sample_size:
+            logger.warning(
+                "random_search: sample_size %d exceeds the valid space (%d "
+                "configurations); timing all %d",
+                sample_size, len(valid), actual_size,
+            )
+        rng = random.Random(seed)
+        return rng.sample(valid, actual_size)
+    raise ValueError(
+        f"unknown search strategy {strategy!r}; expected one of {STRATEGIES}"
+    )
 
 
 def full_exploration(
@@ -136,7 +205,7 @@ def full_exploration(
     """Measure every valid configuration."""
     engine = _resolve_engine(engine, evaluate, simulate)
     evaluated = engine.evaluate_all(configs)
-    timed = [e for e in evaluated if e.is_valid]
+    timed = select_timed("exhaustive", evaluated)
     total = engine.time_entries(timed)
     return SearchResult(
         strategy="exhaustive",
@@ -163,17 +232,9 @@ def pareto_search(
     """
     engine = _resolve_engine(engine, evaluate, simulate)
     evaluated = engine.evaluate_all(configs)
-    candidates = [e for e in evaluated if e.is_valid]
-    pool = candidates
-    if screen_bandwidth_bound:
-        unscreened = [
-            e for e in candidates
-            if not e.metrics.bandwidth.is_bandwidth_bound()
-        ]
-        if unscreened:
-            pool = unscreened
-    points = [(e.metrics.efficiency, e.metrics.utilization) for e in pool]
-    selected = [pool[i] for i in pareto_indices(points)]
+    selected = select_timed(
+        "pareto", evaluated, screen_bandwidth_bound=screen_bandwidth_bound,
+    )
     total = engine.time_entries(selected)
     return SearchResult(
         strategy="pareto",
@@ -200,16 +261,12 @@ def pareto_cluster_search(
     configurations."  The Pareto subset is computed as usual, then only
     one randomly-chosen representative per metric cluster is timed.
     """
-    from repro.tuning.cluster import cluster_by_metrics
-
     engine = _resolve_engine(engine, evaluate, simulate)
     evaluated = engine.evaluate_all(configs)
-    candidates = [e for e in evaluated if e.is_valid]
-    points = [(e.metrics.efficiency, e.metrics.utilization) for e in candidates]
-    selected = [candidates[i] for i in pareto_indices(points)]
-    clusters = cluster_by_metrics(selected, relative_tolerance)
-    rng = random.Random(seed)
-    representatives = [rng.choice(cluster) for cluster in clusters]
+    representatives = select_timed(
+        "pareto+cluster", evaluated,
+        relative_tolerance=relative_tolerance, seed=seed,
+    )
     total = engine.time_entries(representatives)
     return SearchResult(
         strategy="pareto+cluster",
@@ -238,16 +295,9 @@ def random_search(
     """
     engine = _resolve_engine(engine, evaluate, simulate)
     evaluated = engine.evaluate_all(configs)
-    valid = [e for e in evaluated if e.is_valid]
-    actual_size = min(sample_size, len(valid))
-    if actual_size < sample_size:
-        logger.warning(
-            "random_search: sample_size %d exceeds the valid space (%d "
-            "configurations); timing all %d",
-            sample_size, len(valid), actual_size,
-        )
-    rng = random.Random(seed)
-    sample = rng.sample(valid, actual_size)
+    sample = select_timed(
+        "random", evaluated, sample_size=sample_size, seed=seed,
+    )
     total = engine.time_entries(sample)
     return SearchResult(
         strategy="random",

@@ -20,6 +20,7 @@ _FAST_DIRS = (
     os.path.join("tests", "ir"),
     os.path.join("tests", "obs"),
     os.path.join("tests", "store"),
+    os.path.join("tests", "service"),
 )
 
 

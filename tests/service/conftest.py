@@ -1,0 +1,120 @@
+"""Fixtures for the service suite: a fake application and a running
+daemon (real sockets, real event loop, on a background thread)."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.arch.occupancy import LaunchError
+from repro.service.client import ServiceClient
+from repro.service.daemon import TuningService
+from repro.tuning.space import ConfigSpace
+
+
+class FakeBandwidth:
+    @staticmethod
+    def is_bandwidth_bound() -> bool:
+        return False
+
+
+class FakeApp:
+    """Minimal Application-protocol stand-in (12 configs, 2 invalid).
+
+    ``simulate`` records every call on a *class*-level list so tests
+    observe work across the fresh instances the daemon constructs per
+    runtime; ``delay`` (class attribute) slows measurements down for
+    overlap/cancellation tests.
+    """
+
+    name = "fake"
+    delay = 0.0
+    #: every simulate() call across all instances, in call order
+    calls: list = []
+    _calls_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self.sim_overrides = None
+
+    @classmethod
+    def reset(cls, delay: float = 0.0) -> None:
+        cls.calls = []
+        cls.delay = delay
+
+    def space(self) -> ConfigSpace:
+        return ConfigSpace({"x": list(range(6)), "y": [1, 2]})
+
+    def evaluate(self, config):
+        if config["x"] == 5:
+            raise LaunchError(f"x={config['x']} cannot launch")
+        return SimpleNamespace(
+            efficiency=1.0 / (1 + config["x"]),
+            utilization=config["y"] / 2.0,
+            bandwidth=FakeBandwidth(),
+        )
+
+    def simulate(self, config) -> float:
+        with FakeApp._calls_lock:
+            FakeApp.calls.append(dict(config))
+        if FakeApp.delay:
+            time.sleep(FakeApp.delay)
+        return (config["x"] * 10 + config["y"]) / 1000.0
+
+
+class RunningService:
+    """A TuningService bound to an ephemeral port on its own loop."""
+
+    def __init__(self, apps=None, **kwargs) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self._run, name="service-loop", daemon=True
+        )
+        self.thread.start()
+        self.service = TuningService(apps, **kwargs)
+        host, port = asyncio.run_coroutine_threadsafe(
+            self.service.start("127.0.0.1", 0), self.loop
+        ).result(30)
+        self.client = ServiceClient(f"http://{host}:{port}", timeout=30)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def close(self) -> None:
+        if self.loop.is_closed():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.service.close(), self.loop
+        ).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+    #: alias used by tests that shut a daemon down mid-test (the
+    #: factory's teardown close is a no-op afterwards)
+    close_now = close
+
+
+@pytest.fixture
+def fake_app_class():
+    FakeApp.reset()
+    yield FakeApp
+    FakeApp.reset()
+
+
+@pytest.fixture
+def service_factory():
+    running = []
+
+    def start(apps=None, **kwargs) -> RunningService:
+        instance = RunningService(apps, **kwargs)
+        running.append(instance)
+        return instance
+
+    yield start
+    for instance in running:
+        instance.close()

@@ -1,0 +1,190 @@
+"""The daemon end-to-end: submit/status/results, validation,
+cancellation, warm reuse, and bit-identity with the one-shot path."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.service.client import ServiceError
+from repro.service.daemon import (
+    RequestError,
+    parse_sweep_request,
+    run_sweep,
+)
+from repro.tuning.engine import ExecutionEngine
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def local_oracle(fake_app_class, request_payload):
+    """The one-shot CLI path: fresh app, fresh engine, same request."""
+    request = parse_sweep_request(
+        request_payload, {"fake": fake_app_class()}
+    )
+    app = fake_app_class()
+    engine = ExecutionEngine.for_app(app, workers=1)
+    try:
+        return run_sweep(engine, request)
+    finally:
+        engine.close()
+
+
+def test_submit_roundtrip_matches_one_shot(fake_app_class, service_factory):
+    daemon = service_factory([fake_app_class()])
+    request = {"app": "fake", "strategy": "exhaustive"}
+    payload = daemon.client.sweep(request)
+    oracle = local_oracle(fake_app_class, request)
+    assert canonical(payload["result"]) == canonical(oracle)
+    assert payload["result"]["timed_count"] == 10
+    assert len(payload["result"]["invalid"]) == 2
+    assert all("cannot launch" in entry["reason"]
+               for entry in payload["result"]["invalid"])
+    best = payload["result"]["best"]
+    assert best["config"] == {"x": 0, "y": 1}
+    assert best["seconds"] == pytest.approx(0.001)
+
+
+def test_second_identical_submit_is_pure_cache(fake_app_class,
+                                               service_factory):
+    daemon = service_factory([fake_app_class()])
+    request = {"app": "fake", "strategy": "exhaustive"}
+    first = daemon.client.sweep(request)
+    calls_after_first = len(fake_app_class.calls)
+    second = daemon.client.sweep(request)
+    assert canonical(first["result"]) == canonical(second["result"])
+    # The resident engine's memo served everything: no new simulate()
+    # calls reached the application, and the stats delta shows pure
+    # cache traffic.
+    assert len(fake_app_class.calls) == calls_after_first
+    assert second["stats"]["simulations"] == 0
+    assert second["stats"]["static_evaluations"] == 0
+    assert second["stats"]["simulation_cache_hits"] == 10
+
+
+def test_pareto_and_random_strategies(fake_app_class, service_factory):
+    daemon = service_factory([fake_app_class()])
+    pareto = daemon.client.sweep({"app": "fake", "strategy": "pareto"})
+    assert pareto["result"]["strategy"] == "pareto"
+    assert 0 < pareto["result"]["timed_count"] <= 10
+    rand = daemon.client.sweep(
+        {"app": "fake", "strategy": "random", "sample_size": 4, "seed": 7}
+    )
+    assert rand["result"]["timed_count"] == 4
+    assert rand["result"]["requested_sample_size"] == 4
+    oracle = local_oracle(
+        fake_app_class,
+        {"app": "fake", "strategy": "random", "sample_size": 4, "seed": 7},
+    )
+    assert canonical(rand["result"]) == canonical(oracle)
+
+
+def test_explicit_config_subset(fake_app_class, service_factory):
+    daemon = service_factory([fake_app_class()])
+    subset = [{"x": 0, "y": 1}, {"x": 1, "y": 2}, {"x": 2, "y": 1}]
+    payload = daemon.client.sweep(
+        {"app": "fake", "strategy": "exhaustive", "configs": subset}
+    )
+    assert payload["result"]["space_size"] == 3
+    assert payload["result"]["timed_count"] == 3
+    assert [e["config"] for e in payload["result"]["timed"]] == subset
+
+
+def test_validation_errors_are_400(fake_app_class, service_factory):
+    daemon = service_factory([fake_app_class()])
+    cases = [
+        ({"app": "nope"}, "unknown app"),
+        ({"app": "fake", "strategy": "nope"}, "unknown strategy"),
+        ({"app": "fake", "bogus": 1}, "unknown request fields"),
+        ({"app": "fake", "limit": 0}, "limit"),
+        ({"app": "fake", "configs": [{"x": 0}]}, "parameters"),
+        ({"app": "fake", "configs": [{"x": 99, "y": 1}]}, "not one of"),
+        ({"app": "fake", "strategy": "random"}, "sample_size"),
+        ({"app": "fake", "chunk_size": -1}, "chunk_size"),
+        ({"app": "fake", "limit": 4, "configs": [{"x": 0, "y": 1}]},
+         "not both"),
+    ]
+    for payload, needle in cases:
+        with pytest.raises(ServiceError) as caught:
+            daemon.client.submit(payload)
+        assert caught.value.status == 400
+        assert needle in caught.value.message
+
+
+def test_unknown_sweep_is_404_and_results_conflict(fake_app_class,
+                                                   service_factory):
+    daemon = service_factory([fake_app_class()])
+    with pytest.raises(ServiceError) as missing:
+        daemon.client.status("sweep-999")
+    assert missing.value.status == 404
+    fake_app_class.delay = 0.1
+    job = daemon.client.submit(
+        {"app": "fake", "strategy": "exhaustive", "chunk_size": 1}
+    )
+    with pytest.raises(ServiceError) as running:
+        daemon.client.results(job["id"])
+    assert running.value.status == 409
+    fake_app_class.delay = 0.0
+    daemon.client.wait(job["id"])
+
+
+def test_cancellation_stops_mid_sweep(fake_app_class, service_factory):
+    fake_app_class.delay = 0.15
+    daemon = service_factory([fake_app_class()])
+    job = daemon.client.submit(
+        {"app": "fake", "strategy": "exhaustive", "chunk_size": 1}
+    )
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        status = daemon.client.status(job["id"])
+        if status["state"] == "running" and status["timed_done"] >= 1:
+            break
+        time.sleep(0.02)
+    else:
+        pytest.fail("sweep never started timing")
+    daemon.client.cancel(job["id"])
+    status = daemon.client.wait(job["id"])
+    assert status["state"] == "cancelled"
+    assert len(fake_app_class.calls) < 10
+    with pytest.raises(ServiceError) as results:
+        daemon.client.results(job["id"])
+    assert results.value.status == 409
+
+
+def test_healthz_and_metrics(fake_app_class, service_factory):
+    daemon = service_factory([fake_app_class()])
+    health = daemon.client.healthz()
+    assert health["status"] == "ok"
+    daemon.client.sweep({"app": "fake", "strategy": "exhaustive"})
+    health = daemon.client.healthz()
+    assert health["jobs"] == {"done": 1}
+    assert health["runtimes"] == ["fake"]
+    metrics = daemon.client.metrics()
+    assert metrics["service"]["sweeps_completed"] >= 1
+    assert metrics["runtimes"]["fake"]["simulations"] == 10
+    assert metrics["inflight_keys"] == 0
+
+
+def test_sim_overrides_run_on_a_separate_runtime(fake_app_class,
+                                                 service_factory):
+    daemon = service_factory([fake_app_class()])
+    daemon.client.sweep({"app": "fake", "strategy": "exhaustive"})
+    payload = daemon.client.sweep({
+        "app": "fake", "strategy": "exhaustive",
+        "sim_overrides": {"knob": 1},
+    })
+    # A distinct runtime: the override sweep re-simulated everything
+    # on its own engine instead of poisoning the base runtime's caches.
+    assert payload["stats"]["simulations"] == 10
+    health = daemon.client.healthz()
+    assert len(health["runtimes"]) == 2
+    assert any(key.startswith("fake@") for key in health["runtimes"])
+
+
+def test_parse_sweep_request_rejects_non_object(fake_app_class):
+    with pytest.raises(RequestError):
+        parse_sweep_request([1, 2], {"fake": fake_app_class()})

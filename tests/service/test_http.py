@@ -1,0 +1,151 @@
+"""The HTTP framing layer: routing, parsing, limits, error mapping."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HTTPError,
+    Router,
+    json_response,
+    serve,
+)
+
+
+def build_router() -> Router:
+    router = Router()
+
+    async def root(request):
+        return json_response({"path": "/", "query": request.query})
+
+    async def echo(request, name):
+        return json_response({"name": name, "body": request.json()})
+
+    async def boom(request):
+        raise RuntimeError("kaboom")
+
+    router.add("GET", "/", root)
+    router.add("POST", "/things/{name}", echo)
+    router.add("GET", "/boom", boom)
+    return router
+
+
+async def _raw_exchange(port: int, data: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(data)
+    await writer.drain()
+    writer.write_eof()  # half-close: the server still writes its reply
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return response
+
+
+def exchange(data: bytes):
+    """One request against a fresh server; returns (status, json body)."""
+
+    async def run():
+        server = await serve(build_router(), port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            raw = await _raw_exchange(port, data)
+        finally:
+            server.close()
+            await server.wait_closed()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        return status, json.loads(body) if body else None
+
+    return asyncio.run(run())
+
+
+def test_routing_and_query():
+    status, body = exchange(b"GET /?alpha=1&beta=two HTTP/1.1\r\n\r\n")
+    assert status == 200
+    assert body == {"path": "/", "query": {"alpha": "1", "beta": "two"}}
+
+
+def test_path_params_and_json_body():
+    payload = json.dumps({"k": [1, 2]}).encode()
+    request = (
+        b"POST /things/widget HTTP/1.1\r\n"
+        b"Content-Type: application/json\r\n"
+        + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+        + payload
+    )
+    status, body = exchange(request)
+    assert status == 200
+    assert body == {"name": "widget", "body": {"k": [1, 2]}}
+
+
+def test_unknown_path_is_404():
+    status, body = exchange(b"GET /nope HTTP/1.1\r\n\r\n")
+    assert status == 404
+    assert "no route" in body["error"]
+
+
+def test_wrong_method_is_405():
+    status, body = exchange(b"DELETE / HTTP/1.1\r\n\r\n")
+    assert status == 405
+    assert "not allowed" in body["error"]
+
+
+def test_bad_json_body_is_400():
+    request = (
+        b"POST /things/w HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot-json"
+    )
+    status, body = exchange(request)
+    assert status == 400
+    assert "not valid JSON" in body["error"]
+
+
+def test_malformed_request_line_is_400():
+    status, body = exchange(b"NONSENSE\r\n\r\n")
+    assert status == 400
+    assert "malformed request line" in body["error"]
+
+
+def test_bad_content_length_is_400():
+    status, body = exchange(
+        b"POST /things/w HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+    )
+    assert status == 400
+    assert "Content-Length" in body["error"]
+
+
+def test_oversized_body_is_413():
+    status, body = exchange(
+        b"POST /things/w HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"
+    )
+    assert status == 413
+    assert "exceeds" in body["error"]
+
+
+def test_handler_exception_is_500():
+    status, body = exchange(b"GET /boom HTTP/1.1\r\n\r\n")
+    assert status == 500
+    assert body["error"] == "internal server error"
+
+
+def test_truncated_body_is_400():
+    status, body = exchange(
+        b"POST /things/w HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+    )
+    assert status == 400
+    assert "mid-body" in body["error"]
+
+
+def test_router_resolve_raises_typed_errors():
+    router = build_router()
+    with pytest.raises(HTTPError) as missing:
+        router.resolve("GET", "/absent")
+    assert missing.value.status == 404
+    with pytest.raises(HTTPError) as wrong_method:
+        router.resolve("PATCH", "/")
+    assert wrong_method.value.status == 405
+    handler, params = router.resolve("POST", "/things/x%20y")
+    assert params == {"name": "x y"}
+    assert handler is not None
