@@ -382,7 +382,7 @@ class TuningService:
             self._server = None
         for job in self.jobs.all():
             if job.state in (QUEUED, RUNNING):
-                job.cancel_event.set()
+                job.request_cancel()
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         for runtime in self.runtimes.values():
@@ -447,7 +447,7 @@ class TuningService:
         del request
         job = self._job_or_404(job_id)
         if job.state in (QUEUED, RUNNING):
-            job.cancel_event.set()
+            job.request_cancel()
             self.counters.incr("sweeps_cancel_requested")
         return json_response(job.status_payload(), status=202)
 
@@ -489,10 +489,13 @@ class TuningService:
 
     async def _run_job(self, job: SweepJob, sweep: SweepRequest) -> None:
         loop = asyncio.get_running_loop()
-        keys = [
+        # Collapse duplicate configurations before claiming: a repeated
+        # config must dedupe against *other* sweeps, never against this
+        # job's own claim (which would deadlock it in QUEUED forever).
+        keys = list(dict.fromkeys(
             (sweep.runtime_key, config_key(config))
             for config in sweep.configs
-        ]
+        ))
         owned, waiting = self.inflight.claim(keys)
         try:
             if waiting:
@@ -500,7 +503,7 @@ class TuningService:
                 # now; await its completion instead of re-simulating.
                 job.dedupe_hits = len(waiting)
                 self.counters.incr("dedupe_hits", len(waiting))
-                await asyncio.gather(*waiting)
+                await self._await_inflight(job, waiting)
             if job.cancel_event.is_set():
                 raise SweepCancelled(job.id)
             runtime = self._runtime_for(sweep)
@@ -529,6 +532,42 @@ class TuningService:
         finally:
             job.finished = time.time()
             self.inflight.release(owned)
+
+    @staticmethod
+    async def _await_inflight(
+        job: SweepJob, waiting: Sequence["asyncio.Future[None]"]
+    ) -> None:
+        """Await another sweep's futures, racing the job's cancel edge.
+
+        The in-flight futures are shared with their owner and any other
+        waiters, so cancellation must never propagate into them — each
+        is shielded, and on cancel only the local gather is torn down
+        before :class:`SweepCancelled` surfaces immediately (not after
+        the owning sweep finishes).
+        """
+        loop = asyncio.get_running_loop()
+        waiter: "asyncio.Future[None]" = loop.create_future()
+        job.cancel_waiter = waiter
+        gather = asyncio.gather(*(asyncio.shield(f) for f in waiting))
+        try:
+            if job.cancel_event.is_set():
+                raise SweepCancelled(job.id)
+            await asyncio.wait(
+                {gather, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not gather.done():
+                raise SweepCancelled(job.id)
+            await gather  # surface an owner-side exception, if any
+        finally:
+            job.cancel_waiter = None
+            if not waiter.done():
+                waiter.cancel()
+            if not gather.done():
+                gather.cancel()
+                try:
+                    await gather
+                except asyncio.CancelledError:
+                    pass
 
     def _execute_on_engine(
         self,

@@ -180,6 +180,8 @@ async def read_request(
         length = int(length_text)
     except ValueError:
         raise HTTPError(400, f"bad Content-Length: {length_text!r}")
+    if length < 0:
+        raise HTTPError(400, f"bad Content-Length: {length_text!r}")
     if length > max_body:
         raise HTTPError(413, f"body of {length} bytes exceeds {max_body}")
     if length:

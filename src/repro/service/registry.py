@@ -27,10 +27,12 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "DEFAULT_MAX_JOBS",
     "InflightRegistry",
     "JobTable",
     "SweepCancelled",
     "SweepJob",
+    "TERMINAL_STATES",
     "QUEUED",
     "RUNNING",
     "DONE",
@@ -74,6 +76,18 @@ class SweepJob:
     cancel_event: threading.Event = dataclasses.field(
         default_factory=threading.Event
     )
+    #: loop-side cancellation edge: while the job is QUEUED awaiting
+    #: another sweep's in-flight futures, resolving this future wakes
+    #: it immediately instead of after the owning sweep finishes
+    cancel_waiter: Optional["asyncio.Future[None]"] = None
+
+    def request_cancel(self) -> None:
+        """Signal cancellation on both sides: the worker thread's
+        event and (if the job is parked awaiting dedupe futures) the
+        event-loop waiter.  Must be called on the event loop."""
+        self.cancel_event.set()
+        if self.cancel_waiter is not None and not self.cancel_waiter.done():
+            self.cancel_waiter.set_result(None)
 
     def status_payload(self) -> Dict[str, Any]:
         payload = {
@@ -95,10 +109,29 @@ class SweepJob:
         return payload
 
 
-class JobTable:
-    """All sweeps this daemon has seen, in submission order."""
+#: states a job can never leave (safe to prune)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
 
-    def __init__(self) -> None:
+#: default JobTable retention: terminal jobs (with their full result
+#: payloads) past this count are pruned oldest-first on submission, so
+#: a long-lived daemon's memory stays bounded
+DEFAULT_MAX_JOBS = 256
+
+
+class JobTable:
+    """All sweeps this daemon has seen, in submission order.
+
+    Retention is bounded: whenever the table holds more than
+    ``max_jobs`` entries, the oldest *terminal* jobs — and their
+    ``result`` payloads — are dropped.  Queued/running jobs are never
+    pruned, so the table can temporarily exceed the cap while that
+    many sweeps are actually live.
+    """
+
+    def __init__(self, max_jobs: int = DEFAULT_MAX_JOBS) -> None:
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be positive, got {max_jobs}")
+        self.max_jobs = max_jobs
         self._jobs: Dict[str, SweepJob] = {}
         self._ids = itertools.count(1)
 
@@ -109,7 +142,19 @@ class JobTable:
             request=request,
         )
         self._jobs[job.id] = job
+        self._prune()
         return job
+
+    def _prune(self) -> None:
+        """Drop oldest terminal jobs until the table fits ``max_jobs``."""
+        excess = len(self._jobs) - self.max_jobs
+        if excess <= 0:
+            return
+        for job_id in [
+            job.id for job in self._jobs.values()
+            if job.state in TERMINAL_STATES
+        ][:excess]:
+            del self._jobs[job_id]
 
     def get(self, job_id: str) -> Optional[SweepJob]:
         return self._jobs.get(job_id)
@@ -142,7 +187,15 @@ class InflightRegistry:
         loop = asyncio.get_running_loop()
         owned: List[InflightKey] = []
         waiting: List["asyncio.Future[None]"] = []
+        # Duplicate keys within one claim are collapsed: a repeated
+        # key must never make the caller wait on the future it just
+        # created for itself (a guaranteed deadlock), nor wait twice
+        # on an earlier claimant.
+        seen: set = set()
         for key in keys:
+            if key in seen:
+                continue
+            seen.add(key)
             existing = self._futures.get(key)
             if existing is not None:
                 waiting.append(existing)

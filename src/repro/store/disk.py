@@ -44,9 +44,14 @@ Contracts (mirroring the PR 5 checkpoint-recovery contract):
   mark does an LRU sweep run — evicting the oldest entries (by mtime,
   refreshed on every read hit) straight from the index, with no
   directory walk on the write path.  A full re-walk happens only on
-  open, on corruption recovery, or when the index drains while the
-  running total still exceeds the bound (drift left by *other*
-  processes sharing the root — their writes are discovered then).
+  open, on corruption recovery, on a periodic schedule (every
+  ``_RESYNC_WRITE_INTERVAL`` writes or ``_RESYNC_SECONDS`` between
+  writes — amortized O(1) per write), or when the index drains while
+  the running total still exceeds the bound.  The periodic resync is
+  what keeps the bound anchored to *actual* disk usage when several
+  writers share the root: between resyncs each writer only counts its
+  own deltas, so the bound is per-writer-approximate with drift capped
+  by the resync interval.
   Concurrent evictors are tolerated: an entry another process already
   unlinked is dropped from the index without raising and without
   inflating this store's ``evictions`` count.
@@ -103,6 +108,14 @@ _VERSION_FILE = "VERSION"
 _LOCK_FILE = ".lock"
 _ENTRY_SUFFIX = ".entry"
 
+#: bounded stores resync their size index from a full walk every this
+#: many writes (or after ``_RESYNC_SECONDS`` between writes) so the
+#: ``max_bytes`` bound tracks *actual* disk usage under concurrent
+#: writers, not just this instance's own deltas — between resyncs the
+#: bound is per-writer-approximate
+_RESYNC_WRITE_INTERVAL = 512
+_RESYNC_SECONDS = 300.0
+
 
 class ResultStore:
     """One on-disk store rooted at ``path`` (created if missing).
@@ -130,6 +143,12 @@ class ResultStore:
         #: happens only in :meth:`_resync_index`.
         self._index: Optional[Dict[str, Tuple[float, int]]] = None
         self._total_bytes = 0
+        #: periodic-resync schedule (write count / wall clock); tests
+        #: may lower the interval to exercise drift recovery quickly
+        self.resync_write_interval = _RESYNC_WRITE_INTERVAL
+        self.resync_seconds = _RESYNC_SECONDS
+        self._writes_since_resync = 0
+        self._last_resync = time.time()
         self._ensure_layout()
         if self.max_bytes is not None:
             self._resync_index()
@@ -276,10 +295,12 @@ class ResultStore:
     def store(self, tier: str, key: StoreKey, obj: Any) -> None:
         """Persist one artifact atomically (then enforce the size bound).
 
-        With ``max_bytes`` set this is O(1) stats per write: the
-        running total absorbs the size delta of the (possibly
-        replaced) entry, and the LRU sweep only runs once the total
-        passes the bound — never a directory walk on the write path.
+        With ``max_bytes`` set this is O(1) stats per write amortized:
+        the running total absorbs the size delta of the (possibly
+        replaced) entry, the LRU sweep only runs once the total passes
+        the bound, and a full directory walk happens only on the
+        periodic resync schedule that re-anchors the total to real
+        disk usage under concurrent writers.
         """
         if tier not in TIERS:
             raise ValueError(f"unknown store tier {tier!r}")
@@ -290,6 +311,16 @@ class ResultStore:
             if self.max_bytes is None:
                 atomic_write_bytes(path, blob)
                 return
+            # Incremental accounting only sees *this* instance's
+            # writes; a scheduled full resync (every K writes or T
+            # seconds) re-anchors the total to actual disk usage so N
+            # concurrent writers cannot silently grow the directory
+            # toward N x max_bytes between drift recoveries.
+            self._writes_since_resync += 1
+            if (self._writes_since_resync >= self.resync_write_interval
+                    or time.time() - self._last_resync
+                    >= self.resync_seconds):
+                self._resync_index()
             old_size = 0
             if self._index is not None and path in self._index:
                 old_size = self._index[path][1]
@@ -340,15 +371,19 @@ class ResultStore:
         """Rebuild the size-accounting index from one full walk.
 
         The only places a full directory walk happens on a bounded
-        store: open, corruption recovery, and eviction drift recovery
-        (the index drained while the total still exceeded the bound —
-        entries another process wrote are discovered here).
+        store: open, corruption recovery, the periodic write-count /
+        wall-clock schedule (which bounds multi-writer drift), and
+        eviction drift recovery (the index drained while the total
+        still exceeded the bound — entries another process wrote are
+        discovered here).
         """
         self._index = {
             path: (mtime, size)
             for mtime, size, path in self._walk_entries()
         }
         self._total_bytes = sum(size for _mtime, size in self._index.values())
+        self._writes_since_resync = 0
+        self._last_resync = time.time()
 
     def _forget_entry(self, path: str) -> None:
         """Drop one entry from the size accounting (it left the disk)."""

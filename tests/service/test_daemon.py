@@ -155,6 +155,64 @@ def test_cancellation_stops_mid_sweep(fake_app_class, service_factory):
     assert results.value.status == 409
 
 
+def test_duplicate_configs_do_not_deadlock(fake_app_class,
+                                           service_factory):
+    """A submission repeating a configuration must complete instead of
+    waiting on its own in-flight claim (the QUEUED-forever regression:
+    the job would gather a future only its own finally released)."""
+    daemon = service_factory([fake_app_class()])
+    subset = [{"x": 0, "y": 1}, {"x": 0, "y": 1},
+              {"x": 1, "y": 2}, {"x": 0, "y": 1}]
+    job = daemon.client.submit(
+        {"app": "fake", "strategy": "exhaustive", "configs": subset}
+    )
+    status = daemon.client.wait(job["id"], timeout=30)
+    assert status["state"] == "done"
+    # The duplicates deduped against nothing (no other sweep owns
+    # them), not against this sweep's own claim.
+    assert status["dedupe_hits"] == 0
+    payload = daemon.client.results(job["id"])
+    assert payload["result"]["best"]["config"] == {"x": 0, "y": 1}
+
+
+def test_cancel_takes_effect_while_queued_behind_overlap(fake_app_class,
+                                                         service_factory):
+    """Cancelling a sweep parked on another sweep's in-flight futures
+    must not wait for the owning sweep to finish."""
+    fake_app_class.delay = 0.3
+    daemon = service_factory([fake_app_class()])
+    job_a = daemon.client.submit(
+        {"app": "fake", "strategy": "exhaustive", "chunk_size": 1}
+    )
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        status = daemon.client.status(job_a["id"])
+        if status["state"] == "running" and status["timed_done"] >= 1:
+            break
+        time.sleep(0.02)
+    else:
+        pytest.fail("sweep A never started timing")
+    # B's whole subset is claimed by A, so B queues awaiting A.
+    job_b = daemon.client.submit({
+        "app": "fake", "strategy": "exhaustive",
+        "configs": [{"x": 0, "y": 1}, {"x": 1, "y": 1}],
+    })
+    assert daemon.client.status(job_b["id"])["state"] == "queued"
+    daemon.client.cancel(job_b["id"])
+    deadline = time.monotonic() + 2
+    while time.monotonic() < deadline:
+        status_b = daemon.client.status(job_b["id"])
+        if status_b["state"] == "cancelled":
+            break
+        time.sleep(0.02)
+    else:
+        pytest.fail("queued sweep did not cancel until its owner ended")
+    # The owning sweep is still running: the cancel did not wait it out.
+    assert daemon.client.status(job_a["id"])["state"] == "running"
+    fake_app_class.delay = 0.0
+    assert daemon.client.wait(job_a["id"])["state"] == "done"
+
+
 def test_healthz_and_metrics(fake_app_class, service_factory):
     daemon = service_factory([fake_app_class()])
     health = daemon.client.healthz()

@@ -116,6 +116,16 @@ def test_bad_content_length_is_400():
     assert "Content-Length" in body["error"]
 
 
+def test_negative_content_length_is_400():
+    # readexactly(-5) would raise ValueError -> a spurious 500; the
+    # negative length must be rejected at validation time instead.
+    status, body = exchange(
+        b"POST /things/w HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+    )
+    assert status == 400
+    assert "Content-Length" in body["error"]
+
+
 def test_oversized_body_is_413():
     status, body = exchange(
         b"POST /things/w HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"

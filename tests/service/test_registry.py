@@ -1,0 +1,97 @@
+"""Unit tests for the daemon's bookkeeping: in-flight claim semantics
+(duplicate keys must never self-deadlock), bounded job retention, and
+the two-sided cancellation edge."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.registry import (
+    DONE,
+    FAILED,
+    RUNNING,
+    InflightRegistry,
+    JobTable,
+    SweepJob,
+)
+
+
+def test_claim_collapses_duplicate_keys():
+    """A repeated key in one claim is owned once — the caller must
+    never be handed the future it just created for itself (that wait
+    edge is a guaranteed deadlock)."""
+
+    async def run():
+        registry = InflightRegistry()
+        owned, waiting = registry.claim(
+            [("r", "a"), ("r", "a"), ("r", "b"), ("r", "a")]
+        )
+        assert owned == [("r", "a"), ("r", "b")]
+        assert waiting == []
+        assert len(registry) == 2
+        registry.release(owned)
+        assert len(registry) == 0
+
+    asyncio.run(run())
+
+
+def test_claim_duplicate_of_earlier_claimant_waits_once():
+    async def run():
+        registry = InflightRegistry()
+        owned_a, waiting_a = registry.claim([("r", "a")])
+        assert (owned_a, waiting_a) == ([("r", "a")], [])
+        owned_b, waiting_b = registry.claim(
+            [("r", "a"), ("r", "a"), ("r", "b")]
+        )
+        assert owned_b == [("r", "b")]
+        assert len(waiting_b) == 1
+        registry.release(owned_a)
+        await asyncio.wait_for(asyncio.gather(*waiting_b), 1)
+        registry.release(owned_b)
+        assert len(registry) == 0
+
+    asyncio.run(run())
+
+
+def test_job_table_prunes_oldest_terminal_jobs():
+    table = JobTable(max_jobs=3)
+    old = [table.create("rt", {}) for _ in range(3)]
+    for job in old:
+        job.state = DONE
+        job.result = {"payload": "big"}
+    fresh = table.create("rt", {})
+    # The oldest finished job (and its result payload) is gone; the
+    # newer finished ones and the fresh job remain, in order.
+    assert table.get(old[0].id) is None
+    assert [job.id for job in table.all()] == [
+        old[1].id, old[2].id, fresh.id
+    ]
+    old[1].state = FAILED
+    another = table.create("rt", {})
+    assert table.get(old[1].id) is None
+    assert len(table.all()) == 3
+    assert table.get(another.id) is another
+
+
+def test_job_table_never_prunes_live_jobs():
+    table = JobTable(max_jobs=1)
+    live = [table.create("rt", {}) for _ in range(4)]
+    for job in live:
+        job.state = RUNNING
+    table.create("rt", {})
+    # Nothing terminal to drop: every live job survives over the cap.
+    assert len(table.all()) == 5
+    assert all(table.get(job.id) is not None for job in live)
+
+
+def test_request_cancel_sets_event_and_resolves_waiter():
+    async def run():
+        job = SweepJob(id="sweep-1", runtime_key="rt", request={})
+        waiter = asyncio.get_running_loop().create_future()
+        job.cancel_waiter = waiter
+        job.request_cancel()
+        assert job.cancel_event.is_set()
+        assert waiter.done()
+        job.request_cancel()  # idempotent on a resolved waiter
+
+    asyncio.run(run())

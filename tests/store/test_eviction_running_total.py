@@ -96,6 +96,30 @@ def test_concurrent_unlink_tolerated(tmp_path):
     assert store._total_bytes == 0
 
 
+def test_periodic_resync_bounds_multi_writer_drift(tmp_path):
+    """The running total only sees this instance's writes; the
+    scheduled resync re-anchors it to actual disk usage so entries
+    other writers added still count against max_bytes."""
+    root = str(tmp_path / "store")
+    max_bytes = 8 * 1024
+    writer = ResultStore(root, max_bytes=max_bytes)
+    writer.resync_write_interval = 8
+    walks = count_walks(writer)
+    # A rival writer (no bound, so it never evicts) grows the
+    # directory far past the bound behind this instance's back.
+    rival = ResultStore(root)
+    for i in range(30):
+        rival.store(TRACE_TIER, fingerprint(1000 + i), "x" * 1000)
+    # This writer's own traffic stays tiny — without the periodic
+    # resync its total never crosses max_bytes and nothing evicts.
+    for i in range(8):
+        writer.store(TRACE_TIER, fingerprint(i), "y" * 10)
+    assert walks["count"] == 1  # exactly the scheduled resync
+    assert writer.evictions > 0
+    assert writer.size_bytes() <= max_bytes
+    assert writer._total_bytes == writer.size_bytes()
+
+
 def _hammer(root: str, seed: int, max_bytes: int) -> None:
     """Child process: one bounded store, many random-sized writes."""
     rng = random.Random(seed)
