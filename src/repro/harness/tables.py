@@ -180,6 +180,40 @@ def store_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
     return rows
 
 
+def fastlane_rows(metrics: Dict) -> List[Dict]:
+    """The "Service fast lane" report table from a ``/metrics`` payload.
+
+    One ``counter``/``value`` row per warm-path signal: sweeps served
+    on the event loop (fully warm and partial), configs answered from
+    the memo, executor dispatches (the cold path, for contrast),
+    decoded-cache traffic, bulk store reads summed across runtimes,
+    and keep-alive connection reuse.
+    """
+    service = metrics.get("service", {})
+    decoded = metrics.get("decoded_cache", {})
+    runtimes = metrics.get("runtimes", {})
+    bulk_reads = sum(
+        stats.get("store_bulk_reads", 0) for stats in runtimes.values()
+    )
+    bytes_verified = sum(
+        stats.get("store_bytes_verified", 0) for stats in runtimes.values()
+    )
+    names = (
+        ("fastlane_sweeps", service.get("fastlane_sweeps", 0)),
+        ("fastlane_partial", service.get("fastlane_partial", 0)),
+        ("fastlane_configs", service.get("fastlane_configs", 0)),
+        ("executor_dispatches", service.get("executor_dispatches", 0)),
+        ("decoded_cache_hits", decoded.get("decoded_cache_hits", 0)),
+        ("decoded_cache_misses", decoded.get("decoded_cache_misses", 0)),
+        ("decoded_cache_evictions", decoded.get("decoded_cache_evictions", 0)),
+        ("store_bulk_reads", bulk_reads),
+        ("store_bytes_verified", bytes_verified),
+        ("keepalive_connections", service.get("keepalive_connections", 0)),
+        ("keepalive_reuses", service.get("keepalive_reuses", 0)),
+    )
+    return [{"counter": name, "value": value} for name, value in names]
+
+
 def span_rows(events: Sequence[Dict]) -> List[Dict]:
     """Per-stage wall-time breakdown from Chrome-trace span events.
 

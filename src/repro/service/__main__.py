@@ -5,7 +5,8 @@ Usage::
     python -m repro.service serve [--host H] [--port P] [--apps a,b]
                                   [--workers N] [--store DIR]
                                   [--checkpoint-dir DIR]
-                                  [--ready-file PATH]
+                                  [--ready-file PATH] [--keep-alive]
+                                  [--no-fastlane]
     python -m repro.service submit --app NAME [request options]
     python -m repro.service sweep  --app NAME [request options]   # submit+wait
     python -m repro.service status|results|wait|cancel ID
@@ -118,6 +119,12 @@ def parse_args(argv):
                        help="streaming per-runtime sweep checkpoints")
     serve.add_argument("--ready-file", default=None, metavar="PATH",
                        help="write {url,port,pid} JSON once listening")
+    serve.add_argument("--keep-alive", action="store_true",
+                       help="serve multiple requests per connection "
+                            "(default: Connection: close)")
+    serve.add_argument("--no-fastlane", action="store_true",
+                       help="disable the warm-path fast lane (every "
+                            "sweep runs on the engine executor)")
 
     for name, needs_id in (
         ("status", True), ("results", True), ("wait", True),
@@ -128,8 +135,14 @@ def parse_args(argv):
         if needs_id:
             sub.add_argument("id", help="sweep id (e.g. sweep-1)")
         sub.add_argument("--url", default=DEFAULT_URL)
+        sub.add_argument("--keep-alive", action="store_true",
+                         help="reuse one connection across requests")
         if name == "wait":
             sub.add_argument("--timeout", type=float, default=600.0)
+        if name == "metrics":
+            sub.add_argument("--table", action="store_true",
+                             help="print the fast-lane report table "
+                                  "instead of raw JSON")
 
     for name in ("submit", "sweep"):
         sub = commands.add_parser(
@@ -139,6 +152,8 @@ def parse_args(argv):
         )
         sub.add_argument("--url", default=DEFAULT_URL)
         sub.add_argument("--timeout", type=float, default=600.0)
+        sub.add_argument("--keep-alive", action="store_true",
+                         help="reuse one connection across requests")
         _add_request_options(sub)
 
     local = commands.add_parser(
@@ -185,6 +200,8 @@ async def _serve(options) -> int:
         workers=options.workers,
         store=options.store,
         checkpoint_dir=options.checkpoint_dir,
+        keep_alive=options.keep_alive,
+        fastlane=not options.no_fastlane,
     )
     host, port = await service.start(options.host, _resolve_port(options))
     url = f"http://{host}:{port}"
@@ -239,7 +256,9 @@ def _run_local(options) -> int:
 
 
 def _client_command(options) -> int:
-    client = ServiceClient(options.url)
+    client = ServiceClient(
+        options.url, keep_alive=getattr(options, "keep_alive", False)
+    )
     command = options.command
     try:
         if command == "submit":
@@ -260,6 +279,13 @@ def _client_command(options) -> int:
             payload = client.healthz()
         elif command == "metrics":
             payload = client.metrics()
+            if options.table:
+                from repro.harness.tables import fastlane_rows, format_table
+
+                print("Service fast lane")
+                print(format_table(fastlane_rows(payload),
+                                   ("counter", "value")))
+                return 0
         elif command == "list":
             payload = client.list_sweeps()
         else:  # pragma: no cover - argparse enforces the choices
@@ -267,6 +293,8 @@ def _client_command(options) -> int:
     except (ServiceError, TimeoutError, ConnectionError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
+    finally:
+        client.close()
     print(json.dumps(payload, indent=1, sort_keys=True))
     return 0
 

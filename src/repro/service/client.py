@@ -1,15 +1,23 @@
 """Blocking JSON client for the tuning daemon (stdlib http.client).
 
-One connection per call (the server frames ``Connection: close``), so
-the client carries no socket state and is safe to share across
-threads.  Every non-2xx reply raises :class:`ServiceError` carrying
-the status and the server's ``error`` message.
+By default one connection per call (the server frames ``Connection:
+close``), so the client carries no socket state and is safe to share
+across threads.  With ``keep_alive=True`` the client holds one
+persistent connection behind a lock and asks the server to keep it
+open — a polling loop (``wait`` hits ``/sweeps/{id}`` every 200ms)
+stops paying a TCP setup per request.  A reused connection can always
+die under us (server restart, request-budget close), so a call that
+fails *before a response arrives* is retried exactly once on a fresh
+connection; a second failure propagates.  Every non-2xx reply raises
+:class:`ServiceError` carrying the status and the server's ``error``
+message.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 from typing import Any, Dict, Optional
 from urllib.parse import urlsplit
@@ -29,44 +37,102 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Talks to one daemon at ``base_url`` (e.g. http://127.0.0.1:8765)."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        keep_alive: bool = False,
+    ) -> None:
         split = urlsplit(base_url)
         if split.scheme not in ("http", ""):
             raise ValueError(f"unsupported scheme in {base_url!r}")
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 80
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        #: count of requests served on an already-open connection
+        self.reused = 0
+        self._lock = threading.Lock()
+        self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the persistent connection (no-op without keep-alive)."""
+        with self._lock:
+            self._drop_connection()
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+            self._connection = None
 
     def _call(
         self, method: str, path: str, payload: Optional[Any] = None
     ) -> Any:
         body = None
-        headers = {}
+        headers: Dict[str, str] = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-        finally:
-            connection.close()
+        if not self.keep_alive:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            finally:
+                connection.close()
+            return self._decode(response.status, raw)
+        headers["Connection"] = "keep-alive"
+        with self._lock:
+            # A held connection may have been closed server-side
+            # (request budget, restart) since the last call; retry
+            # once on a fresh one.  Only errors raised before a
+            # response arrives are retried, so a request is never
+            # knowingly submitted twice.
+            for attempt in (0, 1):
+                reusing = self._connection is not None
+                if self._connection is None:
+                    self._connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                try:
+                    self._connection.request(
+                        method, path, body=body, headers=headers
+                    )
+                    response = self._connection.getresponse()
+                    raw = response.read()
+                except (http.client.HTTPException, ConnectionError,
+                        BrokenPipeError, OSError):
+                    self._drop_connection()
+                    if attempt or not reusing:
+                        raise
+                    continue
+                if reusing:
+                    self.reused += 1
+                if response.headers.get("Connection", "").lower() == "close":
+                    self._drop_connection()
+                return self._decode(response.status, raw)
+
+    @staticmethod
+    def _decode(status: int, raw: bytes) -> Any:
         decoded: Any = None
         if raw:
             try:
                 decoded = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
                 decoded = {"error": raw.decode("utf-8", "replace")}
-        if not 200 <= response.status < 300:
+        if not 200 <= status < 300:
             message = "unknown error"
             if isinstance(decoded, dict):
                 message = decoded.get("error", message)
-            raise ServiceError(response.status, message)
+            raise ServiceError(status, message)
         return decoded
 
     # ------------------------------------------------------------------

@@ -22,6 +22,24 @@ single-thread executor, so one engine is never entered concurrently
 while distinct runtimes proceed in parallel.  Overlapping sweeps
 dedupe through :class:`~repro.service.registry.InflightRegistry`: the
 second requester awaits the first's future, then reads warm caches.
+
+The warm-path fast lane: before dispatching to the executor,
+``_run_job`` probes the resident engine's memo (read-only
+``peek_static`` / ``peek_seconds`` — plain dict reads, safe against
+the executor thread).  A *fully-warm* sweep — every static entry and
+every selected measurement memoized — is answered on the event loop
+itself in cancellable chunks: no thread handoff, no scheduler, and
+bit-identical results because selection still goes through
+:func:`select_timed` and the total through the same sequential sum.
+A *partially-warm* sweep (statics memoized, some measurements
+missing) claims and dispatches only its misses to the executor, then
+serves the warm remainder on the loop.  Because fully-warm lanes
+never enter the executor, warm sweeps for the *same* runtime overlap
+freely — the single-thread-per-engine constraint only ever applied to
+sweeps that compute.  A daemon-wide
+:class:`~repro.store.DecodedCache` sits between every runtime's
+``SimulationCache`` and the store, so repeated store reads never
+re-hash or re-unpickle a payload.
 """
 
 from __future__ import annotations
@@ -58,7 +76,13 @@ from repro.service.registry import (
     SweepCancelled,
     SweepJob,
 )
-from repro.tuning.engine import ExecutionEngine, config_key
+from repro.store import DecodedCache
+from repro.tuning.engine import (
+    EngineStats,
+    EvaluatedConfig,
+    ExecutionEngine,
+    config_key,
+)
 from repro.tuning.search import (
     STRATEGIES,
     SearchResult,
@@ -80,6 +104,21 @@ __all__ = [
 #: port knob for ``python -m repro.service serve`` (0 = ephemeral)
 SERVICE_PORT_ENV = "REPRO_SERVICE_PORT"
 DEFAULT_CHUNK_SIZE = 16
+
+#: zeroed per-request stats deltas keyed by worker count — the base a
+#: fully-warm fast-lane sweep reports.  Cached because building one
+#: walks every EngineStats field, a measurable slice of a sub-ms sweep.
+_ZERO_DELTAS: Dict[int, Dict[str, Any]] = {}
+
+
+def _zero_delta(workers: int) -> Dict[str, Any]:
+    cached = _ZERO_DELTAS.get(workers)
+    if cached is None:
+        cached = EngineStats(workers=workers).delta_since(
+            EngineStats(workers=workers)
+        )
+        _ZERO_DELTAS[workers] = cached
+    return dict(cached)
 
 
 class RequestError(ValueError):
@@ -298,6 +337,7 @@ class AppRuntime:
         workers: Optional[int],
         store: Optional[str],
         checkpoint_dir: Optional[str],
+        decoded: Optional[DecodedCache] = None,
     ) -> None:
         self.key = key
         # A fresh instance per runtime: per-request overrides on a
@@ -316,6 +356,12 @@ class AppRuntime:
             checkpoint_path=checkpoint_path,
             store=store,
         )
+        # The daemon-wide decoded-entry cache sits between this
+        # runtime's SimulationCache and the store: sibling runtimes
+        # reading the same fingerprints skip the open/sha256/unpickle.
+        sim_cache = getattr(self.app, "sim_cache", None)
+        if decoded is not None and sim_cache is not None:
+            sim_cache.set_decoded_cache(decoded)
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"sweep-{key}"
         )
@@ -335,6 +381,8 @@ class TuningService:
         workers: Optional[int] = 1,
         store: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
+        keep_alive: bool = False,
+        fastlane: bool = True,
     ) -> None:
         if apps is None:
             from repro.apps import all_applications
@@ -344,10 +392,16 @@ class TuningService:
         self.workers = workers
         self.store = store
         self.checkpoint_dir = checkpoint_dir
+        self.keep_alive = keep_alive
+        #: probe the resident memo before dispatching to the executor;
+        #: ``False`` forces every sweep down the engine path (the
+        #: bit-identity oracle in tests)
+        self.fastlane = fastlane
         self.jobs = JobTable()
         self.inflight = InflightRegistry()
         self.runtimes: Dict[str, AppRuntime] = {}
         self.counters = global_counters("service")
+        self.decoded = DecodedCache()
         self._server: Optional[asyncio.base_events.Server] = None
         self._tasks: set = set()
 
@@ -370,7 +424,10 @@ class TuningService:
         self, host: str = "127.0.0.1", port: int = 0
     ) -> Tuple[str, int]:
         """Bind and listen; returns the (host, port) actually bound."""
-        self._server = await serve(self.router(), host=host, port=port)
+        self._server = await serve(
+            self.router(), host=host, port=port,
+            keep_alive=self.keep_alive, counters=self.counters,
+        )
         bound = self._server.sockets[0].getsockname()
         return bound[0], bound[1]
 
@@ -399,6 +456,7 @@ class TuningService:
                 workers=self.workers,
                 store=self.store,
                 checkpoint_dir=self.checkpoint_dir,
+                decoded=self.decoded,
             )
             self.runtimes[request.runtime_key] = runtime
         return runtime
@@ -475,6 +533,7 @@ class TuningService:
             "service": self.counters.as_dict(),
             "jobs": self.jobs.count_by_state(),
             "inflight_keys": len(self.inflight),
+            "decoded_cache": self.decoded.counters(),
             "runtimes": runtimes,
         })
 
@@ -489,36 +548,75 @@ class TuningService:
 
     async def _run_job(self, job: SweepJob, sweep: SweepRequest) -> None:
         loop = asyncio.get_running_loop()
-        # Collapse duplicate configurations before claiming: a repeated
-        # config must dedupe against *other* sweeps, never against this
-        # job's own claim (which would deadlock it in QUEUED forever).
-        keys = list(dict.fromkeys(
-            (sweep.runtime_key, config_key(config))
-            for config in sweep.configs
-        ))
-        owned, waiting = self.inflight.claim(keys)
+        runtime = self._runtime_for(sweep)
+        # The fast-lane probe: can the resident memo answer (part of)
+        # this sweep without the executor?  Read-only peeks — a racing
+        # executor thread can only turn a miss into a hit, and a probe
+        # miss just means the classic path runs.
+        probe = (
+            self._probe_memo(runtime.engine, sweep)
+            if self.fastlane else None
+        )
+        owned: List[Tuple[str, str]] = []
         try:
-            if waiting:
-                # Another sweep is computing these configurations right
-                # now; await its completion instead of re-simulating.
-                job.dedupe_hits = len(waiting)
-                self.counters.incr("dedupe_hits", len(waiting))
-                await self._await_inflight(job, waiting)
-            if job.cancel_event.is_set():
-                raise SweepCancelled(job.id)
-            runtime = self._runtime_for(sweep)
-            job.state = RUNNING
-            job.started = time.time()
+            if probe is not None:
+                entries, selected, missing = probe
+                if missing:
+                    # Claim only the misses: the warm portion is final
+                    # memo state, invisible to other sweeps' claims.
+                    missing_keys = list(dict.fromkeys(
+                        (sweep.runtime_key, config_key(config))
+                        for config in missing
+                    ))
+                    owned, waiting = self.inflight.claim(missing_keys)
+                    if waiting:
+                        job.dedupe_hits = len(waiting)
+                        self.counters.incr("dedupe_hits", len(waiting))
+                        await self._await_inflight(job, waiting)
+                    if job.cancel_event.is_set():
+                        raise SweepCancelled(job.id)
+                    # The owning sweep may have measured some of our
+                    # misses while we waited.
+                    missing = [
+                        config for config in missing
+                        if runtime.engine.peek_seconds(config) is None
+                    ]
+                job.result = await self._serve_fastlane(
+                    job, sweep, runtime, entries, selected, missing
+                )
+            else:
+                # Collapse duplicate configurations before claiming: a
+                # repeated config must dedupe against *other* sweeps,
+                # never against this job's own claim (which would
+                # deadlock it in QUEUED forever).
+                keys = list(dict.fromkeys(
+                    (sweep.runtime_key, config_key(config))
+                    for config in sweep.configs
+                ))
+                owned, waiting = self.inflight.claim(keys)
+                if waiting:
+                    # Another sweep is computing these configurations
+                    # right now; await its completion instead of
+                    # re-simulating.
+                    job.dedupe_hits = len(waiting)
+                    self.counters.incr("dedupe_hits", len(waiting))
+                    await self._await_inflight(job, waiting)
+                if job.cancel_event.is_set():
+                    raise SweepCancelled(job.id)
+                job.state = RUNNING
+                job.started = time.time()
+                job.lane = "engine"
 
-            def progress(done: int, total: int) -> None:
-                job.timed_done = done
-                job.timed_total = total
+                def progress(done: int, total: int) -> None:
+                    job.timed_done = done
+                    job.timed_total = total
 
-            job.result = await loop.run_in_executor(
-                runtime.executor,
-                self._execute_on_engine,
-                runtime.engine, sweep, job, progress,
-            )
+                self.counters.incr("executor_dispatches")
+                job.result = await loop.run_in_executor(
+                    runtime.executor,
+                    self._execute_on_engine,
+                    runtime.engine, sweep, job, progress,
+                )
             job.state = DONE
             self.counters.incr("sweeps_completed")
         except SweepCancelled:
@@ -568,6 +666,151 @@ class TuningService:
                     await gather
                 except asyncio.CancelledError:
                     pass
+
+    # ------------------------------------------------------------------
+    # The warm-path fast lane.
+
+    @staticmethod
+    def _probe_memo(
+        engine: ExecutionEngine, sweep: SweepRequest
+    ) -> Optional[Tuple[List[EvaluatedConfig], List[EvaluatedConfig],
+                        List[Configuration]]]:
+        """Rebuild the sweep's evaluation and selection from the memo.
+
+        Pure reads — no evaluation, no counters.  Returns ``(entries,
+        selected, missing)`` where ``missing`` lists selected configs
+        without a memoized measurement, or ``None`` when any static
+        entry is absent (the classic engine path must run).
+        """
+        entries: List[EvaluatedConfig] = []
+        for config in sweep.configs:
+            cached = engine.peek_static(config)
+            if cached is None:
+                return None
+            metrics, reason = cached
+            entries.append(EvaluatedConfig(
+                config=config, metrics=metrics, invalid_reason=reason,
+            ))
+        selected = select_timed(
+            sweep.strategy, entries, **sweep.select_kwargs
+        )
+        missing = [
+            entry.config for entry in selected
+            if engine.peek_seconds(entry.config) is None
+        ]
+        return entries, selected, missing
+
+    async def _serve_fastlane(
+        self,
+        job: SweepJob,
+        sweep: SweepRequest,
+        runtime: AppRuntime,
+        entries: List[EvaluatedConfig],
+        selected: List[EvaluatedConfig],
+        missing: List[Configuration],
+    ) -> Dict[str, Any]:
+        """Answer a (partially) warm sweep on the event loop.
+
+        Misses — if any — go to the runtime executor first (miss-only,
+        chunked, cancellable); the warm portion is then served right
+        here in cancellable chunks with an ``await`` per chunk, so
+        concurrent warm sweeps interleave even on one runtime.  The
+        payload is bit-identical to :func:`run_sweep`: same
+        ``select_timed`` selection, same sequential seconds sum.
+        """
+        engine = runtime.engine
+        job.state = RUNNING
+        job.started = time.time()
+        job.lane = "fastlane-partial" if missing else "fastlane"
+        job.timed_total = len(selected)
+        engine_delta: Optional[Dict[str, Any]] = None
+        if missing:
+            self.counters.incr("executor_dispatches")
+            engine_delta = await asyncio.get_running_loop().run_in_executor(
+                runtime.executor,
+                self._measure_missing,
+                engine, sweep, job, missing,
+            )
+        for start in range(0, len(selected), sweep.chunk_size):
+            if job.cancel_event.is_set():
+                raise SweepCancelled(job.id)
+            chunk = selected[start:start + sweep.chunk_size]
+            for entry in chunk:
+                entry.seconds = engine.peek_seconds(entry.config)
+            job.timed_done = max(
+                job.timed_done, min(start + len(chunk), len(selected))
+            )
+            # The chunk boundary: lets other tasks (including a cancel
+            # request) run between chunks of a large warm sweep.
+            await asyncio.sleep(0)
+        total = 0.0
+        for entry in selected:
+            total += entry.seconds
+        result = SearchResult(
+            strategy=sweep.strategy,
+            evaluated=entries,
+            timed=selected,
+            best=best_entry(selected, sweep.strategy),
+            measured_seconds=total,
+            requested_sample_size=sweep.requested_sample_size,
+        )
+        job.stats_delta = self._fastlane_delta(
+            engine, entries, selected, missing, engine_delta
+        )
+        self.counters.incr("fastlane_configs",
+                           len(selected) - len(missing))
+        self.counters.incr(
+            "fastlane_partial" if missing else "fastlane_sweeps"
+        )
+        return search_result_payload(result)
+
+    @staticmethod
+    def _measure_missing(
+        engine: ExecutionEngine,
+        sweep: SweepRequest,
+        job: SweepJob,
+        missing: List[Configuration],
+    ) -> Dict[str, Any]:
+        """Runs on the runtime's worker thread: measure only the
+        misses of a partially-warm sweep, chunked and cancellable."""
+        before = engine.begin_request()
+        done = 0
+        for start in range(0, len(missing), sweep.chunk_size):
+            if job.cancel_event.is_set():
+                raise SweepCancelled(job.id)
+            chunk = missing[start:start + sweep.chunk_size]
+            engine.seconds_for(chunk)
+            done += len(chunk)
+            job.timed_done = done
+        return engine.stats.delta_since(before)
+
+    @staticmethod
+    def _fastlane_delta(
+        engine: ExecutionEngine,
+        entries: List[EvaluatedConfig],
+        selected: List[EvaluatedConfig],
+        missing: List[Configuration],
+        engine_delta: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """The per-sweep stats delta a fast-lane job reports.
+
+        Built from the miss-portion's real engine delta (or a zeroed
+        one for fully-warm sweeps — never from the live stats object,
+        which another sweep's executor thread may be mutating) plus
+        the cache traffic the classic path would have counted: one
+        static cache hit per entry, one simulation cache hit per
+        memo-served measurement.
+        """
+        if engine_delta is None:
+            delta = _zero_delta(engine.stats.workers)
+        else:
+            delta = dict(engine_delta)
+        delta["static_cache_hits"] += len(entries)
+        delta["simulation_cache_hits"] += len(selected) - len(missing)
+        delta["cache_hits"] = (
+            delta["static_cache_hits"] + delta["simulation_cache_hits"]
+        )
+        return delta
 
     def _execute_on_engine(
         self,

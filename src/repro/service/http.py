@@ -2,9 +2,17 @@
 
 The daemon needs exactly enough HTTP to speak JSON over a socket:
 request-line + header parsing with hard limits, ``Content-Length``
-bodies, ``{param}`` path routing, and ``Connection: close`` framing
-(one request per connection — a tuning sweep takes seconds to minutes,
-so keep-alive would buy nothing and cost connection-state bookkeeping).
+bodies, ``{param}`` path routing, and explicit connection framing.
+``Connection: close`` (one request per connection) stays the default —
+a tuning sweep takes seconds to minutes, so its submit costs nothing —
+but a *polling* client hammers ``/sweeps/{id}`` every 200ms, and for
+that :func:`serve` accepts ``keep_alive=True``: bounded requests per
+connection (``max_requests``), correct ``Content-Length`` framing on
+every response, per-request enforcement of all the parse limits, and
+an immediate close after any framing error (the stream position can no
+longer be trusted) or unhandled exception.  Handler-level
+:class:`HTTPError` replies (404/405/validation 400s) keep the
+connection open — the framing is intact, only the request was wrong.
 Anything fancier (chunked encoding, pipelining, TLS) is deliberately
 out of scope; put a real proxy in front if you need it.
 """
@@ -21,6 +29,7 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "DEFAULT_KEEPALIVE_REQUESTS",
     "HTTPError",
     "Request",
     "Response",
@@ -34,6 +43,9 @@ MAX_LINE_BYTES = 8192
 MAX_HEADER_COUNT = 100
 #: default request-body bound; sweep submissions are small JSON
 MAX_BODY_BYTES = 8 * 1024 * 1024
+#: with ``keep_alive``, how many requests one connection may carry
+#: before the server closes it (bounds per-connection state lifetime)
+DEFAULT_KEEPALIVE_REQUESTS = 100
 
 _REASONS = {
     200: "OK",
@@ -76,6 +88,10 @@ class Request:
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise HTTPError(400, f"request body is not valid JSON: {error}")
 
+    def wants_close(self) -> bool:
+        """Whether the client asked for ``Connection: close``."""
+        return self.headers.get("connection", "").lower() == "close"
+
 
 @dataclasses.dataclass
 class Response:
@@ -85,13 +101,14 @@ class Response:
     body: bytes = b""
     content_type: str = "application/json"
 
-    def encode(self) -> bytes:
+    def encode(self, close: bool = True) -> bytes:
+        connection = "close" if close else "keep-alive"
         reason = _REASONS.get(self.status, "Unknown")
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(self.body)}\r\n"
-            f"Connection: close\r\n"
+            f"Connection: {connection}\r\n"
             "\r\n"
         )
         return head.encode("ascii") + self.body
@@ -216,24 +233,66 @@ async def _handle_connection(
     router: Router,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    keep_alive: bool = False,
+    max_requests: int = DEFAULT_KEEPALIVE_REQUESTS,
+    counters=None,
 ) -> None:
-    response: Optional[Response] = None
+    """Serve one connection: a single request, or (with ``keep_alive``)
+    up to ``max_requests`` back-to-back requests.
+
+    Every request re-runs the full parse-limit machinery.  The
+    connection closes on: clean EOF, the request budget, a client
+    ``Connection: close``, any framing error (the stream position is
+    untrusted after a parse failure — reply, then close), or an
+    unhandled handler exception.  Handler-raised :class:`HTTPError`
+    responses leave the stream intact, so the connection stays open.
+    """
+    served = 0
     try:
-        try:
-            request = await read_request(reader)
-            if request is None:
+        while True:
+            close_after = True
+            response: Optional[Response] = None
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                served += 1
+                if counters is not None and keep_alive:
+                    if served == 1:
+                        counters.incr("keepalive_connections")
+                    else:
+                        counters.incr("keepalive_reuses")
+                close_after = (
+                    not keep_alive
+                    or served >= max_requests
+                    or request.wants_close()
+                )
+                try:
+                    handler, params = router.resolve(
+                        request.method, request.path
+                    )
+                    response = await handler(request, **params)
+                except HTTPError as error:
+                    # The request framed fine; only its content was
+                    # wrong.  The stream is intact.
+                    response = json_response(
+                        {"error": error.message}, error.status
+                    )
+            except HTTPError as error:
+                # Framing failure: the reply still goes out, but the
+                # connection cannot be reused.
+                response = json_response({"error": error.message}, error.status)
+                close_after = True
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                logger.exception("unhandled error serving a request")
+                response = json_response({"error": "internal server error"}, 500)
+                close_after = True
+            writer.write(response.encode(close=close_after))
+            await writer.drain()
+            if close_after:
                 return
-            handler, params = router.resolve(request.method, request.path)
-            response = await handler(request, **params)
-        except HTTPError as error:
-            response = json_response({"error": error.message}, error.status)
-        except asyncio.CancelledError:
-            raise
-        except Exception:
-            logger.exception("unhandled error serving a request")
-            response = json_response({"error": "internal server error"}, 500)
-        writer.write(response.encode())
-        await writer.drain()
     except (ConnectionError, asyncio.CancelledError):
         pass
     finally:
@@ -245,11 +304,27 @@ async def _handle_connection(
 
 
 async def serve(
-    router: Router, host: str = "127.0.0.1", port: int = 0
+    router: Router,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    keep_alive: bool = False,
+    max_requests: int = DEFAULT_KEEPALIVE_REQUESTS,
+    counters=None,
 ) -> asyncio.base_events.Server:
-    """Start listening; returns the server (caller owns its lifetime)."""
+    """Start listening; returns the server (caller owns its lifetime).
+
+    ``keep_alive=False`` (the default) keeps the original one-request-
+    per-connection behaviour.  ``counters`` may be a
+    :class:`repro.obs.metrics.Counters` receiving
+    ``keepalive_connections`` / ``keepalive_reuses``.
+    """
 
     async def on_connect(reader, writer):
-        await _handle_connection(router, reader, writer)
+        await _handle_connection(
+            router, reader, writer,
+            keep_alive=keep_alive,
+            max_requests=max_requests,
+            counters=counters,
+        )
 
     return await asyncio.start_server(on_connect, host=host, port=port)

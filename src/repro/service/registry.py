@@ -68,6 +68,10 @@ class SweepJob:
     timed_total: int = 0             # configurations the strategy selected
     timed_done: int = 0              # measured so far (streams per chunk)
     dedupe_hits: int = 0             # keys served by awaiting another sweep
+    #: which path served this sweep: "engine" (executor dispatch),
+    #: "fastlane" (fully warm, answered on the event loop), or
+    #: "fastlane-partial" (hits on the loop, misses on the engine)
+    lane: Optional[str] = None
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
     stats_delta: Optional[Dict[str, Any]] = None
@@ -102,6 +106,8 @@ class SweepJob:
             "timed_done": self.timed_done,
             "dedupe_hits": self.dedupe_hits,
         }
+        if self.lane is not None:
+            payload["lane"] = self.lane
         if self.error is not None:
             payload["error"] = self.error
         if self.stats_delta is not None:

@@ -241,6 +241,8 @@ class SimulationCache:
         ("store_misses", "misses"),
         ("store_evictions", "evictions"),
         ("store_corrupt", "corrupt"),
+        ("store_bulk_reads", "bulk_reads"),
+        ("store_bytes_verified", "bytes_verified"),
     )
 
     def __init__(self, store: Optional["ResultStore"] = None) -> None:
@@ -259,6 +261,11 @@ class SimulationCache:
         self._store_write_back = True
         self._store_backlog: List["StoreEntry"] = []
         self._store_seen: set = set()
+        #: optional daemon-wide :class:`repro.store.DecodedCache`
+        #: probed before the store on read-through, so repeated reads
+        #: of one fingerprint never re-hash or re-unpickle — shared
+        #: across every runtime of a service process.
+        self._decoded = None
         if store is not None:
             self.attach_store(store)
 
@@ -287,19 +294,37 @@ class SimulationCache:
     def set_store_write_back(self, write_back: bool) -> None:
         self._store_write_back = bool(write_back)
 
+    def set_decoded_cache(self, cache) -> None:
+        """Share a :class:`repro.store.DecodedCache` with this cache.
+
+        Probed before the store on every read-through and populated on
+        every store hit or write, so sibling runtimes reading the same
+        fingerprints skip the open/sha256/unpickle entirely.
+        """
+        self._decoded = cache
+
     def _store_load(self, tier: str, key) -> Optional[Any]:
         if self._store is None:
             return None
+        if self._decoded is not None:
+            found = self._decoded.get(tier, key)
+            if found is not None:
+                self._store_seen.add((tier, key))
+                return found
         found = self._store.load(tier, key)
         if found is not None:
             # Loaded entries never need re-persisting from this process.
             self._store_seen.add((tier, key))
+            if self._decoded is not None:
+                self._decoded.put(tier, key, found)
         return found
 
     def _store_put(self, tier: str, key, obj: Any) -> None:
         """Persist (or backlog) one freshly produced artifact, once."""
         if self._store is None:
             return
+        if self._decoded is not None:
+            self._decoded.put(tier, key, obj)
         marker = (tier, key)
         if marker in self._store_seen:
             return
@@ -361,6 +386,38 @@ class SimulationCache:
             target.store("compile", fingerprint, obj)
             written += 1
         return written
+
+    def preload_from_store(self) -> int:
+        """Bulk-rehydrate the in-memory tiers from the attached store.
+
+        One :meth:`~repro.store.ResultStore.list_keys` +
+        :meth:`~repro.store.ResultStore.load_many` pass per tier, so a
+        warm process pays the per-entry open/verify/unpickle cost up
+        front (amortized, one timestamp per tier) instead of inside
+        its sweep.  Entries land exactly like read-through hits: into
+        the memory tiers without touching the work counters, marked
+        seen so they are never re-persisted, and mirrored into the
+        decoded cache when one is attached.  Returns the number of
+        entries loaded.
+        """
+        if self._store is None:
+            raise ValueError("no result store attached")
+        tiers = (
+            ("resources", self._resources),
+            ("trace", self._traces),
+            ("sm", self._sm),
+            ("compile", self._compile),
+        )
+        loaded = 0
+        for tier, memory in tiers:
+            found = self._store.load_many(tier, self._store.list_keys(tier))
+            for key, obj in found.items():
+                memory.setdefault(key, obj)
+                self._store_seen.add((tier, key))
+                if self._decoded is not None:
+                    self._decoded.put(tier, key, obj)
+                loaded += 1
+        return loaded
 
     # -- resources -------------------------------------------------------
 

@@ -1,12 +1,14 @@
 """Persistent, content-addressed result store (the durable cache tier).
 
 See :mod:`repro.store.disk` for the store itself,
+:mod:`repro.store.decoded` for the daemon-wide decoded-entry cache,
 :mod:`repro.store.atomic` for the shared atomic-write helpers (also
 used by engine checkpoints), and docs/persistent_store.md for the
 schema, locking, eviction, and corruption contracts.
 """
 
 from repro.store.atomic import atomic_write_bytes, atomic_write_text, current_umask
+from repro.store.decoded import DecodedCache
 from repro.store.disk import (
     COMPILE_TIER,
     RESOURCES_TIER,
@@ -15,21 +17,26 @@ from repro.store.disk import (
     SM_TIER,
     STORE_ENV,
     STORE_MAX_MB_ENV,
+    STORE_VERIFY_ENV,
     TIERS,
     TRACE_TIER,
+    VERIFY_POLICIES,
     resolve_store,
 )
 
 __all__ = [
     "COMPILE_TIER",
+    "DecodedCache",
     "RESOURCES_TIER",
     "ResultStore",
     "SCHEMA_VERSION",
     "SM_TIER",
     "STORE_ENV",
     "STORE_MAX_MB_ENV",
+    "STORE_VERIFY_ENV",
     "TIERS",
     "TRACE_TIER",
+    "VERIFY_POLICIES",
     "atomic_write_bytes",
     "atomic_write_text",
     "current_umask",

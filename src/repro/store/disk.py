@@ -56,10 +56,22 @@ Contracts (mirroring the PR 5 checkpoint-recovery contract):
   unlinked is dropped from the index without raising and without
   inflating this store's ``evictions`` count.
 
-Counters (``hits`` / ``misses`` / ``evictions`` / ``corrupt``) are
-plain attributes; :class:`~repro.sim.fingerprint.SimulationCache`
-surfaces them as ``store_*`` telemetry through the usual
-counter-delta plumbing, so totals stay exact under any worker count.
+Counters (``hits`` / ``misses`` / ``evictions`` / ``corrupt`` /
+``bulk_reads`` / ``bytes_verified``) are plain attributes;
+:class:`~repro.sim.fingerprint.SimulationCache` surfaces them as
+``store_*`` telemetry through the usual counter-delta plumbing, so
+totals stay exact under any worker count.
+
+Read verification is a policy (``verify=``): ``"always"`` (the
+default — every read hashes its payload, the original behaviour),
+``"open"`` (hash only the first read of each entry file per instance),
+or ``"sampled"`` (first read plus a deterministic 1-in-N of repeat
+reads).  Under *every* policy the first read of a path is fully
+verified, and a ``store()`` through this instance re-arms verification
+for the replaced path — so the corruption matrix holds unchanged; the
+relaxed policies only skip re-hashing payloads this instance has
+already proven.  ``bytes_verified`` counts the bytes actually hashed,
+making the sha256-per-read cost visible in telemetry.
 """
 
 from __future__ import annotations
@@ -97,6 +109,18 @@ TIERS = (RESOURCES_TIER, TRACE_TIER, SM_TIER, COMPILE_TIER)
 STORE_ENV = "REPRO_STORE"
 #: optional size bound for the store, in mebibytes
 STORE_MAX_MB_ENV = "REPRO_STORE_MAX_MB"
+#: optional read-verification policy override
+STORE_VERIFY_ENV = "REPRO_STORE_VERIFY"
+
+#: read-verification policies: hash every read / only the first read
+#: of each entry file / first read plus a deterministic 1-in-N sample
+VERIFY_ALWAYS = "always"
+VERIFY_OPEN = "open"
+VERIFY_SAMPLED = "sampled"
+VERIFY_POLICIES = (VERIFY_ALWAYS, VERIFY_OPEN, VERIFY_SAMPLED)
+
+#: under ``verify="sampled"``, re-hash one in this many repeat reads
+_VERIFY_SAMPLE_INTERVAL = 16
 
 #: a store key: the fingerprint, or (fingerprint, blocks_sampled)
 StoreKey = Union[str, Tuple[str, int]]
@@ -126,15 +150,34 @@ class ResultStore:
     same directory.
     """
 
-    def __init__(self, path: str, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_bytes: Optional[int] = None,
+        verify: str = VERIFY_ALWAYS,
+    ) -> None:
         self.path = os.path.abspath(path)
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive or None, got {max_bytes}")
+        if verify not in VERIFY_POLICIES:
+            raise ValueError(
+                f"verify must be one of {VERIFY_POLICIES}, got {verify!r}"
+            )
         self.max_bytes = max_bytes
+        self.verify = verify
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.corrupt = 0
+        self.bulk_reads = 0
+        self.bytes_verified = 0
+        #: entry paths whose payload digest this instance has already
+        #: checked; a local ``store()`` (or corruption cleanup) re-arms
+        #: verification by discarding the path.  Only consulted by the
+        #: relaxed policies — ``"always"`` never skips the hash.
+        self._verified_paths: set = set()
+        self.verify_sample_interval = _VERIFY_SAMPLE_INTERVAL
+        self._reads_since_sample = 0
         self._lock = FileLock(os.path.join(self.path, _LOCK_FILE))
         #: size accounting for the eviction bound: ``path -> (mtime,
         #: size)`` plus a running byte total.  ``None`` when the store
@@ -215,7 +258,26 @@ class ResultStore:
         header = f"{MAGIC} {SCHEMA_VERSION} {tier} {digest} {len(payload)}\n"
         return header.encode("ascii") + payload
 
-    def _decode(self, blob: bytes, tier: str, path: str) -> Optional[Any]:
+    def _should_verify(self, path: str) -> bool:
+        """Whether this read hashes its payload, per the verify policy.
+
+        The first read of any path is always verified regardless of
+        policy — the relaxed modes only skip re-proving payloads this
+        instance has already checked.
+        """
+        if self.verify == VERIFY_ALWAYS or path not in self._verified_paths:
+            return True
+        if self.verify == VERIFY_OPEN:
+            return False
+        self._reads_since_sample += 1
+        if self._reads_since_sample >= self.verify_sample_interval:
+            self._reads_since_sample = 0
+            return True
+        return False
+
+    def _decode(
+        self, blob: bytes, tier: str, path: str, check_digest: bool = True
+    ) -> Optional[Any]:
         """Payload object, or ``None`` after counting + logging corruption."""
         newline = blob.find(b"\n")
         reason = None
@@ -236,15 +298,26 @@ class ResultStore:
                     length = int(fields[4])
                 except ValueError:
                     length = -1
+                digest_ok = True
+                if length == len(payload) and check_digest:
+                    self.bytes_verified += len(payload)
+                    digest_ok = (
+                        hashlib.sha256(payload).hexdigest().encode("ascii")
+                        == fields[3]
+                    )
                 if length != len(payload):
                     reason = f"truncated payload ({len(payload)} of {length} bytes)"
-                elif hashlib.sha256(payload).hexdigest().encode("ascii") != fields[3]:
+                elif not digest_ok:
                     reason = "digest mismatch"
                 else:
                     try:
-                        return pickle.loads(payload)
+                        obj = pickle.loads(payload)
                     except Exception as error:  # noqa: BLE001 - any unpickling failure
                         reason = f"undecodable payload: {type(error).__name__}: {error}"
+                    else:
+                        if check_digest:
+                            self._verified_paths.add(path)
+                        return obj
         self.corrupt += 1
         logger.warning(
             "store %r: dropping corrupt entry %r (%s); it will be "
@@ -255,6 +328,7 @@ class ResultStore:
         except OSError:
             pass
         self._forget_entry(path)
+        self._verified_paths.discard(path)
         return None
 
     # ------------------------------------------------------------------
@@ -262,6 +336,11 @@ class ResultStore:
 
     def load(self, tier: str, key: StoreKey) -> Optional[Any]:
         """Read one artifact; ``None`` on miss or (counted) corruption."""
+        return self._load_one(tier, key)
+
+    def _load_one(
+        self, tier: str, key: StoreKey, now: Optional[float] = None
+    ) -> Optional[Any]:
         path = self._entry_path(tier, key)
         try:
             with open(path, "rb") as handle:
@@ -274,12 +353,14 @@ class ResultStore:
             logger.warning("store %r: unreadable entry %r (%s)",
                            self.path, path, error)
             return None
-        obj = self._decode(blob, tier, path)
+        obj = self._decode(blob, tier, path,
+                           check_digest=self._should_verify(path))
         if obj is None:
             self.misses += 1
             return None
         self.hits += 1
-        now = time.time()
+        if now is None:
+            now = time.time()
         try:
             # LRU recency: a hit makes the entry young.  Explicit
             # timestamps keep the in-memory index bit-equal to the
@@ -291,6 +372,55 @@ class ResultStore:
             if self._index is not None and path in self._index:
                 self._index[path] = (now, self._index[path][1])
         return obj
+
+    def load_many(
+        self, tier: str, keys: Iterable[StoreKey]
+    ) -> Dict[StoreKey, Any]:
+        """Bulk read: ``{key: artifact}`` for every key found.
+
+        One amortized pass over the batch — a single timestamp covers
+        every LRU recency refresh and the whole call counts one
+        ``bulk_reads`` — while per-key hit/miss/corruption accounting
+        stays identical to :meth:`load`.  Missing or corrupt entries
+        are simply absent from the result (corruption is still warned
+        about, counted, and cleaned up per entry).
+        """
+        self.bulk_reads += 1
+        now = time.time()
+        found: Dict[StoreKey, Any] = {}
+        for key in keys:
+            obj = self._load_one(tier, key, now)
+            if obj is not None:
+                found[key] = obj
+        return found
+
+    def list_keys(self, tier: str) -> List[StoreKey]:
+        """Every key currently present in ``tier``, sorted.
+
+        The inverse of :meth:`_entry_path`: ``sm`` names decode back to
+        ``(fingerprint, blocks_sampled)`` tuples, other tiers to the
+        fingerprint string.  Files another build left behind that do
+        not parse as entry names are skipped — they would be dropped as
+        corrupt on read anyway.
+        """
+        if tier not in TIERS:
+            raise ValueError(f"unknown store tier {tier!r}")
+        keys: List[StoreKey] = []
+        root = os.path.join(self.path, tier)
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in filenames:
+                if not filename.endswith(_ENTRY_SUFFIX):
+                    continue
+                name = filename[:-len(_ENTRY_SUFFIX)]
+                if tier == SM_TIER:
+                    fingerprint, _, blocks = name.rpartition("-")
+                    try:
+                        keys.append((fingerprint, int(blocks)))
+                    except ValueError:
+                        continue
+                else:
+                    keys.append(name)
+        return sorted(keys)
 
     def store(self, tier: str, key: StoreKey, obj: Any) -> None:
         """Persist one artifact atomically (then enforce the size bound).
@@ -307,6 +437,9 @@ class ResultStore:
         blob = self._encode(tier, obj)
         path = self._entry_path(tier, key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        # The path's content is about to change: re-arm verification so
+        # the relaxed policies hash the replacement on its first read.
+        self._verified_paths.discard(path)
         with self._lock:
             if self.max_bytes is None:
                 atomic_write_bytes(path, blob)
@@ -454,6 +587,8 @@ class ResultStore:
             "store_misses": self.misses,
             "store_evictions": self.evictions,
             "store_corrupt": self.corrupt,
+            "store_bulk_reads": self.bulk_reads,
+            "store_bytes_verified": self.bytes_verified,
         }
 
     def __repr__(self) -> str:
@@ -467,9 +602,10 @@ def resolve_store(
     """Normalize a store argument: instance, directory path, or ``None``.
 
     ``None`` defers to ``REPRO_STORE`` (empty/unset disables the
-    store).  The size bound comes from ``REPRO_STORE_MAX_MB``; a
-    malformed value raises :class:`ValueError` naming the variable —
-    the same actionable-diagnostics contract as ``resolve_workers``.
+    store).  The size bound comes from ``REPRO_STORE_MAX_MB`` and the
+    read-verification policy from ``REPRO_STORE_VERIFY``; a malformed
+    value raises :class:`ValueError` naming the variable — the same
+    actionable-diagnostics contract as ``resolve_workers``.
     """
     if isinstance(store, ResultStore):
         return store
@@ -494,7 +630,17 @@ def resolve_store(
                 "(unset it to disable eviction)"
             )
         max_bytes = int(megabytes * 1024 * 1024)
-    return ResultStore(str(store), max_bytes=max_bytes)
+    verify = environ.get(STORE_VERIFY_ENV)
+    if verify is not None and verify.strip():
+        verify = verify.strip()
+        if verify not in VERIFY_POLICIES:
+            raise ValueError(
+                f"{STORE_VERIFY_ENV}={verify!r} is not a verification "
+                f"policy (expected one of {', '.join(VERIFY_POLICIES)})"
+            )
+    else:
+        verify = VERIFY_ALWAYS
+    return ResultStore(str(store), max_bytes=max_bytes, verify=verify)
 
 
 __all__ = [
@@ -506,7 +652,9 @@ __all__ = [
     "SM_TIER",
     "STORE_ENV",
     "STORE_MAX_MB_ENV",
+    "STORE_VERIFY_ENV",
     "TIERS",
     "TRACE_TIER",
+    "VERIFY_POLICIES",
     "resolve_store",
 ]

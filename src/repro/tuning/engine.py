@@ -165,6 +165,8 @@ class EngineStats:
     store_misses: int = 0                # disk lookups that fell through
     store_evictions: int = 0             # entries dropped by the LRU bound
     store_corrupt: int = 0               # damaged entries dropped on read
+    store_bulk_reads: int = 0            # amortized load_many batches
+    store_bytes_verified: int = 0        # payload bytes sha256-checked on read
 
     @property
     def cache_hits(self) -> int:
@@ -555,6 +557,20 @@ class ExecutionEngine:
 
             abandoned = scheduler.run(STATIC, configs, record)
         self._after_pool_batch(scheduler, abandoned, stage="static")
+
+    # ------------------------------------------------------------------
+    # Memo peeks (the service fast lane's read-only view).
+
+    def peek_static(self, config: Configuration) -> Optional[StaticEntry]:
+        """The memoized static entry, or ``None`` — no evaluation, no
+        counters.  A plain dict read (GIL-atomic), safe to call from
+        the event loop while the executor thread owns the engine."""
+        return self._static.get(config)
+
+    def peek_seconds(self, config: Configuration) -> Optional[float]:
+        """The memoized measured time, or ``None`` — no simulation, no
+        counters.  Same safety contract as :meth:`peek_static`."""
+        return self._seconds.get(config)
 
     # ------------------------------------------------------------------
     # Measurement stage.

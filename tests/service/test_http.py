@@ -159,3 +159,213 @@ def test_router_resolve_raises_typed_errors():
     handler, params = router.resolve("POST", "/things/x%20y")
     assert params == {"name": "x y"}
     assert handler is not None
+
+
+# ----------------------------------------------------------------------
+# Keep-alive framing.
+
+
+async def _read_framed_response(reader):
+    """Parse one Content-Length-framed response off an open stream."""
+    head = (await reader.readuntil(b"\r\n\r\n")).decode("latin-1")
+    status = int(head.split()[1])
+    headers = {}
+    for line in head.split("\r\n")[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, json.loads(body) if body else None
+
+
+def run_keepalive(scenario, **serve_kwargs):
+    """Run ``scenario(port)`` against a keep-alive server."""
+
+    async def main():
+        server = await serve(build_router(), port=0, keep_alive=True,
+                             **serve_kwargs)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await scenario(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(main())
+
+
+def test_keepalive_back_to_back_requests():
+    from repro.obs.metrics import Counters
+
+    counters = Counters()
+
+    async def scenario(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        results = []
+        for _ in range(3):
+            writer.write(b"GET /?n=1 HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            results.append(await _read_framed_response(reader))
+        writer.close()
+        await writer.wait_closed()
+        return results
+
+    results = run_keepalive(scenario, counters=counters)
+    for status, headers, body in results:
+        assert status == 200
+        assert headers["connection"] == "keep-alive"
+        assert body["query"] == {"n": "1"}
+    assert counters.as_dict() == {
+        "keepalive_connections": 1, "keepalive_reuses": 2,
+    }
+
+
+def test_keepalive_request_budget_closes_connection():
+    async def scenario(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        responses = []
+        for _ in range(2):
+            writer.write(b"GET / HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            responses.append(await _read_framed_response(reader))
+        trailing = await reader.read()  # budget reached: server closed
+        writer.close()
+        await writer.wait_closed()
+        return responses, trailing
+
+    responses, trailing = run_keepalive(scenario, max_requests=2)
+    assert responses[0][1]["connection"] == "keep-alive"
+    assert responses[1][1]["connection"] == "close"
+    assert trailing == b""
+
+
+def test_keepalive_honours_client_connection_close():
+    async def scenario(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        await writer.drain()
+        response = await _read_framed_response(reader)
+        trailing = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return response, trailing
+
+    (status, headers, _body), trailing = run_keepalive(scenario)
+    assert status == 200
+    assert headers["connection"] == "close"
+    assert trailing == b""
+
+
+def test_keepalive_handler_error_keeps_connection_open():
+    """A 404 is a content problem, not a framing problem: the same
+    connection must serve the next request."""
+
+    async def scenario(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"GET /nope HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        first = await _read_framed_response(reader)
+        writer.write(b"GET / HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        second = await _read_framed_response(reader)
+        writer.close()
+        await writer.wait_closed()
+        return first, second
+
+    first, second = run_keepalive(scenario)
+    assert first[0] == 404
+    assert first[1]["connection"] == "keep-alive"
+    assert second[0] == 200
+
+
+def test_keepalive_framing_error_closes_connection():
+    """After a parse failure the stream position is untrusted: reply,
+    then close, even mid keep-alive."""
+
+    async def scenario(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"GET / HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        good = await _read_framed_response(reader)
+        writer.write(b"NONSENSE\r\n\r\n")
+        await writer.drain()
+        bad = await _read_framed_response(reader)
+        trailing = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return good, bad, trailing
+
+    good, bad, trailing = run_keepalive(scenario)
+    assert good[0] == 200
+    assert bad[0] == 400
+    assert bad[1]["connection"] == "close"
+    assert trailing == b""
+
+
+def test_keepalive_mid_body_disconnect():
+    async def scenario(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"POST /things/w HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        await writer.drain()
+        writer.write_eof()
+        response = await _read_framed_response(reader)
+        trailing = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return response, trailing
+
+    (status, headers, body), trailing = run_keepalive(scenario)
+    assert status == 400
+    assert "mid-body" in body["error"]
+    assert headers["connection"] == "close"
+    assert trailing == b""
+
+
+def test_keepalive_enforces_line_limit_per_request():
+    """Parse limits apply to every request on the connection, not just
+    the first."""
+
+    async def scenario(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"GET / HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        good = await _read_framed_response(reader)
+        writer.write(b"GET /" + b"x" * 9000 + b" HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        bad = await _read_framed_response(reader)
+        trailing = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return good, bad, trailing
+
+    good, bad, trailing = run_keepalive(scenario)
+    assert good[0] == 200
+    assert bad[0] == 400
+    assert "too long" in bad[2]["error"]
+    assert trailing == b""
+
+
+def test_default_connection_close_framing_unchanged():
+    """Without keep_alive the server still closes after one request —
+    and says so in the response headers."""
+
+    async def main():
+        server = await serve(build_router(), port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET / HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            response = await _read_framed_response(reader)
+            trailing = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return response, trailing
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    (status, headers, _body), trailing = asyncio.run(main())
+    assert status == 200
+    assert headers["connection"] == "close"
+    assert trailing == b""

@@ -1,0 +1,283 @@
+"""PR 9 store surface: load_many, list_keys, verify policies, DecodedCache.
+
+The bulk-read path must account hits/misses/corruption exactly like
+per-key ``load`` (one ``bulk_reads`` tick per call is the only
+difference), ``list_keys`` must invert the entry naming (including the
+``sm`` tuple encoding), and the relaxed verification policies must
+hash the first read of every path — relaxation only ever skips
+*re-proving* payloads this instance already checked.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.store import (
+    DecodedCache,
+    ResultStore,
+    SM_TIER,
+    STORE_ENV,
+    STORE_VERIFY_ENV,
+    TRACE_TIER,
+    VERIFY_POLICIES,
+    resolve_store,
+)
+from repro.store.disk import VERIFY_ALWAYS, VERIFY_OPEN, VERIFY_SAMPLED
+
+FP = "ab" * 32
+FP2 = "cd" * 32
+FP3 = "ef" * 32
+
+
+# ----------------------------------------------------------------------
+# load_many
+
+
+def test_load_many_accounts_like_load(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.store(TRACE_TIER, FP, [1])
+    store.store(TRACE_TIER, FP2, [2])
+    found = store.load_many(TRACE_TIER, [FP, FP2, FP3])
+    assert found == {FP: [1], FP2: [2]}
+    assert (store.hits, store.misses) == (2, 1)
+    assert store.bulk_reads == 1
+    # a second batch is one more bulk read, not one per key
+    store.load_many(TRACE_TIER, [FP, FP2])
+    assert store.bulk_reads == 2
+    assert store.hits == 4
+
+
+def test_load_many_empty_batch(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    assert store.load_many(TRACE_TIER, []) == {}
+    assert store.bulk_reads == 1
+    assert (store.hits, store.misses) == (0, 0)
+
+
+def test_load_many_sm_tuple_keys(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.store(SM_TIER, (FP, 3), {"cycles": 9})
+    store.store(SM_TIER, (FP, 4), {"cycles": 11})
+    found = store.load_many(SM_TIER, [(FP, 3), (FP, 4), (FP, 5)])
+    assert found == {(FP, 3): {"cycles": 9}, (FP, 4): {"cycles": 11}}
+
+
+def test_load_many_counts_corruption_per_entry(tmp_path, caplog):
+    store = ResultStore(str(tmp_path / "store"))
+    store.store(TRACE_TIER, FP, [1])
+    store.store(TRACE_TIER, FP2, [2])
+    bad = store._entry_path(TRACE_TIER, FP2)
+    blob = bytearray(open(bad, "rb").read())
+    blob[-1] ^= 0xFF
+    with open(bad, "wb") as handle:
+        handle.write(bytes(blob))
+    found = store.load_many(TRACE_TIER, [FP, FP2])
+    assert found == {FP: [1]}
+    assert store.corrupt == 1
+    assert store.misses == 1
+    assert not os.path.exists(bad)
+
+
+# ----------------------------------------------------------------------
+# list_keys
+
+
+def test_list_keys_round_trips_every_tier(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    assert store.list_keys(TRACE_TIER) == []
+    store.store(TRACE_TIER, FP2, [2])
+    store.store(TRACE_TIER, FP, [1])
+    store.store(SM_TIER, (FP, 3), {"cycles": 9})
+    store.store(SM_TIER, (FP, 12), {"cycles": 20})
+    assert store.list_keys(TRACE_TIER) == sorted([FP, FP2])
+    assert store.list_keys(SM_TIER) == [(FP, 3), (FP, 12)]
+    # listed keys load: the full preload loop works end to end
+    assert store.load_many(SM_TIER, store.list_keys(SM_TIER)) == {
+        (FP, 3): {"cycles": 9}, (FP, 12): {"cycles": 20},
+    }
+
+
+def test_list_keys_skips_unparseable_names(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.store(SM_TIER, (FP, 3), {"cycles": 9})
+    stray = os.path.join(store.path, SM_TIER, "zz", "not-a-key-x.entry")
+    os.makedirs(os.path.dirname(stray), exist_ok=True)
+    open(stray, "w").close()
+    assert store.list_keys(SM_TIER) == [(FP, 3)]
+
+
+def test_list_keys_rejects_unknown_tier(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    with pytest.raises(ValueError, match="unknown store tier"):
+        store.list_keys("nonsense")
+
+
+# ----------------------------------------------------------------------
+# Verify policies
+
+
+def test_invalid_policy_rejected(tmp_path):
+    with pytest.raises(ValueError, match="verify must be one of"):
+        ResultStore(str(tmp_path / "store"), verify="never")
+
+
+@pytest.mark.parametrize("policy", VERIFY_POLICIES)
+def test_first_read_always_hashes(tmp_path, policy):
+    store = ResultStore(str(tmp_path / "store"), verify=policy)
+    store.store(TRACE_TIER, FP, [1, 2, 3])
+    assert store.bytes_verified == 0  # writes hash via _encode, not here
+    assert store.load(TRACE_TIER, FP) == [1, 2, 3]
+    assert store.bytes_verified > 0
+
+
+def test_open_policy_hashes_each_path_once(tmp_path):
+    store = ResultStore(str(tmp_path / "store"), verify=VERIFY_OPEN)
+    store.store(TRACE_TIER, FP, [1])
+    store.load(TRACE_TIER, FP)
+    once = store.bytes_verified
+    assert once > 0
+    for _ in range(5):
+        store.load(TRACE_TIER, FP)
+    assert store.bytes_verified == once
+    # a different path is a different first read
+    store.store(TRACE_TIER, FP2, [2])
+    store.load(TRACE_TIER, FP2)
+    assert store.bytes_verified > once
+
+
+def test_always_policy_hashes_every_read(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.store(TRACE_TIER, FP, [1])
+    store.load(TRACE_TIER, FP)
+    once = store.bytes_verified
+    store.load(TRACE_TIER, FP)
+    assert store.bytes_verified == 2 * once
+
+
+def test_sampled_policy_reverifies_one_in_n(tmp_path):
+    store = ResultStore(str(tmp_path / "store"), verify=VERIFY_SAMPLED)
+    store.verify_sample_interval = 4
+    store.store(TRACE_TIER, FP, [1])
+    store.load(TRACE_TIER, FP)  # first read: verified
+    once = store.bytes_verified
+    for _ in range(3):
+        store.load(TRACE_TIER, FP)  # repeats 1-3: skipped
+    assert store.bytes_verified == once
+    store.load(TRACE_TIER, FP)  # repeat 4: sampled
+    assert store.bytes_verified == 2 * once
+
+
+def test_store_rearms_verification(tmp_path):
+    store = ResultStore(str(tmp_path / "store"), verify=VERIFY_OPEN)
+    store.store(TRACE_TIER, FP, [1])
+    store.load(TRACE_TIER, FP)
+    once = store.bytes_verified
+    store.load(TRACE_TIER, FP)
+    assert store.bytes_verified == once  # proven, skipped
+    store.store(TRACE_TIER, FP, [1, 2])  # replacement: must re-prove
+    store.load(TRACE_TIER, FP)
+    assert store.bytes_verified > once
+
+
+def test_relaxed_policy_still_catches_truncation(tmp_path, caplog):
+    """Length/schema/tier checks never relax — only the sha256 does."""
+    store = ResultStore(str(tmp_path / "store"), verify=VERIFY_OPEN)
+    store.store(TRACE_TIER, FP, [1, 2, 3])
+    store.load(TRACE_TIER, FP)  # path now proven
+    path = store._entry_path(TRACE_TIER, FP)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[:-4])
+    assert store.load(TRACE_TIER, FP) is None
+    assert store.corrupt == 1
+
+
+# ----------------------------------------------------------------------
+# resolve_store env knob
+
+
+def test_resolve_store_reads_verify_env(tmp_path):
+    environ = {STORE_ENV: str(tmp_path / "store"),
+               STORE_VERIFY_ENV: "open"}
+    store = resolve_store(None, environ=environ)
+    assert store.verify == VERIFY_OPEN
+
+
+def test_resolve_store_defaults_to_always(tmp_path):
+    store = resolve_store(str(tmp_path / "store"), environ={})
+    assert store.verify == VERIFY_ALWAYS
+
+
+def test_resolve_store_rejects_bad_verify_value(tmp_path):
+    environ = {STORE_VERIFY_ENV: "paranoid"}
+    with pytest.raises(ValueError, match=STORE_VERIFY_ENV):
+        resolve_store(str(tmp_path / "store"), environ=environ)
+
+
+# ----------------------------------------------------------------------
+# DecodedCache
+
+
+def test_decoded_cache_hit_miss_counters():
+    cache = DecodedCache(max_entries=8)
+    assert cache.get(TRACE_TIER, FP) is None
+    cache.put(TRACE_TIER, FP, [1])
+    assert cache.get(TRACE_TIER, FP) == [1]
+    assert cache.counters() == {
+        "decoded_cache_hits": 1,
+        "decoded_cache_misses": 1,
+        "decoded_cache_evictions": 0,
+        "decoded_cache_entries": 1,
+    }
+
+
+def test_decoded_cache_keys_by_tier_and_key():
+    cache = DecodedCache()
+    cache.put(TRACE_TIER, FP, "trace")
+    cache.put(SM_TIER, (FP, 3), "sm")
+    assert cache.get(TRACE_TIER, FP) == "trace"
+    assert cache.get(SM_TIER, FP) is None  # tier is part of the key
+    assert cache.get(SM_TIER, (FP, 3)) == "sm"
+
+
+def test_decoded_cache_lru_bound_and_recency():
+    cache = DecodedCache(max_entries=2)
+    cache.put(TRACE_TIER, "a", 1)
+    cache.put(TRACE_TIER, "b", 2)
+    assert cache.get(TRACE_TIER, "a") == 1  # refresh: "b" is now oldest
+    cache.put(TRACE_TIER, "c", 3)
+    assert cache.get(TRACE_TIER, "b") is None  # evicted
+    assert cache.get(TRACE_TIER, "a") == 1
+    assert cache.get(TRACE_TIER, "c") == 3
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_decoded_cache_rejects_nonpositive_bound():
+    with pytest.raises(ValueError, match="max_entries"):
+        DecodedCache(max_entries=0)
+
+
+def test_decoded_cache_concurrent_access():
+    cache = DecodedCache(max_entries=64)
+    errors = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for i in range(200):
+                cache.put(TRACE_TIER, f"{worker_id}-{i % 32}", i)
+                cache.get(TRACE_TIER, f"{worker_id}-{i % 32}")
+        except Exception as error:  # noqa: BLE001 - collected for assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 64
+    assert cache.hits + cache.misses == 4 * 200

@@ -45,10 +45,14 @@ def test_hit_and_miss_counters(tmp_path):
     store.store(TRACE_TIER, FP, [1])
     store.load(TRACE_TIER, FP)
     assert (store.hits, store.misses) == (1, 1)
-    assert store.counters() == {
+    counters = store.counters()
+    bytes_verified = counters.pop("store_bytes_verified")
+    assert counters == {
         "store_hits": 1, "store_misses": 1,
         "store_evictions": 0, "store_corrupt": 0,
+        "store_bulk_reads": 0,
     }
+    assert bytes_verified > 0  # the hit's payload was digest-checked
 
 
 def test_persists_across_instances(tmp_path):

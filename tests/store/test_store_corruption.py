@@ -17,16 +17,19 @@ import pickle
 
 import pytest
 
-from repro.store import ResultStore, SCHEMA_VERSION, TRACE_TIER
+from repro.store import ResultStore, SCHEMA_VERSION, TRACE_TIER, VERIFY_POLICIES
 from repro.store.disk import MAGIC
 
 FP = "ab" * 32
 PAYLOAD = {"trace": [1, 2, 3]}
 
 
-@pytest.fixture
-def populated(tmp_path):
-    store = ResultStore(str(tmp_path / "store"))
+# The whole damage matrix runs under every read-verification policy:
+# the first read of a path is always fully verified (a local store()
+# re-arms it), so relaxed policies must recover identically.
+@pytest.fixture(params=VERIFY_POLICIES)
+def populated(tmp_path, request):
+    store = ResultStore(str(tmp_path / "store"), verify=request.param)
     store.store(TRACE_TIER, FP, PAYLOAD)
     return store
 
