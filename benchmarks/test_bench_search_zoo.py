@@ -1,0 +1,151 @@
+"""Gated benchmark: the search-strategy zoo's budget-versus-quality.
+
+The claim being pinned (see ISSUE 10 / ROADMAP item 2): every adaptive
+strategy — simulated annealing, genetic, particle swarm, basin
+hopping, surrogate — reaches within 5% of the full-exploration optimum
+on at least one application while spending at most 25% of the
+full-space evaluations, and does so deterministically under a pinned
+seed.  Per-strategy counts of solved apps are pinned in
+``baselines/search_zoo.json``; a strategy dropping below its pinned
+count (or below the 1-app acceptance floor) fails the gate.
+
+A second gate pins the execution contract: a seeded zoo run is
+bit-identical serial versus pooled (the engine's pooled timing is
+bit-identical, and no strategy draws randomness in a timing-dependent
+order).
+
+Everything runs against the session ``suite`` fixture's warm
+app-level caches, so the zoo's measurements are cache replays — the
+benchmark times search *quality*, not the simulator.
+
+Emits ``BENCH_search_zoo.json`` (uploaded from CI) with per-app ×
+strategy gaps, budgets, and evaluations-to-within-5%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.harness.payload import search_result_payload
+from repro.tuning.engine import ExecutionEngine
+from repro.tuning.strategies import adaptive_strategy_names, build_strategy
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "baselines", "search_zoo.json")
+RESULT_PATH = os.path.join(HERE, os.pardir, "BENCH_search_zoo.json")
+
+APP_NAMES = ("matmul", "cp", "sad", "mri-fhd")
+
+
+def _zoo_run(app, name, *, seed, budget, workers=1, restrict="full"):
+    """One strategy run on a fresh engine over the app's warm caches."""
+    engine = ExecutionEngine.for_app(app, workers=workers)
+    try:
+        return build_strategy(name).run(
+            app.space().configurations(), engine,
+            seed=seed, budget=budget, restrict=restrict,
+        )
+    finally:
+        engine.close()
+
+
+def test_every_strategy_beats_the_budget_quality_gate(suite):
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    seed = baseline["seed"]
+    budget_fraction = baseline["budget_fraction"]
+    within = baseline["within_fraction"]
+    floor = baseline["min_apps_within_5pct"]
+    pinned = baseline["apps_within_5pct"]
+
+    strategies = adaptive_strategy_names()
+    assert set(pinned) == set(strategies), (
+        "baselines/search_zoo.json must pin every registered strategy: "
+        f"pinned {sorted(pinned)} vs registry {sorted(strategies)}"
+    )
+
+    details = []
+    counts = {name: 0 for name in strategies}
+    for app_name in APP_NAMES:
+        experiment = suite[app_name]
+        app = experiment.app
+        optimum = experiment.exhaustive.best.seconds
+        valid = experiment.exhaustive.valid_count
+        budget = max(1, round(budget_fraction * valid))
+        for name in strategies:
+            result = _zoo_run(app, name, seed=seed, budget=budget)
+            assert result.timed_count <= budget, (
+                f"{name} on {app_name}: timed {result.timed_count} "
+                f"configurations, over the budget of {budget}"
+            )
+            gap = result.best.seconds / optimum - 1.0
+            hit = result.best.seconds <= optimum * (1.0 + within)
+            if hit:
+                counts[name] += 1
+            details.append({
+                "app": app_name,
+                "strategy": name,
+                "valid_space": valid,
+                "budget": budget,
+                "timed": result.timed_count,
+                "best_seconds": result.best.seconds,
+                "optimum_seconds": optimum,
+                "gap_percent": round(gap * 100.0, 3),
+                "within_5pct": hit,
+                "evals_to_5pct": result.evaluations_to_within(
+                    within, optimum
+                ),
+            })
+
+    payload = {
+        "benchmark": "search_zoo",
+        "gate": (
+            f"per strategy: apps_within_5pct >= pinned baseline and >= "
+            f"{floor}; budget = {budget_fraction} of the valid space; "
+            f"seed = {seed}"
+        ),
+        "apps_within_5pct": counts,
+        "baseline_apps_within_5pct": pinned,
+        "runs": details,
+    }
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    for name in strategies:
+        assert counts[name] >= floor, (
+            f"{name}: within 5% of the optimum on {counts[name]} apps at "
+            f"a {budget_fraction:.0%} budget — below the acceptance floor "
+            f"of {floor}"
+        )
+        assert counts[name] >= pinned[name], (
+            f"{name}: within 5% on {counts[name]} apps, regressed from "
+            f"the pinned {pinned[name]} (baselines/search_zoo.json)"
+        )
+
+
+def test_seeded_zoo_run_is_bit_identical_serial_vs_pooled(suite):
+    app = suite["matmul"].app
+    serial = _zoo_run(app, "genetic", seed=7, budget=16, workers=1)
+    pooled = _zoo_run(app, "genetic", seed=7, budget=16, workers=2)
+    serial_bytes = json.dumps(search_result_payload(serial), sort_keys=True)
+    pooled_bytes = json.dumps(search_result_payload(pooled), sort_keys=True)
+    assert serial_bytes == pooled_bytes, (
+        "a seeded genetic run diverged between serial and 2-worker "
+        "pooled execution — the zoo's determinism contract is broken"
+    )
+
+
+def test_pareto_restriction_stays_on_budget(suite):
+    """The composed mode: searching only the Pareto subset can never
+    cost more than the subset itself."""
+    for app_name in APP_NAMES:
+        experiment = suite[app_name]
+        pareto_size = experiment.pareto.timed_count
+        result = _zoo_run(
+            experiment.app, "anneal", seed=0, budget=10_000,
+            restrict="pareto",
+        )
+        assert result.pool_size == pareto_size
+        assert result.timed_count <= pareto_size

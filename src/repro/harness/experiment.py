@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.apps.base import Application
 from repro.arch.occupancy import LaunchError
@@ -31,6 +31,7 @@ from repro.tuning.search import (
     pareto_search,
     random_search,
 )
+from repro.tuning.strategies import build_strategy
 
 
 @dataclasses.dataclass
@@ -44,6 +45,9 @@ class AppExperiment:
     wall_seconds: float = 0.0
     #: engine telemetry: evaluation counts, cache hits, stage wall time
     engine_stats: Optional[EngineStats] = None
+    #: budgeted strategy-zoo runs (one per strategy × restrict mode),
+    #: all served from the exhaustive pass's warm measurement cache
+    zoo: List[SearchResult] = dataclasses.field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -126,6 +130,8 @@ def run_experiment(
     retry_policy=None,
     fault_spec: Optional[str] = None,
     store=None,
+    zoo_strategies: Optional[Sequence[str]] = None,
+    zoo_budget_fraction: float = 0.25,
 ) -> AppExperiment:
     """Run exhaustive + Pareto (and optionally random) searches.
 
@@ -143,6 +149,14 @@ def run_experiment(
     cache, so artifacts survive across harness invocations.  Pass an
     ``engine`` to reuse caches across calls — otherwise one is created
     (and its pool torn down) per experiment.
+
+    ``zoo_strategies`` names adaptive strategies from the registry to
+    run after the paper protocol, each in both compositions (the full
+    valid space and the Pareto-restricted pool) with a budget of
+    ``zoo_budget_fraction`` of the valid space and ``random_seed`` as
+    the seed.  Because the exhaustive pass already measured every
+    valid configuration, zoo runs are pure cache replays — they cost
+    no additional simulation, only bookkeeping.
     """
     configs = app.space().configurations()
     started = time.perf_counter()
@@ -165,6 +179,21 @@ def run_experiment(
                     seed=random_seed,
                     engine=engine,
                 )
+            zoo: List[SearchResult] = []
+            if zoo_strategies:
+                budget = max(
+                    1,
+                    round(zoo_budget_fraction * exhaustive.valid_count),
+                )
+                for name in zoo_strategies:
+                    strategy = build_strategy(name)
+                    for restrict in ("full", "pareto"):
+                        zoo.append(strategy.run(
+                            configs, engine,
+                            seed=random_seed,
+                            budget=budget,
+                            restrict=restrict,
+                        ))
     finally:
         if owns_engine:
             engine.close()
@@ -175,4 +204,5 @@ def run_experiment(
         random=random_result,
         wall_seconds=time.perf_counter() - started,
         engine_stats=engine.stats,
+        zoo=zoo,
     )

@@ -44,6 +44,17 @@ def search_result_payload(result: SearchResult) -> Dict[str, Any]:
         "sample_shortfall": result.sample_shortfall,
         "space_reduction": _finite(result.space_reduction),
         "measured_seconds": result.measured_seconds,
+        # Zoo telemetry: null for the classic selection strategies,
+        # populated by budgeted (adaptive) runs.  Trajectory pairs are
+        # (evaluations, best_so_far_seconds).
+        "budget": result.budget,
+        "seed": result.seed,
+        "restrict": result.restrict,
+        "pool_size": result.pool_size,
+        "trajectory": (
+            None if result.trajectory is None
+            else [[count, seconds] for count, seconds in result.trajectory]
+        ),
         "best": entry_payload(result.best),
         "timed": [entry_payload(entry) for entry in result.timed],
         "invalid": [

@@ -22,6 +22,9 @@ from repro.harness.tables import (
     store_rows,
     table3_rows,
     table4_rows,
+    zoo_curve_rows,
+    zoo_restriction_rows,
+    zoo_rows,
 )
 
 
@@ -154,6 +157,55 @@ def render_report(
             f"configurations; optimum on curve: "
             f"**{data.optimum_on_curve}**.\n\n"
         )
+
+    # ------------------------------------------------- Strategy zoo
+    zoo_telemetry = zoo_rows(experiments)
+    if zoo_telemetry:
+        write("## Search-strategy zoo — budget versus quality\n\n")
+        write("Budgeted search algorithms (see docs/search_strategies.md)\n")
+        write("run over the same spaces with a 25%-of-valid-space\n")
+        write("evaluation budget, each in two compositions: the full valid\n")
+        write("space and the Pareto-pruned subset (the paper's pruning as a\n")
+        write("pre-filter).  `gap_vs_opt` compares the strategy's pick to\n")
+        write("the exhaustive optimum; `evals_to_5pct` is how many\n")
+        write("evaluations it took to get within 5% of it.\n\n")
+        write("```\n")
+        write(format_table(
+            zoo_telemetry,
+            ["application", "strategy", "restrict", "pool", "budget",
+             "timed", "best_ms", "gap_vs_opt_percent", "evals_to_5pct"],
+        ))
+        write("\n```\n\n")
+
+        write("### Budget versus best configuration\n\n")
+        write("Best-so-far (ms) after N evaluations, full-space runs:\n\n")
+        for experiment in experiments:
+            curve = zoo_curve_rows(experiment)
+            if not curve:
+                continue
+            strategies = [c for c in curve[0] if c != "evaluations"]
+            write(f"#### {experiment.name} "
+                  f"(optimum {experiment.exhaustive.best.seconds * 1e3:.3f} ms)\n\n")
+            write("```\n")
+            write(format_table(curve, ["evaluations"] + strategies))
+            write("\n```\n\n")
+
+        restriction = zoo_restriction_rows(experiments)
+        if restriction:
+            write("### Does Pareto restriction help?\n\n")
+            write("Counts over the studied apps: runs within 5% of the\n")
+            write("optimum under each composition, and apps where the\n")
+            write("Pareto-restricted run matched or beat the full-space\n")
+            write("run's best.  Small Pareto pools cap the budget (the\n")
+            write("pool may be smaller than the budget), so equal-or-\n")
+            write("better at lower cost reads as \"pruning helps\".\n\n")
+            write("```\n")
+            write(format_table(
+                restriction,
+                ["strategy", "apps", "full_within_5pct",
+                 "pareto_within_5pct", "pareto_at_least_as_good"],
+            ))
+            write("\n```\n\n")
 
     # ------------------------------------------------- Engine telemetry
     telemetry = engine_rows(experiments)

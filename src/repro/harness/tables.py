@@ -180,6 +180,104 @@ def store_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
     return rows
 
 
+def zoo_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Strategy-zoo telemetry: one row per app × strategy × restrict.
+
+    ``gap_vs_opt_percent`` is the slowdown of the strategy's pick
+    versus the full-exploration optimum; ``evals_to_5pct`` is the
+    evaluation count at which the run's best-so-far first came within
+    5% of that optimum ("-" when the budget never got there).
+    """
+    rows = []
+    for experiment in experiments:
+        optimum = experiment.exhaustive.best.seconds
+        for result in experiment.zoo:
+            within = result.evaluations_to_within(0.05, optimum)
+            rows.append({
+                "application": experiment.name,
+                "strategy": result.strategy,
+                "restrict": result.restrict,
+                "pool": result.pool_size,
+                "budget": result.budget,
+                "timed": result.timed_count,
+                "best_ms": result.best.seconds * 1e3,
+                "gap_vs_opt_percent":
+                    (result.best.seconds / optimum - 1.0) * 100.0,
+                "evals_to_5pct": within if within is not None else "-",
+            })
+    return rows
+
+
+def best_so_far(trajectory, count: int):
+    """Best seconds after the first ``count`` evaluations, or None."""
+    best = None
+    for evaluations, seconds in trajectory:
+        if evaluations > count:
+            break
+        best = seconds
+    return best
+
+
+def zoo_curve_rows(experiment: AppExperiment) -> List[Dict]:
+    """Budget-versus-best curve for one app: rows are evaluation
+    checkpoints (powers of two up to the budget), columns are the
+    full-space zoo strategies' best-so-far in milliseconds."""
+    results = [r for r in experiment.zoo if r.restrict == "full"]
+    if not results:
+        return []
+    budget = max(r.timed_count for r in results)
+    checkpoints = []
+    point = 1
+    while point < budget:
+        checkpoints.append(point)
+        point *= 2
+    checkpoints.append(budget)
+    rows = []
+    for count in checkpoints:
+        row: Dict = {"evaluations": count}
+        for result in results:
+            best = best_so_far(result.trajectory, count)
+            row[result.strategy] = (
+                "-" if best is None else f"{best * 1e3:.3f}"
+            )
+        rows.append(row)
+    return rows
+
+
+def zoo_restriction_rows(experiments: Sequence[AppExperiment]) -> List[Dict]:
+    """Does Pareto restriction help each algorithm?
+
+    Per strategy, across apps: how many runs landed within 5% of the
+    optimum under each composition, and on how many apps the
+    Pareto-restricted run found a best at least as good as the
+    full-space run's.
+    """
+    by_strategy: Dict[str, Dict] = {}
+    for experiment in experiments:
+        optimum = experiment.exhaustive.best.seconds
+        by_restrict: Dict[str, Dict[str, float]] = {}
+        for result in experiment.zoo:
+            by_restrict.setdefault(result.strategy, {})[result.restrict] = (
+                result.best.seconds
+            )
+        for strategy, bests in by_restrict.items():
+            entry = by_strategy.setdefault(strategy, {
+                "strategy": strategy, "apps": 0,
+                "full_within_5pct": 0, "pareto_within_5pct": 0,
+                "pareto_at_least_as_good": 0,
+            })
+            entry["apps"] += 1
+            full = bests.get("full")
+            pareto = bests.get("pareto")
+            if full is not None and full <= optimum * 1.05:
+                entry["full_within_5pct"] += 1
+            if pareto is not None and pareto <= optimum * 1.05:
+                entry["pareto_within_5pct"] += 1
+            if full is not None and pareto is not None and pareto <= full:
+                entry["pareto_at_least_as_good"] += 1
+    return [by_strategy[name] for name in sorted(by_strategy)]
+
+
 def fastlane_rows(metrics: Dict) -> List[Dict]:
     """The "Service fast lane" report table from a ``/metrics`` payload.
 

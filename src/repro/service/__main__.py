@@ -40,6 +40,7 @@ from repro.service.daemon import (
     parse_sweep_request,
     run_sweep,
 )
+from repro.tuning.strategies import RESTRICT_MODES, strategy_names
 
 DEFAULT_PORT = 8765
 DEFAULT_URL = "http://127.0.0.1:8765"
@@ -49,7 +50,9 @@ def _add_request_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--app", required=True,
                         help="application name (matmul, cp, sad, mri-fhd)")
     parser.add_argument("--strategy", default="pareto",
-                        help="search strategy (default: pareto)")
+                        choices=strategy_names(), metavar="NAME",
+                        help="search strategy (default: pareto); one of "
+                             + ", ".join(strategy_names()))
     parser.add_argument("--limit", type=int, default=None, metavar="N",
                         help="sweep only the first N configurations")
     parser.add_argument("--configs", default=None, metavar="PATH",
@@ -58,7 +61,14 @@ def _add_request_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sample-size", type=int, default=None,
                         help="random strategy: configurations to sample")
     parser.add_argument("--seed", type=int, default=None,
-                        help="seed for sampling strategies")
+                        help="seed for stochastic strategies")
+    parser.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="adaptive strategies: measurement budget "
+                             "(default: 25%% of the valid space)")
+    parser.add_argument("--restrict", default=None,
+                        choices=RESTRICT_MODES,
+                        help="adaptive strategies: candidate pool — the "
+                             "full valid space or the Pareto subset")
     parser.add_argument("--screen-bandwidth-bound", action="store_true",
                         help="pareto strategy: screen bandwidth-bound "
                              "points before drawing the curve")
@@ -85,6 +95,10 @@ def _request_payload(options: argparse.Namespace) -> Dict[str, Any]:
         payload["sample_size"] = options.sample_size
     if options.seed is not None:
         payload["seed"] = options.seed
+    if options.budget is not None:
+        payload["budget"] = options.budget
+    if options.restrict is not None:
+        payload["restrict"] = options.restrict
     if options.screen_bandwidth_bound:
         payload["screen_bandwidth_bound"] = True
     if options.relative_tolerance is not None:

@@ -84,12 +84,17 @@ from repro.tuning.engine import (
     config_key,
 )
 from repro.tuning.search import (
-    STRATEGIES,
     SearchResult,
     best_entry,
     select_timed,
 )
 from repro.tuning.space import Configuration
+from repro.tuning.strategies import (
+    StrategyError,
+    build_strategy,
+    get_spec,
+    request_kwargs,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -137,6 +142,9 @@ class SweepRequest:
     chunk_size: int
     #: the normalized submission echoed back on status endpoints
     echo: Dict[str, Any]
+    #: "selection" (select_timed subset) or "adaptive" (budgeted zoo
+    #: strategy) — from the registry spec; decides the execution path
+    kind: str = "selection"
 
     @property
     def runtime_key(self) -> str:
@@ -166,13 +174,23 @@ def parse_sweep_request(
     """
     if not isinstance(payload, dict):
         raise RequestError("request body must be a JSON object")
-    unknown = set(payload) - {
-        "app", "strategy", "configs", "limit", "sim_overrides",
-        "screen_bandwidth_bound", "sample_size", "seed",
-        "relative_tolerance", "chunk_size",
-    }
+    strategy = payload.get("strategy", "pareto")
+    try:
+        spec = get_spec(strategy)
+    except StrategyError as error:
+        raise RequestError(str(error)) from None
+    # The accepted field set is base fields plus whatever the registry
+    # declares for this strategy — adding a StrategySpec is all it
+    # takes for its knobs to validate here.
+    unknown = set(payload) - (
+        {"app", "strategy", "configs", "limit", "sim_overrides",
+         "chunk_size"} | set(spec.fields)
+    )
     if unknown:
-        raise RequestError(f"unknown request fields: {sorted(unknown)}")
+        raise RequestError(
+            f"unknown request fields for strategy {strategy!r}: "
+            f"{sorted(unknown)}"
+        )
     app_name = payload.get("app")
     if app_name not in apps_by_name:
         raise RequestError(
@@ -180,18 +198,15 @@ def parse_sweep_request(
             f"{sorted(apps_by_name)}"
         )
     app = apps_by_name[app_name]
-    strategy = payload.get("strategy", "pareto")
-    if strategy not in STRATEGIES:
-        raise RequestError(
-            f"unknown strategy {strategy!r}; expected one of "
-            f"{list(STRATEGIES)}"
-        )
     overrides = payload.get("sim_overrides") or {}
     if not isinstance(overrides, dict):
         raise RequestError("sim_overrides must be an object")
     space = app.space()
     configs = _resolve_configs(payload, space)
-    select_kwargs = _select_kwargs(payload, strategy)
+    try:
+        select_kwargs = request_kwargs(spec, payload)
+    except StrategyError as error:
+        raise RequestError(str(error)) from None
     chunk_size = payload.get("chunk_size", DEFAULT_CHUNK_SIZE)
     if not isinstance(chunk_size, int) or chunk_size < 1:
         raise RequestError("chunk_size must be a positive integer")
@@ -211,6 +226,7 @@ def parse_sweep_request(
         select_kwargs=select_kwargs,
         chunk_size=chunk_size,
         echo=echo,
+        kind=spec.kind,
     )
 
 
@@ -250,29 +266,6 @@ def _resolve_configs(payload: Dict[str, Any], space) -> List[Configuration]:
     return configs
 
 
-def _select_kwargs(payload: Dict[str, Any], strategy: str) -> Dict[str, Any]:
-    kwargs: Dict[str, Any] = {}
-    if strategy == "pareto":
-        screen = payload.get("screen_bandwidth_bound", False)
-        if not isinstance(screen, bool):
-            raise RequestError("screen_bandwidth_bound must be a boolean")
-        kwargs["screen_bandwidth_bound"] = screen
-    elif strategy == "pareto+cluster":
-        kwargs["relative_tolerance"] = float(
-            payload.get("relative_tolerance", 1e-9)
-        )
-        kwargs["seed"] = int(payload.get("seed", 0))
-    elif strategy == "random":
-        sample_size = payload.get("sample_size")
-        if not isinstance(sample_size, int) or sample_size < 1:
-            raise RequestError(
-                "random strategy needs a positive integer sample_size"
-            )
-        kwargs["sample_size"] = sample_size
-        kwargs["seed"] = int(payload.get("seed", 0))
-    return kwargs
-
-
 def run_sweep(
     engine: ExecutionEngine,
     request: SweepRequest,
@@ -297,6 +290,22 @@ def run_sweep(
               strategy=request.strategy, configs=len(request.configs)):
         if cancelled():
             raise SweepCancelled(request.app_name)
+        if request.kind == "adaptive":
+            # Zoo strategies drive their own measurement loop; the
+            # cancel edge threads through the progress callback, which
+            # fires at every batch boundary.
+            def checkpoint(done: int, total: int) -> None:
+                if cancelled():
+                    raise SweepCancelled(request.app_name)
+                if progress is not None:
+                    progress(done, total)
+
+            strategy = build_strategy(request.strategy)
+            result = strategy.run(
+                request.configs, engine,
+                progress=checkpoint, **request.select_kwargs,
+            )
+            return search_result_payload(result)
         evaluated = engine.evaluate_all(request.configs)
         selected = select_timed(
             request.strategy, evaluated, **request.select_kwargs
@@ -552,10 +561,13 @@ class TuningService:
         # The fast-lane probe: can the resident memo answer (part of)
         # this sweep without the executor?  Read-only peeks — a racing
         # executor thread can only turn a miss into a hit, and a probe
-        # miss just means the classic path runs.
+        # miss just means the classic path runs.  Adaptive (zoo)
+        # sweeps never probe: their timed subset depends on measured
+        # times, not just the static memo, so only the engine path can
+        # reproduce it.
         probe = (
             self._probe_memo(runtime.engine, sweep)
-            if self.fastlane else None
+            if self.fastlane and sweep.kind == "selection" else None
         )
         owned: List[Tuple[str, str]] = []
         try:

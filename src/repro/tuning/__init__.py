@@ -24,6 +24,14 @@ from repro.tuning.search import (
     random_search,
 )
 from repro.tuning.space import ConfigSpace, Configuration, cartesian
+from repro.tuning.strategies import (
+    StrategyError,
+    StrategySpec,
+    adaptive_strategy_names,
+    build_strategy,
+    selection_strategy_names,
+    strategy_names,
+)
 
 __all__ = [
     "ConfigSpace",
@@ -35,7 +43,11 @@ __all__ = [
     "SchedulerError",
     "SchedulerStats",
     "SearchResult",
+    "StrategyError",
+    "StrategySpec",
     "SweepScheduler",
+    "adaptive_strategy_names",
+    "build_strategy",
     "cartesian",
     "cluster_by_metrics",
     "cluster_representatives",
@@ -49,4 +61,6 @@ __all__ = [
     "pareto_indices",
     "pareto_search",
     "random_search",
+    "selection_strategy_names",
+    "strategy_names",
 ]

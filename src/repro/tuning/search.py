@@ -25,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.tuning.engine import (
     Evaluate,
@@ -35,6 +35,7 @@ from repro.tuning.engine import (
 )
 from repro.tuning.pareto import pareto_indices
 from repro.tuning.space import Configuration
+from repro.tuning.strategies.registry import selection_strategy_names
 
 __all__ = [
     "EvaluatedConfig",
@@ -65,6 +66,40 @@ class SearchResult:
     #: may exceed what the valid space could provide (see timed_count
     #: for what was actually measured)
     requested_sample_size: Optional[int] = None
+    #: budgeted (zoo) strategies record the best-seconds-so-far after
+    #: every measurement: a list of ``(evaluations, best_seconds)``
+    #: pairs — the budget-versus-quality curve of the run.  ``None``
+    #: for the classic selection strategies, whose timed subset is a
+    #: pure function of the static metrics.
+    trajectory: Optional[List[Tuple[int, float]]] = None
+    #: the evaluation budget the run was allowed (distinct measured
+    #: configurations), after clamping to the candidate pool
+    budget: Optional[int] = None
+    #: the seed that makes a stochastic run reproducible
+    seed: Optional[int] = None
+    #: paper-style composition: "full" searched the whole valid space,
+    #: "pareto" searched only the Pareto-pruned subset
+    restrict: Optional[str] = None
+    #: size of the candidate pool the strategy drew from
+    pool_size: Optional[int] = None
+
+    def evaluations_to_within(
+        self, fraction: float, optimum_seconds: Optional[float] = None
+    ) -> Optional[int]:
+        """Evaluations until best-so-far was within ``fraction`` of the
+        optimum (``None``: never, or no trajectory was recorded).
+
+        ``optimum_seconds`` defaults to this run's own best — pass the
+        full-exploration optimum for evaluations-to-optimum curves.
+        """
+        if not self.trajectory:
+            return None
+        target = optimum_seconds if optimum_seconds is not None else self.best.seconds
+        target *= 1.0 + fraction
+        for count, best in self.trajectory:
+            if best <= target:
+                return count
+        return None
 
     @property
     def space_size(self) -> int:
@@ -134,8 +169,12 @@ def best_entry(timed: List[EvaluatedConfig], strategy: str) -> EvaluatedConfig:
 _best = best_entry
 
 #: Strategy names accepted by :func:`select_timed` — the same strings
-#: each strategy records on its :class:`SearchResult`.
-STRATEGIES = ("exhaustive", "pareto", "pareto+cluster", "random")
+#: each strategy records on its :class:`SearchResult`.  Derived from
+#: the strategy registry, the single source of truth shared with the
+#: harness CLI and the service daemon (adaptive zoo strategies live
+#: there too; they dispatch through
+#: :meth:`repro.tuning.strategies.SearchStrategy.run`, not here).
+STRATEGIES = selection_strategy_names()
 
 
 def select_timed(

@@ -1,0 +1,89 @@
+"""Simulated annealing over one-parameter neighbor moves."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.tuning.space import Configuration
+from repro.tuning.strategies.base import BudgetedRun, PoolGeometry, SearchStrategy
+
+__all__ = ["SimulatedAnnealing"]
+
+#: proposals landing on already-measured configurations in a row
+#: before the walk force-measures a fresh random pool member
+STALL_LIMIT = 25
+
+
+class SimulatedAnnealing(SearchStrategy):
+    """Metropolis walk with a geometric cooling schedule.
+
+    A move changes one parameter to another of its pool values; an
+    uphill move of relative slowdown ``d`` is accepted with probability
+    ``exp(-d / T)``, where the temperature ``T`` cools geometrically
+    from ``t_initial`` to ``t_final`` over the budget.  Revisits cost
+    no budget (the run memo serves them), so the walk may cross its own
+    path freely; a stall counter keeps a nearly-exhausted neighborhood
+    from spinning without spending budget.
+    """
+
+    name = "anneal"
+
+    def search(
+        self,
+        run: BudgetedRun,
+        rng: random.Random,
+        *,
+        t_initial: float = 0.5,
+        t_final: float = 0.02,
+        neighbor_tries: int = 8,
+    ) -> None:
+        geometry = PoolGeometry(run.pool_configs)
+        current = run.pool_configs[rng.randrange(len(run.pool_configs))]
+        run.measure([current])
+        stalled = 0
+        while not run.exhausted:
+            fraction = len(run.timed) / run.budget
+            temperature = t_initial * (t_final / t_initial) ** fraction
+            candidate = self._neighbor(geometry, current, rng, neighbor_tries)
+            if candidate is None or stalled >= STALL_LIMIT:
+                candidate = run.force_explore(rng)
+                stalled = 0
+                if candidate is None:
+                    return
+            spent = not run.is_measured(candidate)
+            if spent:
+                run.measure([candidate])
+            candidate_seconds = run.seconds(candidate)
+            if candidate_seconds is None:  # budget ran out mid-measure
+                return
+            stalled = 0 if spent else stalled + 1
+            current_seconds = run.seconds(current)
+            if candidate_seconds <= current_seconds:
+                current = candidate
+            else:
+                slowdown = (candidate_seconds - current_seconds) / current_seconds
+                if rng.random() < math.exp(-slowdown / temperature):
+                    current = candidate
+
+    @staticmethod
+    def _neighbor(
+        geometry: PoolGeometry,
+        current: Configuration,
+        rng: random.Random,
+        tries: int,
+    ) -> Optional[Configuration]:
+        """A random in-pool one-axis move, or ``None`` after ``tries``."""
+        for _ in range(tries):
+            axis = geometry.names[rng.randrange(len(geometry.names))]
+            values = geometry.axes[axis]
+            if len(values) < 2:
+                continue
+            value = values[rng.randrange(len(values))]
+            if value == current[axis]:
+                continue
+            candidate = current.replace(**{axis: value})
+            if candidate in geometry.members:
+                return candidate
+        return None

@@ -1,0 +1,124 @@
+"""Basin hopping: greedy local descent plus Metropolis-accepted jumps."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.tuning.space import Configuration
+from repro.tuning.strategies.base import BudgetedRun, PoolGeometry, SearchStrategy
+
+__all__ = ["BasinHopping"]
+
+#: hops landing on already-measured configurations in a row before the
+#: search force-measures a fresh random pool member
+STALL_LIMIT = 10
+
+
+class BasinHopping(SearchStrategy):
+    """Descend to a local minimum, hop, repeat.
+
+    The descent step measures every axis-adjacent neighbor (value index
+    ±1, in-pool only) as one engine batch and moves to the best one
+    while it improves; at a local minimum the search hops — perturbs
+    ``hop_axes`` random parameters to random values — and accepts the
+    hop with the Metropolis rule at fixed ``hop_temperature``, so a bad
+    basin can still be escaped.
+    """
+
+    name = "basin"
+
+    def search(
+        self,
+        run: BudgetedRun,
+        rng: random.Random,
+        *,
+        hop_axes: int = 2,
+        hop_temperature: float = 0.1,
+        hop_tries: int = 8,
+    ) -> None:
+        geometry = PoolGeometry(run.pool_configs)
+        current = run.pool_configs[rng.randrange(len(run.pool_configs))]
+        run.measure([current])
+        stalled = 0
+        while not run.exhausted:
+            current = self._descend(run, geometry, current)
+            if run.exhausted:
+                return
+            hop = self._hop(geometry, current, rng, hop_axes, hop_tries)
+            if hop is None or stalled >= STALL_LIMIT:
+                hop = run.force_explore(rng)
+                stalled = 0
+                if hop is None:
+                    return
+            spent = not run.is_measured(hop)
+            if spent:
+                run.measure([hop])
+            hop_seconds = run.seconds(hop)
+            if hop_seconds is None:  # budget ran out mid-measure
+                return
+            stalled = 0 if spent else stalled + 1
+            current_seconds = run.seconds(current)
+            if hop_seconds <= current_seconds:
+                current = hop
+            else:
+                slowdown = (hop_seconds - current_seconds) / current_seconds
+                if rng.random() < math.exp(-slowdown / hop_temperature):
+                    current = hop
+
+    @staticmethod
+    def _descend(
+        run: BudgetedRun, geometry: PoolGeometry, current: Configuration
+    ) -> Configuration:
+        """Greedy best-neighbor descent; returns the local minimum."""
+        while not run.exhausted:
+            neighbors = BasinHopping._neighbors(geometry, current)
+            run.measure([n for n in neighbors if not run.is_measured(n)])
+            best, best_seconds = current, run.seconds(current)
+            for neighbor in neighbors:
+                seconds = run.seconds(neighbor)
+                if seconds is not None and seconds < best_seconds:
+                    best, best_seconds = neighbor, seconds
+            if best == current:
+                return current
+            current = best
+        return current
+
+    @staticmethod
+    def _neighbors(
+        geometry: PoolGeometry, current: Configuration
+    ) -> List[Configuration]:
+        """Axis-adjacent in-pool neighbors, in deterministic axis order."""
+        found: List[Configuration] = []
+        for name in geometry.names:
+            values = geometry.axes[name]
+            at = values.index(current[name])
+            for step in (-1, 1):
+                position = at + step
+                if 0 <= position < len(values):
+                    candidate = current.replace(**{name: values[position]})
+                    if candidate in geometry.members:
+                        found.append(candidate)
+        return found
+
+    @staticmethod
+    def _hop(
+        geometry: PoolGeometry,
+        current: Configuration,
+        rng: random.Random,
+        hop_axes: int,
+        tries: int,
+    ) -> Optional[Configuration]:
+        """A random multi-axis in-pool jump, or ``None`` after ``tries``."""
+        axes = min(hop_axes, len(geometry.names))
+        for _ in range(tries):
+            chosen = rng.sample(geometry.names, axes)
+            updates = {}
+            for name in chosen:
+                values = geometry.axes[name]
+                updates[name] = values[rng.randrange(len(values))]
+            candidate = current.replace(**updates)
+            if candidate != current and candidate in geometry.members:
+                return candidate
+        return None

@@ -1,0 +1,97 @@
+"""Genetic search: tournaments, uniform crossover, per-axis mutation."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.tuning.engine import EvaluatedConfig
+from repro.tuning.space import Configuration
+from repro.tuning.strategies.base import BudgetedRun, PoolGeometry, SearchStrategy
+
+__all__ = ["GeneticSearch"]
+
+#: crossover/mutation attempts per wanted child before giving up on
+#: producing an unseen configuration and force-exploring instead
+ATTEMPTS_PER_CHILD = 10
+
+
+class GeneticSearch(SearchStrategy):
+    """Elitist generational GA over the candidate pool.
+
+    Each generation ranks every measurement so far (stable sort on
+    seconds — ties break by measurement order, keeping the run
+    deterministic), takes the best ``population`` as parents, and
+    breeds children by tournament selection, uniform crossover, and
+    per-axis mutation.  Children outside the pool repair to a random
+    pool member; children already measured are discarded (a duplicate
+    would cost no budget and learn nothing).  Generations are measured
+    as one engine batch, so a pooled engine fans them out.
+    """
+
+    name = "genetic"
+
+    def search(
+        self,
+        run: BudgetedRun,
+        rng: random.Random,
+        *,
+        population: int = 8,
+        tournament: int = 2,
+        mutation_rate: float = 0.0,
+    ) -> None:
+        pool = run.pool_configs
+        geometry = PoolGeometry(pool)
+        if not mutation_rate:
+            mutation_rate = 1.0 / max(1, len(geometry.names))
+        size = min(population, len(pool), run.budget)
+        seeds = rng.sample(range(len(pool)), size)
+        run.measure([pool[i] for i in seeds])
+        while not run.exhausted:
+            ranked = sorted(run.timed, key=lambda entry: entry.seconds)
+            parents = ranked[:size]
+            children = self._breed(
+                run, rng, geometry, parents, size, tournament, mutation_rate
+            )
+            if not children:
+                if run.force_explore(rng) is None:
+                    return
+                continue
+            run.measure(children)
+
+    @staticmethod
+    def _breed(
+        run: BudgetedRun,
+        rng: random.Random,
+        geometry: PoolGeometry,
+        parents: List[EvaluatedConfig],
+        size: int,
+        tournament: int,
+        mutation_rate: float,
+    ) -> List[Configuration]:
+        def pick_parent() -> Configuration:
+            contenders = [
+                parents[rng.randrange(len(parents))]
+                for _ in range(min(tournament, len(parents)))
+            ]
+            return min(contenders, key=lambda entry: entry.seconds).config
+
+        children: List[Configuration] = []
+        attempts = 0
+        wanted = min(size, run.remaining)
+        while len(children) < wanted and attempts < wanted * ATTEMPTS_PER_CHILD:
+            attempts += 1
+            mother, father = pick_parent(), pick_parent()
+            genes = {}
+            for name in geometry.names:
+                genes[name] = (mother if rng.random() < 0.5 else father)[name]
+                if rng.random() < mutation_rate:
+                    values = geometry.axes[name]
+                    genes[name] = values[rng.randrange(len(values))]
+            child = Configuration(genes)
+            if child not in geometry.members:
+                child = run.pool_configs[rng.randrange(len(run.pool_configs))]
+            if run.is_measured(child) or child in children:
+                continue
+            children.append(child)
+        return children

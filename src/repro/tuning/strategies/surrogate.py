@@ -1,0 +1,112 @@
+"""Model-based search: an additive surrogate with argmin acquisition.
+
+A deliberately simple "Bayesian-lite" searcher: fit a factorized
+additive effect model on the log of the measured times (pure Python,
+deterministic — no BLAS, no floating-point reduction-order surprises),
+then measure the unmeasured candidate the model predicts fastest, with
+an epsilon of random exploration to keep the model honest.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List
+
+from repro.tuning.engine import EvaluatedConfig
+from repro.tuning.space import Configuration
+from repro.tuning.strategies.base import BudgetedRun, PoolGeometry, SearchStrategy
+
+__all__ = ["SurrogateSearch"]
+
+#: shrinkage pseudo-count: effect estimates divide by (n + SHRINKAGE),
+#: pulling thinly-observed parameter values toward the global mean
+SHRINKAGE = 1.0
+
+
+class SurrogateSearch(SearchStrategy):
+    """Fit-predict-measure loop over the candidate pool.
+
+    Starts from a seeded random sample, then alternates: refit the
+    additive model on everything measured so far; pick the unmeasured
+    pool member with the lowest predicted time (first-in-pool-order
+    tie-break), or with probability ``explore`` a random unmeasured
+    one; measure it; repeat until the budget is spent.
+    """
+
+    name = "surrogate"
+
+    def search(
+        self,
+        run: BudgetedRun,
+        rng: random.Random,
+        *,
+        init_sample: int = 0,
+        explore: float = 0.1,
+        passes: int = 2,
+    ) -> None:
+        pool = run.pool_configs
+        geometry = PoolGeometry(pool)
+        if not init_sample:
+            init_sample = max(4, len(geometry.names) + 1)
+        count = min(init_sample, len(pool), run.budget)
+        starts = rng.sample(range(len(pool)), count)
+        run.measure([pool[i] for i in starts])
+        while not run.exhausted:
+            fresh = run.unmeasured()
+            if not fresh:
+                return
+            if rng.random() < explore:
+                candidate = fresh[rng.randrange(len(fresh))]
+            else:
+                mean, effects = self._fit(run.timed, geometry, passes)
+                candidate = min(
+                    enumerate(fresh),
+                    key=lambda pair: (
+                        self._predict(pair[1], mean, effects), pair[0]
+                    ),
+                )[1]
+            run.measure([candidate])
+
+    @staticmethod
+    def _fit(
+        timed: List[EvaluatedConfig],
+        geometry: PoolGeometry,
+        passes: int,
+    ) -> "tuple":
+        """Backfit per-axis additive effects on log seconds."""
+        logs = [math.log(max(entry.seconds, 1e-300)) for entry in timed]
+        mean = sum(logs) / len(logs)
+        effects: Dict[str, Dict[object, float]] = {
+            name: {} for name in geometry.names
+        }
+        for _ in range(passes):
+            for name in geometry.names:
+                sums: Dict[object, float] = {}
+                counts: Dict[object, int] = {}
+                for entry, log_seconds in zip(timed, logs):
+                    residual = log_seconds - mean
+                    for other in geometry.names:
+                        if other != name:
+                            residual -= effects[other].get(
+                                entry.config[other], 0.0
+                            )
+                    value = entry.config[name]
+                    sums[value] = sums.get(value, 0.0) + residual
+                    counts[value] = counts.get(value, 0) + 1
+                effects[name] = {
+                    value: sums[value] / (counts[value] + SHRINKAGE)
+                    for value in sums
+                }
+        return mean, effects
+
+    @staticmethod
+    def _predict(
+        config: Configuration,
+        mean: float,
+        effects: Dict[str, Dict[object, float]],
+    ) -> float:
+        predicted = mean
+        for name, table in effects.items():
+            predicted += table.get(config[name], 0.0)
+        return predicted

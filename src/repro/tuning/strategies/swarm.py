@@ -1,0 +1,112 @@
+"""Particle swarm optimization over per-parameter value indices."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.tuning.space import Configuration
+from repro.tuning.strategies.base import BudgetedRun, PoolGeometry, SearchStrategy
+
+__all__ = ["ParticleSwarm"]
+
+
+class ParticleSwarm(SearchStrategy):
+    """PSO on the integer lattice of per-axis value indices.
+
+    Each particle's position is a vector of value indices (one per
+    parameter); velocities update with the standard inertia /
+    cognitive / social rule, positions round and clamp back onto the
+    lattice, and off-pool points snap to the nearest pool member by L1
+    index distance (first-in-pool-order tie-break — deterministic).
+    Each iteration measures the whole swarm as one engine batch.
+    """
+
+    name = "swarm"
+
+    def search(
+        self,
+        run: BudgetedRun,
+        rng: random.Random,
+        *,
+        particles: int = 6,
+        inertia: float = 0.6,
+        cognitive: float = 1.2,
+        social: float = 1.6,
+    ) -> None:
+        pool = run.pool_configs
+        geometry = PoolGeometry(pool)
+        lattice: List[Tuple[Tuple[int, ...], Configuration]] = [
+            (geometry.value_index(config), config) for config in pool
+        ]
+        count = min(particles, len(pool), run.budget)
+        starts = rng.sample(range(len(pool)), count)
+        positions = [list(lattice[i][0]) for i in starts]
+        velocities = [
+            [rng.uniform(-1.0, 1.0) for _ in geometry.names]
+            for _ in range(count)
+        ]
+        run.measure([pool[i] for i in starts])
+
+        personal: List[Tuple[Configuration, float]] = []
+        for i in starts:
+            config = pool[i]
+            seconds = run.seconds(config)
+            if seconds is None:  # budget smaller than the swarm
+                seconds = float("inf")
+            personal.append((config, seconds))
+        best_config, best_seconds = min(
+            personal, key=lambda pair: pair[1]
+        )
+
+        while not run.exhausted:
+            for index in range(count):
+                if run.exhausted:
+                    return
+                position = positions[index]
+                velocity = velocities[index]
+                own = geometry.value_index(personal[index][0])
+                goal = geometry.value_index(best_config)
+                for axis in range(len(geometry.names)):
+                    r_cognitive, r_social = rng.random(), rng.random()
+                    velocity[axis] = (
+                        inertia * velocity[axis]
+                        + cognitive * r_cognitive * (own[axis] - position[axis])
+                        + social * r_social * (goal[axis] - position[axis])
+                    )
+                    moved = position[axis] + velocity[axis]
+                    limit = len(geometry.axes[geometry.names[axis]]) - 1
+                    position[axis] = min(limit, max(0, int(moved + 0.5)))
+                candidate = self._snap(lattice, position)
+                if run.is_measured(candidate):
+                    candidate = run.force_explore(rng)
+                    if candidate is None:
+                        return
+                else:
+                    run.measure([candidate])
+                seconds = run.seconds(candidate)
+                if seconds is None:
+                    return
+                positions[index] = list(geometry.value_index(candidate))
+                if seconds < personal[index][1]:
+                    personal[index] = (candidate, seconds)
+                if seconds < best_seconds:
+                    best_config, best_seconds = candidate, seconds
+
+    @staticmethod
+    def _snap(
+        lattice: List[Tuple[Tuple[int, ...], Configuration]],
+        position: List[int],
+    ) -> Configuration:
+        """Nearest pool member by L1 index distance (stable tie-break)."""
+        best_config = lattice[0][1]
+        best_distance = None
+        for indices, config in lattice:
+            distance = sum(
+                abs(a - b) for a, b in zip(indices, position)
+            )
+            if best_distance is None or distance < best_distance:
+                best_distance, best_config = distance, config
+                if distance == 0:
+                    break
+        return best_config

@@ -1,0 +1,95 @@
+"""The strategy zoo through the harness: experiment driver, report
+tables, and budget-vs-best curves (on CP, the fastest app)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import CoulombicPotential
+from repro.harness import render_report, run_experiment
+from repro.harness.tables import (
+    best_so_far,
+    zoo_curve_rows,
+    zoo_restriction_rows,
+    zoo_rows,
+)
+from repro.tuning.strategies import adaptive_strategy_names
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment(
+        CoulombicPotential(),
+        zoo_strategies=adaptive_strategy_names(),
+        random_seed=3,
+    )
+
+
+class TestZooExperiment:
+    def test_every_strategy_ran_in_both_compositions(self, experiment):
+        seen = {(r.strategy, r.restrict) for r in experiment.zoo}
+        expected = {
+            (name, restrict)
+            for name in adaptive_strategy_names()
+            for restrict in ("full", "pareto")
+        }
+        assert seen == expected
+
+    def test_zoo_runs_cost_no_extra_simulations(self, experiment):
+        # the exhaustive pass measured the whole valid space; every zoo
+        # measurement must have been a cache replay
+        assert (
+            experiment.engine_stats.simulations
+            == experiment.exhaustive.valid_count
+        )
+
+    def test_budget_is_a_quarter_of_the_valid_space(self, experiment):
+        expected = max(1, round(0.25 * experiment.exhaustive.valid_count))
+        for result in experiment.zoo:
+            if result.restrict == "full":
+                assert result.budget == expected
+            else:
+                assert result.budget == min(
+                    expected, experiment.pareto.timed_count
+                )
+
+    def test_zoo_rows_cover_every_run(self, experiment):
+        rows = zoo_rows([experiment])
+        assert len(rows) == len(experiment.zoo)
+        for row in rows:
+            assert row["gap_vs_opt_percent"] >= 0.0
+            assert row["timed"] <= row["budget"]
+
+    def test_curve_rows_march_toward_the_optimum(self, experiment):
+        rows = zoo_curve_rows(experiment)
+        assert rows
+        assert rows[0]["evaluations"] == 1
+        for name in adaptive_strategy_names():
+            series = [float(row[name]) for row in rows if row[name] != "-"]
+            assert all(b <= a for a, b in zip(series, series[1:]))
+
+    def test_best_so_far_walks_the_trajectory(self, experiment):
+        result = experiment.zoo[0]
+        assert best_so_far(result.trajectory, 0) is None
+        assert (
+            best_so_far(result.trajectory, result.timed_count)
+            == result.best.seconds
+        )
+
+    def test_restriction_rows_aggregate_per_strategy(self, experiment):
+        rows = zoo_restriction_rows([experiment])
+        assert {row["strategy"] for row in rows} == set(
+            adaptive_strategy_names()
+        )
+        for row in rows:
+            assert row["apps"] == 1
+            assert 0 <= row["full_within_5pct"] <= 1
+            assert 0 <= row["pareto_within_5pct"] <= 1
+
+    def test_report_carries_the_zoo_sections(self, experiment):
+        text = render_report([experiment])
+        assert "## Search-strategy zoo" in text
+        assert "### Budget versus best configuration" in text
+        assert "### Does Pareto restriction help?" in text
+        for name in adaptive_strategy_names():
+            assert name in text

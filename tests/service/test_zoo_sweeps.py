@@ -1,0 +1,155 @@
+"""Zoo (adaptive) strategies through the service: validation, daemon
+versus one-shot bit-identity, warm reuse, and cancellation plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.client import ServiceError
+from repro.service.daemon import (
+    RequestError,
+    parse_sweep_request,
+    run_sweep,
+)
+from repro.tuning.engine import ExecutionEngine
+from repro.tuning.strategies import adaptive_strategy_names
+
+pytestmark = pytest.mark.fast
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def local_oracle(fake_app_class, request_payload, workers=1):
+    request = parse_sweep_request(
+        request_payload, {"fake": fake_app_class()}
+    )
+    app = fake_app_class()
+    engine = ExecutionEngine.for_app(app, workers=workers)
+    try:
+        return run_sweep(engine, request)
+    finally:
+        engine.close()
+
+
+def test_parse_accepts_every_zoo_strategy(fake_app_class):
+    apps = {"fake": fake_app_class()}
+    for name in adaptive_strategy_names():
+        sweep = parse_sweep_request(
+            {"app": "fake", "strategy": name, "seed": 5, "budget": 4,
+             "restrict": "pareto"},
+            apps,
+        )
+        assert sweep.kind == "adaptive"
+        assert sweep.select_kwargs["seed"] == 5
+        assert sweep.select_kwargs["budget"] == 4
+        assert sweep.select_kwargs["restrict"] == "pareto"
+        assert sweep.echo["strategy"] == name
+        assert sweep.requested_sample_size is None
+
+
+def test_parse_rejects_zoo_fields_on_selection_strategies(fake_app_class):
+    apps = {"fake": fake_app_class()}
+    with pytest.raises(RequestError, match="unknown request fields"):
+        parse_sweep_request(
+            {"app": "fake", "strategy": "exhaustive", "budget": 4}, apps,
+        )
+    with pytest.raises(RequestError, match="unknown request fields"):
+        parse_sweep_request(
+            {"app": "fake", "strategy": "anneal", "sample_size": 4}, apps,
+        )
+
+
+def test_parse_rejects_bad_zoo_parameters(fake_app_class):
+    apps = {"fake": fake_app_class()}
+    with pytest.raises(RequestError, match="budget"):
+        parse_sweep_request(
+            {"app": "fake", "strategy": "genetic", "budget": 0}, apps,
+        )
+    with pytest.raises(RequestError, match="restrict"):
+        parse_sweep_request(
+            {"app": "fake", "strategy": "genetic", "restrict": "some"},
+            apps,
+        )
+    with pytest.raises(RequestError, match="population"):
+        parse_sweep_request(
+            {"app": "fake", "strategy": "genetic", "population": 1}, apps,
+        )
+
+
+def test_zoo_sweep_matches_one_shot_oracle(fake_app_class, service_factory):
+    daemon = service_factory([fake_app_class()])
+    request = {"app": "fake", "strategy": "genetic", "seed": 7, "budget": 6}
+    payload = daemon.client.sweep(request)
+    oracle = local_oracle(fake_app_class, request)
+    assert canonical(payload["result"]) == canonical(oracle)
+    result = payload["result"]
+    assert result["strategy"] == "genetic"
+    assert result["budget"] == 6
+    assert result["timed_count"] == 6
+    assert result["seed"] == 7
+    assert result["restrict"] == "full"
+    assert len(result["trajectory"]) == 6
+    # trajectory is (evaluations, best-so-far) and monotone
+    bests = [seconds for _, seconds in result["trajectory"]]
+    assert all(b <= a for a, b in zip(bests, bests[1:]))
+
+
+def test_zoo_oracle_is_worker_count_invariant(fake_app_class):
+    request = {"app": "fake", "strategy": "anneal", "seed": 3, "budget": 5}
+    serial = local_oracle(fake_app_class, request, workers=1)
+    pooled = local_oracle(fake_app_class, request, workers=2)
+    assert canonical(serial) == canonical(pooled)
+
+
+def test_second_zoo_sweep_is_pure_cache(fake_app_class, service_factory):
+    """A repeated zoo sweep replays from the resident memo: same
+    payload, zero new simulations (the adaptive path never uses the
+    fast lane, but the engine's caches still serve it)."""
+    daemon = service_factory([fake_app_class()])
+    request = {"app": "fake", "strategy": "surrogate", "seed": 2,
+               "budget": 6}
+    first = daemon.client.sweep(request)
+    calls_after_first = len(fake_app_class.calls)
+    second = daemon.client.sweep(request)
+    assert canonical(first["result"]) == canonical(second["result"])
+    assert len(fake_app_class.calls) == calls_after_first
+    assert second["stats"]["simulations"] == 0
+    assert second["stats"]["simulation_cache_hits"] == 6
+
+
+def test_zoo_restrict_pareto_times_only_the_subset(fake_app_class,
+                                                   service_factory):
+    daemon = service_factory([fake_app_class()])
+    pareto = daemon.client.sweep({"app": "fake", "strategy": "pareto"})
+    subset = {canonical(e["config"]) for e in pareto["result"]["timed"]}
+    zoo = daemon.client.sweep(
+        {"app": "fake", "strategy": "basin", "seed": 1,
+         "restrict": "pareto", "budget": 50},
+    )
+    timed = {canonical(e["config"]) for e in zoo["result"]["timed"]}
+    assert timed <= subset
+    assert zoo["result"]["pool_size"] == len(subset)
+
+
+def test_unknown_strategy_is_rejected_with_the_full_menu(fake_app_class,
+                                                         service_factory):
+    daemon = service_factory([fake_app_class()])
+    with pytest.raises(ServiceError, match="unknown strategy"):
+        daemon.client.submit({"app": "fake", "strategy": "hillclimb"})
+
+
+def test_selection_payloads_carry_null_zoo_fields(fake_app_class,
+                                                  service_factory):
+    """The shared serializer emits the zoo keys for classic sweeps too
+    (as nulls) — one payload shape everywhere."""
+    daemon = service_factory([fake_app_class()])
+    payload = daemon.client.sweep({"app": "fake", "strategy": "exhaustive"})
+    result = payload["result"]
+    assert result["trajectory"] is None
+    assert result["budget"] is None
+    assert result["restrict"] is None
+    assert result["pool_size"] is None

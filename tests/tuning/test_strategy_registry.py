@@ -1,0 +1,102 @@
+"""The strategy registry is the single source of truth — no drift."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tuning.search import STRATEGIES, select_timed
+from repro.tuning.strategies import (
+    ADAPTIVE_FIELDS,
+    SPECS,
+    SearchStrategy,
+    StrategyError,
+    adaptive_strategy_names,
+    build_strategy,
+    get_spec,
+    request_kwargs,
+    selection_strategy_names,
+    strategy_names,
+)
+
+pytestmark = pytest.mark.fast
+
+
+def test_search_strategies_derive_from_the_registry():
+    assert STRATEGIES == selection_strategy_names()
+
+
+def test_select_timed_accepts_exactly_the_selection_strategies():
+    # an entry in the registry that select_timed cannot dispatch (or
+    # vice versa) is the drift this registry exists to prevent
+    for name in selection_strategy_names():
+        kwargs = {"sample_size": 1} if name == "random" else {}
+        assert select_timed(name, [], **kwargs) == []
+    with pytest.raises(ValueError):
+        select_timed("no-such-strategy", [])
+    # adaptive names must NOT silently fall into the selection path
+    for name in adaptive_strategy_names():
+        with pytest.raises(ValueError):
+            select_timed(name, [])
+
+
+def test_every_adaptive_spec_builds_its_strategy():
+    for name in adaptive_strategy_names():
+        strategy = build_strategy(name)
+        assert isinstance(strategy, SearchStrategy)
+        assert strategy.name == name
+
+
+def test_adaptive_specs_declare_the_common_fields():
+    for spec in SPECS:
+        if spec.is_adaptive:
+            assert set(ADAPTIVE_FIELDS) <= set(spec.fields)
+            assert spec.loader and ":" in spec.loader
+
+
+def test_names_are_unique_and_partitioned():
+    names = strategy_names()
+    assert len(names) == len(set(names))
+    assert set(names) == (
+        set(selection_strategy_names()) | set(adaptive_strategy_names())
+    )
+
+
+def test_get_spec_rejects_unknown_names():
+    with pytest.raises(StrategyError, match="no-such"):
+        get_spec("no-such")
+
+
+def test_build_strategy_rejects_selection_names():
+    with pytest.raises(StrategyError, match="selection strategy"):
+        build_strategy("pareto")
+
+
+def test_adaptive_request_kwargs_validate():
+    spec = get_spec("genetic")
+    kwargs = request_kwargs(
+        spec, {"seed": 3, "budget": 10, "restrict": "pareto",
+               "population": 4},
+    )
+    assert kwargs == {
+        "seed": 3, "budget": 10, "restrict": "pareto", "population": 4,
+    }
+    # defaults: seed 0, full composition, budget left to the strategy
+    assert request_kwargs(spec, {}) == {"seed": 0, "restrict": "full"}
+    with pytest.raises(StrategyError, match="budget"):
+        request_kwargs(spec, {"budget": 0})
+    with pytest.raises(StrategyError, match="restrict"):
+        request_kwargs(spec, {"restrict": "everything"})
+    with pytest.raises(StrategyError, match="population"):
+        request_kwargs(spec, {"population": 1})
+
+
+def test_selection_request_kwargs_match_the_legacy_validation():
+    assert request_kwargs(get_spec("exhaustive"), {}) == {}
+    assert request_kwargs(get_spec("pareto"), {}) == {
+        "screen_bandwidth_bound": False,
+    }
+    assert request_kwargs(
+        get_spec("pareto+cluster"), {"seed": 2},
+    ) == {"relative_tolerance": 1e-9, "seed": 2}
+    with pytest.raises(StrategyError, match="sample_size"):
+        request_kwargs(get_spec("random"), {})
